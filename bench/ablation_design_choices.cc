@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ablations over the design choices DESIGN.md §6 calls out:
+ *  1. bias clamp (2-bit, paper) vs unclamped 3-bit metadata,
+ *  2. top-1 vs top-2 Elem-EM,
+ *  3. subgroup size 4 / 8 / 16,
+ *  4. adaptive vs fixed shared scale per tensor role,
+ *  5. the §6.4 extension: quantizing attention (KV cache).
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/elem_em.hh"
+#include "core/m2xfp.hh"
+#include "core/sg_em.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+namespace {
+
+using QFn = std::function<std::shared_ptr<GroupQuantizer>()>;
+
+QFn
+actQ(unsigned sub, unsigned topk, bool clamp, bool adaptive)
+{
+    return [=]() {
+        ElemEmConfig c;
+        c.subgroupSize = sub;
+        c.topK = topk;
+        c.clampBias = clamp;
+        c.adaptiveScale = adaptive;
+        return std::make_shared<ElemEmQuantizer>(c);
+    };
+}
+
+QFn
+wtQ(unsigned sub, bool adaptive)
+{
+    return [=]() {
+        SgEmConfig c;
+        c.subgroupSize = sub;
+        c.adaptiveScale = adaptive;
+        return std::make_shared<SgEmQuantizer>(c);
+    };
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablations", "M2XFP design-choice sensitivity "
+                               "(LLaMA2-7B substrate)");
+
+    Evaluator ev(llama2_7b(), bench::evalTokens, bench::seqLen);
+    TextTable t({"Variant", "Act EBW", "Wt EBW", "KL", "Proxy PPL"});
+
+    auto run_row = [&](const std::string &name, QFn aq, QFn wq,
+                       double a_ebw, double w_ebw) {
+        ev.model().rebuild(quantizedLinearFactory(wq, aq));
+        EvalRun r = ev.run();
+        t.beginRow();
+        t.cell(name);
+        t.cell(a_ebw, 3);
+        t.cell(w_ebw, 3);
+        t.cell(r.meanKl, 4);
+        t.cell(ev.perplexityFrom(r), 3);
+        t.endRow();
+    };
+
+    // Paper configuration.
+    run_row("paper (top1, clamp, sg8, adaptive-W)",
+            actQ(8, 1, true, false), wtQ(8, true), 4.5, 4.5);
+    // 1. Bias clamp.
+    run_row("unclamped 3-bit metadata", actQ(8, 1, false, false),
+            wtQ(8, true), 4.625, 4.5);
+    // 2. Top-2.
+    run_row("top-2 activations", actQ(8, 2, true, false), wtQ(8, true),
+            4.75, 4.5);
+    // 3. Subgroup size.
+    run_row("subgroup 4", actQ(4, 1, true, false), wtQ(4, true), 4.75,
+            4.75);
+    run_row("subgroup 16", actQ(16, 1, true, false), wtQ(16, true),
+            4.375, 4.375);
+    // 4. Scale adaptation.
+    run_row("fixed-scale weights", actQ(8, 1, true, false),
+            wtQ(8, false), 4.5, 4.5);
+    run_row("adaptive-scale activations", actQ(8, 1, true, true),
+            wtQ(8, true), 4.5, 4.5);
+
+    t.print("Each row perturbs one design choice from the paper "
+            "config");
+
+    // 5. KV-cache extension (§6.4).
+    TextTable kv({"Attention operands", "KL", "Proxy PPL"});
+    ev.model().rebuild(scheme("M2XFP").factory);
+    EvalRun base = ev.run();
+    kv.addRow({"FP32 (paper main config)", fmtNum(base.meanKl, 4),
+               fmtNum(ev.perplexityFrom(base), 3)});
+    ev.model().setKvQuantizers(
+        []() {
+            return std::make_shared<SgEmQuantizer>(
+                makeM2xfpWeightQuantizer());
+        },
+        []() {
+            return std::make_shared<ElemEmQuantizer>(
+                makeM2xfpActivationQuantizer());
+        });
+    EvalRun kvr = ev.run();
+    kv.addRow({"M2XFP K/V (Sg-EM) + Q/P (Elem-EM)",
+               fmtNum(kvr.meanKl, 4),
+               fmtNum(ev.perplexityFrom(kvr), 3)});
+    ev.model().setKvQuantizers(nullptr, nullptr);
+    kv.print("§6.4 extension: quantizing the attention KV path");
+    return 0;
+}

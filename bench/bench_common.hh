@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared configuration for the paper-reproduction bench binaries.
+ * All perplexity benches must use the same evaluation window as the
+ * coupling calibration (see src/model/config.cc).
+ */
+
+#ifndef M2X_BENCH_COMMON_HH__
+#define M2X_BENCH_COMMON_HH__
+
+#include <chrono>
+#include <cstdio>
+
+namespace m2x {
+namespace bench {
+
+/** Evaluation stream length used by every perplexity bench. */
+constexpr size_t evalTokens = 320;
+/** Forward-pass window length. */
+constexpr size_t seqLen = 64;
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *exp_id, const char *what)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", exp_id, what);
+    std::printf("(synthetic substrate; see DESIGN.md §3 for the "
+                "substitutions)\n");
+    std::printf("================================================="
+                "=============\n\n");
+    std::fflush(stdout);
+}
+
+/** Wall-clock helper. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bench
+} // namespace m2x
+
+#endif // M2X_BENCH_COMMON_HH__

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Maintenance tool: recomputes the per-model KL -> log-perplexity
+ * couplings (src/model/config.cc) by anchoring the MXFP4 row of
+ * Tbl. 3 to the paper. Run after changing the tensor generators and
+ * paste the printed constants into config.cc.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+int
+main()
+{
+    bench::banner("Coupling calibration",
+                  "klToLogPpl constants from the MXFP4 anchor");
+
+    struct Anchor
+    {
+        ModelConfig cfg;
+        double mxfp4Ppl; //!< paper Tbl. 3 MXFP4 row
+    };
+    const Anchor anchors[] = {
+        {llama2_7b(), 7.15}, {llama3_8b(), 8.30},
+        {llama3_70b(), 4.84}, {opt_6_7b(), 19.21},
+        {mistral_7b(), 6.56}, {falcon_7b(), 7.59},
+    };
+
+    TextTable t({"Model", "measured KL(MXFP4)", "current c",
+                 "suggested c"});
+    for (const Anchor &a : anchors) {
+        Evaluator ev(a.cfg, bench::evalTokens, bench::seqLen);
+        ev.model().rebuild(scheme("MXFP4").factory);
+        double kl = ev.run().meanKl;
+        double c = std::log(a.mxfp4Ppl / a.cfg.fp16Perplexity) / kl;
+        t.beginRow();
+        t.cell(a.cfg.name);
+        t.cell(kl, 4);
+        t.cell(a.cfg.klToLogPpl, 4);
+        t.cell(c, 4);
+        t.endRow();
+    }
+    t.print("If 'suggested' differs from 'current', update "
+            "src/model/config.cc");
+    return 0;
+}

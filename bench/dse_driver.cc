@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared driver for Fig. 6 (fixed shared scale) and Fig. 7
+ * (adaptive): encoding design-space exploration over Elem-EM-top1/top2, Sg-EM-1/2bit, Sg-EE-1/2bit swept over
+ * subgroup sizes 32..2, against the MXFP4 and NVFP4 reference
+ * points. Metric: MSE between quantized-model and FP32 logits
+ * (the paper's §4.2.1 metric); X axis: equivalent bit width (Eq. 2).
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/elem_em.hh"
+#include "core/sg_em.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+namespace {
+
+std::function<std::shared_ptr<GroupQuantizer>()>
+elemEm(unsigned sub, unsigned topk, bool adaptive)
+{
+    return [=]() {
+        ElemEmConfig c;
+        c.groupSize = 32;
+        c.subgroupSize = sub;
+        c.topK = topk;
+        c.adaptiveScale = adaptive;
+        return std::make_shared<ElemEmQuantizer>(c);
+    };
+}
+
+std::function<std::shared_ptr<GroupQuantizer>()>
+sgEmEe(unsigned sub, unsigned bits, bool ee, bool adaptive)
+{
+    return [=]() {
+        SgEmConfig c;
+        c.groupSize = 32;
+        c.subgroupSize = sub;
+        c.metaBits = bits;
+        c.extraExponent = ee;
+        c.adaptiveScale = adaptive;
+        return std::make_shared<SgEmQuantizer>(c);
+    };
+}
+
+} // anonymous namespace
+
+#include "dse_driver.hh"
+
+int
+runDseBench(bool adaptive)
+{
+    bench::banner(adaptive ? "Figure 7" : "Figure 6",
+                  adaptive
+                      ? "DSE under ADAPTIVE shared scale"
+                      : "DSE under FIXED shared scale (logit MSE vs "
+                        "EBW)");
+
+    const unsigned subs[] = {32, 16, 8, 4, 2};
+
+    for (const ModelConfig &cfg :
+         {llama2_7b(), llama3_8b(), falcon_7b(), mistral_7b()}) {
+        Evaluator ev(cfg, 128, bench::seqLen);
+        TextTable t({"Strategy", "Subgroup", "EBW", "LogitMSE"});
+
+        auto eval_pair =
+            [&](const std::string &name, unsigned sub, double ebw,
+                std::function<std::shared_ptr<GroupQuantizer>()> q) {
+                ev.model().rebuild(quantizedLinearFactory(q, q));
+                EvalRun run = ev.run();
+                t.beginRow();
+                t.cell(name);
+                t.cell(std::to_string(sub));
+                t.cell(ebw, 4);
+                t.cell(run.logitMse, 4);
+                t.endRow();
+            };
+
+        for (unsigned sub : subs) {
+            double n_sub = 32.0 / sub;
+            eval_pair("Elem-EM-top1", sub,
+                      4.25 + 2.0 * n_sub / 32.0,
+                      elemEm(sub, 1, adaptive));
+        }
+        for (unsigned sub : subs) {
+            if (sub < 2)
+                continue;
+            double n_sub = 32.0 / sub;
+            eval_pair("Elem-EM-top2", sub,
+                      4.25 + 4.0 * n_sub / 32.0,
+                      elemEm(sub, 2, adaptive));
+        }
+        for (unsigned bits : {1u, 2u}) {
+            for (unsigned sub : subs) {
+                double n_sub = 32.0 / sub;
+                eval_pair("Sg-EM-" + std::to_string(bits) + "bit",
+                          sub, 4.25 + bits * n_sub / 32.0,
+                          sgEmEe(sub, bits, false, adaptive));
+            }
+        }
+        for (unsigned bits : {1u, 2u}) {
+            for (unsigned sub : subs) {
+                double n_sub = 32.0 / sub;
+                eval_pair("Sg-EE-" + std::to_string(bits) + "bit",
+                          sub, 4.25 + bits * n_sub / 32.0,
+                          sgEmEe(sub, bits, true, adaptive));
+            }
+        }
+        // Reference points.
+        ev.model().rebuild(scheme("MXFP4").factory);
+        EvalRun mx = ev.run();
+        t.addRow({"MXFP4", "-", "4.2500", fmtNum(mx.logitMse, 4)});
+        ev.model().rebuild(scheme("NVFP4").factory);
+        EvalRun nv = ev.run();
+        t.addRow({"NVFP4", "-", "4.5000", fmtNum(nv.logitMse, 4)});
+
+        t.print("DSE on " + cfg.name +
+                (adaptive ? " (adaptive shared scale)"
+                          : " (fixed shared scale)"));
+    }
+    return 0;
+}

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Shared Fig. 6 / Fig. 7 DSE driver.
+ */
+
+#ifndef M2X_BENCH_DSE_DRIVER_HH__
+#define M2X_BENCH_DSE_DRIVER_HH__
+
+/** Run the metadata DSE; @p adaptive selects the Fig. 7 variant. */
+int runDseBench(bool adaptive);
+
+#endif // M2X_BENCH_DSE_DRIVER_HH__

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Fig. 6 — metadata DSE under a fixed shared scale.
+ */
+
+#include "dse_driver.hh"
+
+int
+main()
+{
+    return runDseBench(false);
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Fig. 7 — metadata DSE with the adaptive shared scale (exponent
+ * bias searched in {E0-1, E0, E0+1} jointly with the metadata).
+ * Under adaptation Sg-EM overtakes Elem-EM at 4.5-4.75 EBW — the
+ * asymmetry behind M2XFP's hybrid weight/activation design.
+ */
+
+#include "dse_driver.hh"
+
+int
+main()
+{
+    return runDseBench(true);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 13 — normalized latency and energy of M2XFP vs the baseline
+ * MX accelerators across six LLMs (seq 4096 linear layers), all
+ * normalized to a W8A8 MXINT8 accelerator on the same 32x32 4-bit
+ * PE array. Energy is broken into core / buffer / DRAM / static.
+ */
+
+#include "bench_common.hh"
+#include "sim/accelerator.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::sim;
+
+int
+main()
+{
+    bench::banner("Figure 13",
+                  "normalized latency and energy vs MX accelerators");
+
+    auto accels = fig13Accelerators();
+    auto models = fig13Models();
+
+    TextTable lat_t({"Model", "MX-OliVe", "MX-ANT", "MX-M-ANT",
+                     "MicroScopiQ", "M2XFP"});
+    TextTable en_t({"Model", "MX-OliVe", "MX-ANT", "MX-M-ANT",
+                    "MicroScopiQ", "M2XFP"});
+
+    std::vector<double> lat_sum(accels.size(), 0.0);
+    std::vector<double> en_sum(accels.size(), 0.0);
+
+    for (const LlmDims &dims : models) {
+        auto workload = linearLayerGemms(dims);
+        SimStats ref =
+            TileSimulator(mxint8Reference()).simulateWorkload(workload);
+        lat_t.beginRow();
+        en_t.beginRow();
+        lat_t.cell(dims.name);
+        en_t.cell(dims.name);
+        for (size_t a = 0; a < accels.size(); ++a) {
+            SimStats s =
+                TileSimulator(accels[a]).simulateWorkload(workload);
+            double nl = s.seconds / ref.seconds;
+            double ne = s.totalEnergyJ() / ref.totalEnergyJ();
+            lat_sum[a] += nl;
+            en_sum[a] += ne;
+            lat_t.cell(nl, 3);
+            en_t.cell(ne, 3);
+        }
+        lat_t.endRow();
+        en_t.endRow();
+    }
+    lat_t.beginRow();
+    en_t.beginRow();
+    lat_t.cell("Average");
+    en_t.cell("Average");
+    for (size_t a = 0; a < accels.size(); ++a) {
+        lat_t.cell(lat_sum[a] / models.size(), 3);
+        en_t.cell(en_sum[a] / models.size(), 3);
+    }
+    lat_t.endRow();
+    en_t.endRow();
+
+    lat_t.print("Normalized latency (vs MXINT8 W8A8; lower is "
+                "better)");
+    en_t.print("Normalized energy (vs MXINT8 W8A8; lower is better)");
+
+    // Headline ratios vs the SOTA baseline (MicroScopiQ).
+    size_t msq = 3, m2 = 4;
+    std::printf("M2XFP speedup vs MicroScopiQ (avg): %.2fx\n",
+                lat_sum[msq] / lat_sum[m2]);
+    std::printf("M2XFP energy gain vs MicroScopiQ (avg): %.2fx\n",
+                en_sum[msq] / en_sum[m2]);
+
+    // Energy breakdown for the average workload.
+    TextTable br({"Accelerator", "Core", "Buffer", "DRAM", "Static"});
+    for (const auto &cfg : accels) {
+        SimStats tot;
+        for (const LlmDims &dims : models)
+            tot += TileSimulator(cfg).simulateWorkload(
+                linearLayerGemms(dims));
+        double e = tot.totalEnergyJ();
+        br.beginRow();
+        br.cell(cfg.name);
+        br.cell(100.0 * tot.coreEnergyJ / e, 1);
+        br.cell(100.0 * tot.bufferEnergyJ / e, 1);
+        br.cell(100.0 * tot.dramEnergyJ / e, 1);
+        br.cell(100.0 * tot.staticEnergyJ / e, 1);
+        br.endRow();
+    }
+    br.print("Energy breakdown (percent of each accelerator's "
+             "total)");
+    return 0;
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Kernel-level throughput microbenchmarks (google-benchmark): the
+ * M2XFP codecs, baseline format codecs, the bit-exact hardware unit
+ * models, packing, and the quantized GEMM path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "core/m2xfp_packed.hh"
+#include "gemm/gemm.hh"
+#include "hw/pe_tile.hh"
+#include "hw/quant_engine.hh"
+#include "hw/top1_decode.hh"
+#include "mx/mxfp.hh"
+#include "mx/nvfp4.hh"
+#include "util/rng.hh"
+
+using namespace m2x;
+
+namespace {
+
+std::vector<float>
+randomData(size_t n, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.studentT(4.0));
+    return v;
+}
+
+void
+BM_Mxfp4Quantize(benchmark::State &state)
+{
+    auto data = randomData(32 * 1024);
+    std::vector<float> out(data.size());
+    MxfpQuantizer q = MxfpQuantizer::mxfp4();
+    for (auto _ : state) {
+        quantizeSpanGrouped(data, out, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Mxfp4Quantize);
+
+void
+BM_Nvfp4Quantize(benchmark::State &state)
+{
+    auto data = randomData(32 * 1024);
+    std::vector<float> out(data.size());
+    Nvfp4Quantizer q;
+    q.calibrate(data);
+    for (auto _ : state) {
+        quantizeSpanGrouped(data, out, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Nvfp4Quantize);
+
+void
+BM_ElemEmEncode(benchmark::State &state)
+{
+    auto data = randomData(32 * 1024);
+    std::vector<float> out(data.size());
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    for (auto _ : state) {
+        quantizeSpanGrouped(data, out, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ElemEmEncode);
+
+void
+BM_SgEmEncodeAdaptive(benchmark::State &state)
+{
+    auto data = randomData(32 * 512);
+    std::vector<float> out(data.size());
+    SgEmQuantizer q = makeM2xfpWeightQuantizer();
+    for (auto _ : state) {
+        quantizeSpanGrouped(data, out, q);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_SgEmEncodeAdaptive);
+
+void
+BM_QuantEngineGroup(benchmark::State &state)
+{
+    auto data = randomData(32);
+    hw::QuantizationEngine engine;
+    for (auto _ : state) {
+        auto res = engine.encodeGroup(data);
+        benchmark::DoNotOptimize(res.group.meta.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_QuantEngineGroup);
+
+void
+BM_Top1DecodeUnit(benchmark::State &state)
+{
+    hw::Top1DecodeUnit unit;
+    std::vector<uint8_t> codes{0x3, 0xf, 0x4, 0x1,
+                               0x8, 0x2, 0x6, 0x5};
+    for (auto _ : state) {
+        auto t = unit.decode(codes, 2);
+        benchmark::DoNotOptimize(t.idx);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Top1DecodeUnit);
+
+void
+BM_PeTileGroup(benchmark::State &state)
+{
+    hw::PeTile pe;
+    std::vector<hw::PeSubgroupInput> subs(4);
+    Rng rng(5);
+    for (auto &sg : subs)
+        for (int i = 0; i < 8; ++i) {
+            sg.wCodes[i] = static_cast<uint8_t>(rng.uniformInt(16));
+            sg.xCodes[i] = static_cast<uint8_t>(rng.uniformInt(16));
+        }
+    for (auto _ : state) {
+        double r = pe.computeGroup(subs, 0, 0);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PeTileGroup);
+
+void
+BM_PackActivations(benchmark::State &state)
+{
+    Matrix m(64, 256);
+    Rng rng(6);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.normal(0, 1));
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    for (auto _ : state) {
+        auto packed = PackedM2xfpTensor::packActivations(m, q);
+        benchmark::DoNotOptimize(packed.totalBytes());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(m.size()));
+}
+BENCHMARK(BM_PackActivations);
+
+void
+BM_QuantizedGemmM2xfp(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Matrix w(n, n), x(16, n);
+    Rng rng(7);
+    for (auto &v : w.flat())
+        v = static_cast<float>(rng.normal(0, 0.05));
+    for (auto &v : x.flat())
+        v = static_cast<float>(rng.studentT(4.0));
+    QuantizedLinear lin(
+        w,
+        std::make_shared<SgEmQuantizer>(makeM2xfpWeightQuantizer()),
+        std::make_shared<ElemEmQuantizer>(
+            makeM2xfpActivationQuantizer()));
+    for (auto _ : state) {
+        Matrix y = lin.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 *
+                            static_cast<int64_t>(n) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_QuantizedGemmM2xfp)->Arg(128)->Arg(256);
+
+void
+BM_ReferenceGemm(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Matrix w(n, n), x(16, n);
+    Rng rng(8);
+    for (auto &v : w.flat())
+        v = static_cast<float>(rng.normal(0, 0.05));
+    for (auto &v : x.flat())
+        v = static_cast<float>(rng.normal(0, 1));
+    for (auto _ : state) {
+        Matrix y = matmulNt(x, w);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 *
+                            static_cast<int64_t>(n) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ReferenceGemm)->Arg(128)->Arg(256);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tbl. 2 — zero-shot accuracy on six benchmarks (Arc-e, Arc-c,
+ * HellaSwag, PiQA, WinoGrande, BoolQ) for LLaMA2-7B, LLaMA3-8B and
+ * Mistral-7B under FP16 / SMX4 / MXFP4 / NVFP4 / M2XFP.
+ */
+
+#include "bench_common.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+namespace {
+
+struct Task
+{
+    const char *name;
+    uint64_t seed;
+};
+
+const Task tasks[] = {{"Arc-e", 0xa1}, {"Arc-c", 0xa2},
+                      {"Hella.", 0xa3}, {"PiQA", 0xa4},
+                      {"Wino.", 0xa5}, {"BoolQ", 0xa6}};
+
+/** Paper FP16 anchors per model, in task order. */
+struct ModelAnchors
+{
+    model::ModelConfig (*cfg)();
+    double fp16[6];
+};
+
+const ModelAnchors anchors[] = {
+    {llama2_7b, {74.58, 46.25, 75.99, 79.11, 69.06, 77.71}},
+    {llama3_8b, {77.49, 53.33, 79.15, 80.85, 72.53, 81.28}},
+    {mistral_7b, {78.24, 52.13, 80.46, 82.26, 73.80, 82.14}},
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Table 2", "zero-shot accuracy (percent, higher "
+                             "is better)");
+
+    for (const ModelAnchors &ma : anchors) {
+        ModelConfig cfg = ma.cfg();
+        Evaluator ev(cfg, bench::evalTokens, bench::seqLen);
+        std::vector<std::string> header{"Method"};
+        for (const Task &t : tasks)
+            header.push_back(t.name);
+        header.push_back("Avg.");
+        TextTable tab(header);
+
+        for (const std::string &method : table2Methods()) {
+            ev.model().rebuild(scheme(method).factory);
+            EvalRun run = ev.run();
+            tab.beginRow();
+            tab.cell(method);
+            double sum = 0.0;
+            for (size_t k = 0; k < 6; ++k) {
+                double acc = ev.accuracyFrom(run, ma.fp16[k], 4,
+                                             tasks[k].seed);
+                sum += acc;
+                tab.cell(acc, 2);
+            }
+            tab.cell(sum / 6.0, 2);
+            tab.endRow();
+        }
+        tab.print("Zero-shot accuracy, " + cfg.name);
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tbl. 3 — Wikitext proxy perplexity of M2XFP vs the baseline
+ * accelerator quantizers, W4A4, group 32, E8M0 shared scale.
+ */
+
+#include "bench_common.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+int
+main()
+{
+    bench::banner("Table 3", "perplexity vs baseline accelerators "
+                             "(lower is better)");
+
+    auto models = table3Models();
+    auto methods = table3Methods();
+
+    std::vector<std::string> header{"Method"};
+    for (const auto &m : models)
+        header.push_back(m.name);
+    TextTable t(header);
+
+    std::vector<Evaluator> evals;
+    evals.reserve(models.size());
+    for (const auto &cfg : models)
+        evals.emplace_back(cfg, bench::evalTokens, bench::seqLen);
+
+    for (const auto &method : methods) {
+        t.beginRow();
+        t.cell(method);
+        for (auto &ev : evals) {
+            ev.model().rebuild(scheme(method).factory);
+            t.cell(ev.proxyPerplexity(), 2);
+        }
+        t.endRow();
+    }
+    t.print("Proxy perplexity (FP16 rows anchored to the paper; "
+            "degradation measured)");
+    return 0;
+}

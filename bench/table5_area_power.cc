@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tbl. 5 — area and power of the M2XFP core components at 28 nm /
+ * 500 MHz, plus the §6.3 per-format PE-tile comparison.
+ */
+
+#include "bench_common.hh"
+#include "hw/area_power.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+
+int
+main()
+{
+    bench::banner("Table 5", "area/power breakdown @ 28 nm, 500 MHz");
+
+    TextTable t({"Component", "Unit area (um^2)", "Count",
+                 "Area (mm^2)", "Power (mW)"});
+    for (const auto &row : hw::table5Breakdown()) {
+        t.beginRow();
+        t.cell(row.name);
+        if (row.unitAreaUm2 > 0)
+            t.cell(row.unitAreaUm2, 2);
+        else
+            t.cell("-");
+        t.cell(static_cast<double>(row.count), 0);
+        t.cell(row.totalAreaMm2, 4);
+        t.cell(row.totalPowerMw, 3);
+        t.endRow();
+    }
+    t.print("Core components and buffers (paper Tbl. 5)");
+
+    TextTable cmp({"PE tile variant", "Area (um^2)", "vs MXFP4"});
+    double base = hw::makeMxfp4PeTile().areaUm2();
+    std::vector<hw::UnitModel> variants;
+    variants.push_back(hw::makeMxfp4PeTile());
+    variants.push_back(hw::makeNvfp4PeTile());
+    variants.push_back(hw::makeM2xfpPeTile());
+    for (const auto &unit : variants) {
+        cmp.beginRow();
+        cmp.cell(unit.name());
+        cmp.cell(unit.areaUm2(), 1);
+        cmp.cell(fmtNum(100.0 * (unit.areaUm2() - base) / base, 1) +
+                 "%");
+        cmp.endRow();
+    }
+    cmp.print("PE tile synthesis comparison (§6.3)");
+
+    TextTable det({"Block", "Gates", "Area (um^2)"});
+    hw::UnitModel m2_tile = hw::makeM2xfpPeTile();
+    for (const auto &b : m2_tile.blocks()) {
+        det.beginRow();
+        det.cell(b.name);
+        det.cell(b.gates, 1);
+        det.cell(b.areaUm2(), 1);
+        det.endRow();
+    }
+    det.print("M2XFP PE tile sub-blocks");
+    return 0;
+}

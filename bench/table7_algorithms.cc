@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tbl. 7 — M2XFP vs algorithm-level schemes: QuaRot and DuQuant
+ * (INT4, rotation-based), MR-GPTQ (FP4 with Hessian error feedback),
+ * and the MR-GPTQ + M2XFP combination.
+ */
+
+#include "bench_common.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+int
+main()
+{
+    bench::banner("Table 7",
+                  "comparison with algorithm schemes (group 32)");
+
+    TextTable t({"Method", "Data type", "LLaMA2-7B", "LLaMA3-8B"});
+    const struct
+    {
+        const char *method;
+        const char *dtype;
+    } rows[] = {
+        {"QuaRot", "INT4"},        {"DuQuant", "INT4"},
+        {"MR-GPTQ", "FP4"},        {"M2XFP", "FP4"},
+        {"MR-GPTQ-M2XFP", "FP4"},
+    };
+
+    Evaluator ev2(llama2_7b(), bench::evalTokens, bench::seqLen);
+    Evaluator ev3(llama3_8b(), bench::evalTokens, bench::seqLen);
+
+    for (const auto &row : rows) {
+        t.beginRow();
+        t.cell(row.method);
+        t.cell(row.dtype);
+        ev2.model().rebuild(scheme(row.method).factory);
+        t.cell(ev2.proxyPerplexity(), 2);
+        ev3.model().rebuild(scheme(row.method).factory);
+        t.cell(ev3.proxyPerplexity(), 2);
+        t.endRow();
+    }
+    t.print("Proxy perplexity on the Wikitext stand-in (lower is "
+            "better)");
+    return 0;
+}

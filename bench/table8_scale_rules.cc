@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tbl. 8 — the five shared-scale computation rules (floor / ceil /
+ * RTN1 / RTN2 / RTNE) under MXFP4 and M2XFP. For FP4, RTNE and ceil
+ * coincide (M = 1.5 P); M2XFP improves over MXFP4 under every rule.
+ */
+
+#include "bench_common.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/table.hh"
+
+using namespace m2x;
+using namespace m2x::model;
+
+int
+main()
+{
+    bench::banner("Table 8",
+                  "shared-scale rules: MXFP4 vs M2XFP perplexity");
+
+    TextTable t({"Rule", "LLaMA2 MXFP4", "LLaMA2 M2XFP",
+                 "LLaMA3 MXFP4", "LLaMA3 M2XFP"});
+
+    Evaluator ev2(llama2_7b(), bench::evalTokens, bench::seqLen);
+    Evaluator ev3(llama3_8b(), bench::evalTokens, bench::seqLen);
+
+    const struct
+    {
+        const char *label;
+        const char *suffix;
+    } rules[] = {{"floor", "floor"},
+                 {"ceil/RTNE", "ceil"},
+                 {"RTN1", "rtn1"},
+                 {"RTN2", "rtn2"},
+                 {"RTNE", "rtne"}};
+
+    for (const auto &r : rules) {
+        t.beginRow();
+        t.cell(r.label);
+        for (Evaluator *ev : {&ev2, &ev3}) {
+            ev->model().rebuild(
+                scheme(std::string("MXFP4-") + r.suffix).factory);
+            t.cell(ev->proxyPerplexity(), 2);
+            ev->model().rebuild(
+                scheme(std::string("M2XFP-") + r.suffix).factory);
+            t.cell(ev->proxyPerplexity(), 2);
+        }
+        t.endRow();
+    }
+    t.print("Perplexity under each scale rule (RTNE == ceil for "
+            "FP4)");
+    return 0;
+}

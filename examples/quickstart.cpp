@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: quantize one activation group with M2XFP, inspect the
+ * bit-level encoding (FP4 codes, E8M0 scale, 2-bit metadata), decode
+ * it back, and compare the error against plain MXFP4.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "mx/mxfp.hh"
+#include "util/stats.hh"
+
+using namespace m2x;
+
+int
+main()
+{
+    // A group of 32 activations with one outlier per subgroup of 8.
+    std::vector<float> x = {
+        0.31f, -0.12f, 0.55f,  5.27f,  -0.40f, 0.08f,  0.91f, -0.22f,
+        1.10f, -2.96f, 0.17f,  0.44f,  -0.63f, 0.29f,  -0.05f, 0.73f,
+        -4.62f, 0.38f, -0.81f, 0.12f,  0.57f,  -0.26f, 0.94f, 0.33f,
+        0.21f, 0.66f,  -0.49f, 3.78f,  -0.14f, 0.52f,  -0.37f, 0.85f,
+    };
+
+    // Encode with the paper-default Elem-EM-top1 codec.
+    ElemEmQuantizer codec = makeM2xfpActivationQuantizer();
+    ElemEmGroup g = codec.encodeGroup(x);
+
+    std::printf("M2XFP quickstart\n================\n\n");
+    std::printf("shared scale: 2^%d (E8M0 code %u)\n",
+                g.scale.exponent(), g.scale.code());
+    std::printf("FP4 codes   :");
+    for (uint8_t c : g.fp4Codes)
+        std::printf(" %x", c);
+    std::printf("\nmetadata    :");
+    for (uint8_t m : g.meta)
+        std::printf(" %u", m);
+    std::printf("  (2-bit extra mantissa per 8-wide subgroup)\n\n");
+
+    // Decode and compare with plain MXFP4.
+    std::vector<float> m2(32), mx(32);
+    codec.decodeGroup(g, m2);
+    MxfpQuantizer mxfp4 = MxfpQuantizer::mxfp4();
+    mxfp4.quantizeGroup(x, mx);
+
+    std::printf("%8s %10s %10s %10s\n", "x", "MXFP4", "M2XFP",
+                "improved");
+    for (size_t i = 0; i < x.size(); ++i) {
+        bool changed = m2[i] != mx[i];
+        std::printf("%8.3f %10.4f %10.4f %10s\n", x[i], mx[i], m2[i],
+                    changed ? "<-- top-1" : "");
+    }
+    std::printf("\ngroup MSE: MXFP4 %.6f  vs  M2XFP %.6f\n",
+                mse(x, mx), mse(x, m2));
+    std::printf("effective bits/element: MXFP4 %.3f, M2XFP %.3f\n",
+                mxfp4.ebw(), codec.ebw());
+    return 0;
+}

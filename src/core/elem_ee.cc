@@ -1,0 +1,111 @@
+#include "core/elem_ee.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/elem_em.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+ElemEeQuantizer::ElemEeQuantizer(ElemEeConfig cfg) : cfg_(cfg)
+{
+    m2x_assert(cfg_.subgroupSize >= 1 &&
+               cfg_.subgroupSize <= cfg_.groupSize,
+               "bad subgroup size");
+    m2x_assert(cfg_.metaBits >= 1 && cfg_.metaBits <= 3,
+               "bad metadata width %u", cfg_.metaBits);
+}
+
+ElemEeGroup
+ElemEeQuantizer::encodeGroup(std::span<const float> in) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    ElemEeGroup g;
+    g.scale = computeSharedScale(absMax(in), fp4, cfg_.rule);
+    float inv = g.scale.inverse();
+
+    g.fp4Codes.resize(in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        g.fp4Codes[i] = static_cast<uint8_t>(fp4.encode(in[i] * inv));
+
+    unsigned n_codes = 1u << cfg_.metaBits;
+    size_t sg = cfg_.subgroupSize;
+    for (size_t base = 0; base < in.size(); base += sg) {
+        size_t len = std::min(sg, in.size() - base);
+        std::span<const uint8_t> codes(g.fp4Codes.data() + base, len);
+        size_t idx = ElemEmQuantizer::top1Index(codes);
+        float target = std::fabs(in[base + idx]) * inv;
+
+        // The offset multiplies the already-stored FP4 value (range
+        // extension, not precision): the code itself is untouched so
+        // the decoder's top-1 selection is guaranteed to match.
+        float fp4_val =
+            std::fabs(fp4.decode(g.fp4Codes[base + idx] & 0x7u));
+        uint8_t best_m = static_cast<uint8_t>(cfg_.offsetBias);
+        float best_err = -1.0f;
+        for (unsigned m = 0; m < n_codes; ++m) {
+            int off = static_cast<int>(m) - cfg_.offsetBias;
+            float q =
+                fp4_val * std::exp2(static_cast<float>(off));
+            float err = std::fabs(q - target);
+            if (best_err < 0.0f || err < best_err) {
+                best_err = err;
+                best_m = static_cast<uint8_t>(m);
+            }
+        }
+        g.meta.push_back(best_m);
+    }
+    return g;
+}
+
+void
+ElemEeQuantizer::decodeGroup(const ElemEeGroup &g,
+                             std::span<float> out) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    m2x_assert(out.size() == g.fp4Codes.size(), "decode size mismatch");
+    float sval = g.scale.value();
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = fp4.decode(g.fp4Codes[i]) * sval;
+
+    size_t sg = cfg_.subgroupSize;
+    size_t sg_index = 0;
+    for (size_t base = 0; base < out.size(); base += sg, ++sg_index) {
+        size_t len = std::min(sg, out.size() - base);
+        std::span<const uint8_t> codes(g.fp4Codes.data() + base, len);
+        size_t idx = ElemEmQuantizer::top1Index(codes);
+        m2x_assert(sg_index < g.meta.size(), "metadata missing");
+        int off = static_cast<int>(g.meta[sg_index]) -
+                  cfg_.offsetBias;
+        out[base + idx] *= std::exp2(static_cast<float>(off));
+    }
+}
+
+void
+ElemEeQuantizer::quantizeGroup(std::span<const float> in,
+                               std::span<float> out) const
+{
+    ElemEeGroup g = encodeGroup(in);
+    decodeGroup(g, out);
+}
+
+BitBudget
+ElemEeQuantizer::bitBudget() const
+{
+    unsigned n_sub = (cfg_.groupSize + cfg_.subgroupSize - 1) /
+                     cfg_.subgroupSize;
+    return {4.0, 8.0, static_cast<double>(cfg_.metaBits) * n_sub,
+            cfg_.groupSize};
+}
+
+std::string
+ElemEeQuantizer::name() const
+{
+    return "ElemEE-" + std::to_string(cfg_.metaBits) + "b-g" +
+           std::to_string(cfg_.groupSize) + "/sg" +
+           std::to_string(cfg_.subgroupSize);
+}
+
+} // namespace m2x

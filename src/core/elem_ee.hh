@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Elem-EE: element-level extra-*exponent* metadata — the fourth
+ * quadrant of the paper's strategy taxonomy (Fig. 5). Metadata gives
+ * the top-1 element of each subgroup an exponent offset, extending
+ * its local dynamic range instead of its precision.
+ *
+ * The paper omits Elem-EE from the Pareto study because exponent
+ * offsets cannot fix the block-maximum *rounding* error (§4.2.1,
+ * citing the Fig. 3 analysis); we implement it so the full taxonomy
+ * is executable and the claim is checkable (see the ablation bench
+ * and tests: Elem-EE consistently trails Elem-EM at equal EBW).
+ *
+ * Encoding: elements quantize to FP4 under the group scale; the
+ * top-1 of each subgroup (FP4-domain selection, ties to the lowest
+ * index, exactly as Elem-EM) re-quantizes its original value under
+ * scale * 2^(meta - bias) with the n-bit offset chosen by minimal
+ * absolute error. Decode mirrors the selection and re-applies the
+ * offset.
+ */
+
+#ifndef M2X_CORE_ELEM_EE_HH__
+#define M2X_CORE_ELEM_EE_HH__
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/e8m0.hh"
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+#include "quant/scale_rules.hh"
+
+namespace m2x {
+
+/** Configuration for the Elem-EE codec. */
+struct ElemEeConfig
+{
+    unsigned groupSize = 32;
+    unsigned subgroupSize = 8;
+    unsigned metaBits = 2;   //!< offset bits; offset = meta - bias
+    int offsetBias = 2;      //!< meta 0.. maps to -bias..+
+    ScaleRule rule = ScaleRule::Floor;
+};
+
+/** Bit-level encoding of one Elem-EE group. */
+struct ElemEeGroup
+{
+    ScaleE8m0 scale;
+    std::vector<uint8_t> fp4Codes;
+    std::vector<uint8_t> meta; //!< n-bit exponent offset per subgroup
+};
+
+/** Element-level extra-exponent quantizer. */
+class ElemEeQuantizer : public GroupQuantizer
+{
+  public:
+    explicit ElemEeQuantizer(ElemEeConfig cfg = {});
+
+    ElemEeGroup encodeGroup(std::span<const float> in) const;
+    void decodeGroup(const ElemEeGroup &g, std::span<float> out) const;
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return cfg_.groupSize; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    const ElemEeConfig &config() const { return cfg_; }
+
+  private:
+    ElemEeConfig cfg_;
+};
+
+} // namespace m2x
+
+#endif // M2X_CORE_ELEM_EE_HH__

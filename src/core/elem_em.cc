@@ -1,0 +1,264 @@
+#include "core/elem_em.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+namespace {
+
+constexpr uint32_t fp4MagMask = 0x7;  // 3 magnitude bits (E2M1)
+constexpr uint32_t fp6MagMask = 0x1f; // 5 magnitude bits (E2M3)
+
+uint32_t
+fp4Sign(uint8_t code)
+{
+    return (code >> 3) & 1u;
+}
+
+uint32_t
+fp4Mag(uint8_t code)
+{
+    return code & fp4MagMask;
+}
+
+/**
+ * Deterministic top-K selection in the FP4 domain, shared verbatim by
+ * the encoder and the decoder so both always pick the same elements.
+ * Repeatedly takes the top-1 (ties -> lowest index) of a masked copy;
+ * stops early if the next pick would repeat (all remaining zero).
+ */
+std::vector<size_t>
+selectTopK(std::span<const uint8_t> codes, unsigned top_k)
+{
+    std::vector<uint8_t> masked(codes.begin(), codes.end());
+    std::vector<size_t> chosen;
+    for (unsigned k = 0; k < top_k; ++k) {
+        size_t idx = ElemEmQuantizer::top1Index(masked);
+        if (std::find(chosen.begin(), chosen.end(), idx) !=
+            chosen.end())
+            break;
+        chosen.push_back(idx);
+        masked[idx] = static_cast<uint8_t>(masked[idx] & 0x8u);
+    }
+    return chosen;
+}
+
+} // anonymous namespace
+
+ElemEmQuantizer::ElemEmQuantizer(ElemEmConfig cfg) : cfg_(cfg)
+{
+    m2x_assert(cfg_.groupSize >= 1, "group size must be positive");
+    m2x_assert(cfg_.subgroupSize >= 1 &&
+               cfg_.subgroupSize <= cfg_.groupSize,
+               "bad subgroup size %u for group %u", cfg_.subgroupSize,
+               cfg_.groupSize);
+    m2x_assert(cfg_.topK >= 1 && cfg_.topK <= cfg_.subgroupSize,
+               "bad topK %u", cfg_.topK);
+}
+
+size_t
+ElemEmQuantizer::top1Index(std::span<const uint8_t> fp4_codes)
+{
+    m2x_assert(!fp4_codes.empty(), "empty subgroup");
+    size_t best = 0;
+    uint32_t best_mag = fp4Mag(fp4_codes[0]);
+    for (size_t i = 1; i < fp4_codes.size(); ++i) {
+        uint32_t m = fp4Mag(fp4_codes[i]);
+        if (m > best_mag) { // strict: ties keep the lowest index
+            best_mag = m;
+            best = i;
+        }
+    }
+    return best;
+}
+
+uint8_t
+ElemEmQuantizer::encodeMeta(uint32_t fp6_mag, uint32_t fp4_mag)
+{
+    uint32_t encoded = fp6_mag + 1;     // Step 6: add bias
+    uint32_t range_min = fp4_mag << 2;  // Step 7: fp4_bits|00
+    uint32_t range_max = range_min | 3; //         fp4_bits|11
+    uint32_t clamped = std::clamp(encoded, range_min, range_max);
+    return static_cast<uint8_t>(clamped & 3u);
+}
+
+uint32_t
+ElemEmQuantizer::decodeFp6Mag(uint32_t fp4_mag, uint8_t meta)
+{
+    // meta - 1 in {-1, 0, +1, +2}; fp4_mag == 0 forces meta >= 1 by
+    // construction so the subtraction never underflows.
+    return (fp4_mag << 2) + meta - 1;
+}
+
+ElemEmGroup
+ElemEmQuantizer::encodeWithScale(std::span<const float> in,
+                                 ScaleE8m0 s) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+
+    ElemEmGroup g;
+    g.scale = s;
+    float inv = s.inverse();
+
+    // Step 2: baseline FP4 codes for every element.
+    g.fp4Codes.resize(in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        g.fp4Codes[i] = static_cast<uint8_t>(fp4.encode(in[i] * inv));
+
+    // Steps 3-7 per subgroup.
+    size_t sg = cfg_.subgroupSize;
+    for (size_t base = 0; base < in.size(); base += sg) {
+        size_t len = std::min(sg, in.size() - base);
+        std::span<const uint8_t> codes(g.fp4Codes.data() + base, len);
+        std::vector<size_t> chosen = selectTopK(codes, cfg_.topK);
+
+        for (size_t idx : chosen) {
+            uint32_t mag4 = fp4Mag(codes[idx]);
+            // Step 5: re-round the original value to FP6 E2M3.
+            float mag = std::fabs(in[base + idx]) * inv;
+            uint32_t mag6 = fp6.encode(mag) & fp6MagMask;
+            uint8_t meta;
+            if (cfg_.clampBias) {
+                meta = encodeMeta(mag6, mag4);
+            } else {
+                // Ablation: 3-bit bias in {-2..2} (stored +2), the
+                // full 5-candidate FP6 window without the alignment
+                // clamp.
+                int d = static_cast<int>(mag6) -
+                        static_cast<int>(mag4 << 2);
+                d = std::clamp(d, -2, 2);
+                meta = static_cast<uint8_t>(d + 2);
+            }
+            g.meta.push_back(meta);
+        }
+        // Pad to topK entries per subgroup so metadata stays
+        // uniformly indexable (neutral value decodes to the FP4
+        // baseline).
+        while (g.meta.size() % cfg_.topK != 0)
+            g.meta.push_back(cfg_.clampBias ? 1 : 2);
+    }
+    return g;
+}
+
+void
+ElemEmQuantizer::decodeGroup(const ElemEmGroup &g,
+                             std::span<float> out) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    m2x_assert(out.size() == g.fp4Codes.size(),
+               "decode size mismatch: %zu vs %zu", out.size(),
+               g.fp4Codes.size());
+
+    float sval = g.scale.value();
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = fp4.decode(g.fp4Codes[i]) * sval;
+
+    size_t sg = cfg_.subgroupSize;
+    size_t sg_index = 0;
+    for (size_t base = 0; base < out.size(); base += sg, ++sg_index) {
+        size_t len = std::min(sg, out.size() - base);
+        std::span<const uint8_t> codes(g.fp4Codes.data() + base, len);
+        std::vector<size_t> chosen = selectTopK(codes, cfg_.topK);
+
+        for (size_t k = 0; k < chosen.size(); ++k) {
+            size_t meta_pos = sg_index * cfg_.topK + k;
+            m2x_assert(meta_pos < g.meta.size(),
+                       "metadata underrun at subgroup %zu", sg_index);
+            size_t idx = chosen[k];
+            uint32_t mag4 = fp4Mag(codes[idx]);
+            uint32_t sign = fp4Sign(codes[idx]);
+            uint8_t meta = g.meta[meta_pos];
+            uint32_t mag6;
+            if (cfg_.clampBias) {
+                mag6 = decodeFp6Mag(mag4, meta);
+            } else {
+                int d = static_cast<int>(meta) - 2;
+                int v = static_cast<int>(mag4 << 2) + d;
+                mag6 = static_cast<uint32_t>(std::max(v, 0));
+            }
+            float mag = fp6.decode(mag6 & fp6MagMask);
+            out[base + idx] = (sign ? -mag : mag) * sval;
+        }
+    }
+}
+
+double
+ElemEmQuantizer::groupMse(std::span<const float> in,
+                          const ElemEmGroup &g) const
+{
+    std::vector<float> dec(in.size());
+    decodeGroup(g, dec);
+    double e = 0.0;
+    for (size_t i = 0; i < in.size(); ++i) {
+        double d = static_cast<double>(dec[i]) - in[i];
+        e += d * d;
+    }
+    return e;
+}
+
+ElemEmGroup
+ElemEmQuantizer::encodeGroup(std::span<const float> in) const
+{
+    m2x_assert(in.size() <= cfg_.groupSize,
+               "group of %zu exceeds configured size %u", in.size(),
+               cfg_.groupSize);
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+
+    // Step 1: shared scale from the block maximum.
+    ScaleE8m0 s0 = computeSharedScale(absMax(in), fp4, cfg_.rule);
+    if (!cfg_.adaptiveScale)
+        return encodeWithScale(in, s0);
+
+    // Adaptive: pick E in {E0-1, E0, E0+1} by group MSE.
+    ElemEmGroup best;
+    double best_err = -1.0;
+    for (int b = -1; b <= 1; ++b) {
+        ElemEmGroup g = encodeWithScale(in, s0.shifted(b));
+        double err = groupMse(in, g);
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            best = std::move(g);
+        }
+    }
+    return best;
+}
+
+void
+ElemEmQuantizer::quantizeGroup(std::span<const float> in,
+                               std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    ElemEmGroup g = encodeGroup(in);
+    decodeGroup(g, out);
+}
+
+BitBudget
+ElemEmQuantizer::bitBudget() const
+{
+    unsigned n_sub = (cfg_.groupSize + cfg_.subgroupSize - 1) /
+                     cfg_.subgroupSize;
+    double meta_bits_per_elem = cfg_.clampBias ? 2.0 : 3.0;
+    return {4.0, 8.0, meta_bits_per_elem * cfg_.topK * n_sub,
+            cfg_.groupSize};
+}
+
+std::string
+ElemEmQuantizer::name() const
+{
+    std::string n = "ElemEM-top" + std::to_string(cfg_.topK) + "-g" +
+                    std::to_string(cfg_.groupSize) + "/sg" +
+                    std::to_string(cfg_.subgroupSize);
+    if (cfg_.adaptiveScale)
+        n += "-adaptive";
+    if (!cfg_.clampBias)
+        n += "-wide";
+    return n;
+}
+
+} // namespace m2x

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Elem-EM: element-level extra-mantissa quantization for activations —
+ * Algorithm 1 of the M2XFP paper.
+ *
+ * Per group of k (32): compute the shared E8M0 scale from the block
+ * max, quantize every element to FP4 E2M1, then per subgroup (8):
+ *  - identify the top-1 element *in the FP4 domain* (magnitude code
+ *    compare; ties resolved to the lowest index, so the decoder —
+ *    which sees only FP4 codes — finds the same element),
+ *  - re-round the original value to FP6 E2M3 under the same scale,
+ *  - store the FP6/FP4 difference as 2 metadata bits with the paper's
+ *    bias-and-clamp encoding:
+ *        encoded = fp6_mag + 1,
+ *        clamped to [fp4_mag*4, fp4_mag*4 + 3],
+ *        meta    = clamped & 3,
+ *    giving the decoder fp6_mag = fp4_mag*4 + meta - 1 (bias range
+ *    {-1, 0, +1, +2} around the FP4 value, Fig. 8).
+ *
+ * The clamp loses the farthest-down FP6 candidate (the paper's "bad
+ * case": 3.578 decodes to 3.75 instead of 3.5); the unclamped 3-bit
+ * variant is available for the ablation bench.
+ */
+
+#ifndef M2X_CORE_ELEM_EM_HH__
+#define M2X_CORE_ELEM_EM_HH__
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/e8m0.hh"
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+#include "quant/scale_rules.hh"
+
+namespace m2x {
+
+/** Bit-level encoding of one Elem-EM group. */
+struct ElemEmGroup
+{
+    ScaleE8m0 scale;                 //!< shared E8M0 scale
+    std::vector<uint8_t> fp4Codes;   //!< one 4-bit code per element
+    std::vector<uint8_t> meta;       //!< 2-bit metadata per subgroup
+};
+
+/** Configuration for the Elem-EM codec. */
+struct ElemEmConfig
+{
+    unsigned groupSize = 32;
+    unsigned subgroupSize = 8;
+    unsigned topK = 1;          //!< elements re-rounded per subgroup
+    ScaleRule rule = ScaleRule::Floor;
+    bool adaptiveScale = false; //!< search E in {E-1, E, E+1} by MSE
+    bool clampBias = true;      //!< paper encoding; false = 3-bit meta
+};
+
+/**
+ * The Elem-EM codec. encodeGroup()/decodeGroup() expose the bit-level
+ * representation; the GroupQuantizer interface returns dequantized
+ * floats for use in model evaluation.
+ */
+class ElemEmQuantizer : public GroupQuantizer
+{
+  public:
+    explicit ElemEmQuantizer(ElemEmConfig cfg = {});
+
+    /** Encode one group (in.size() <= groupSize). */
+    ElemEmGroup encodeGroup(std::span<const float> in) const;
+
+    /**
+     * Decode a group encoding into values. Recomputes the top-1
+     * selection from the FP4 codes exactly as the hardware decode
+     * unit does.
+     * @param n number of valid elements
+     */
+    void decodeGroup(const ElemEmGroup &g, std::span<float> out) const;
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return cfg_.groupSize; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    const ElemEmConfig &config() const { return cfg_; }
+
+    /**
+     * Top-1 index of a subgroup given FP4 codes: the element with the
+     * largest magnitude code; ties go to the lowest index (Alg. 1
+     * steps 3-4). Exposed for the hardware decode unit tests.
+     */
+    static size_t top1Index(std::span<const uint8_t> fp4_codes);
+
+    /**
+     * The paper's 2-bit metadata encoding (Alg. 1 steps 6-7).
+     * @return metadata in [0, 3]
+     */
+    static uint8_t encodeMeta(uint32_t fp6_mag, uint32_t fp4_mag);
+
+    /** Reconstructed FP6 magnitude code: fp4_mag*4 + meta - 1. */
+    static uint32_t decodeFp6Mag(uint32_t fp4_mag, uint8_t meta);
+
+  private:
+    ElemEmConfig cfg_;
+
+    ElemEmGroup encodeWithScale(std::span<const float> in,
+                                ScaleE8m0 s) const;
+    double groupMse(std::span<const float> in,
+                    const ElemEmGroup &g) const;
+};
+
+} // namespace m2x
+
+#endif // M2X_CORE_ELEM_EM_HH__

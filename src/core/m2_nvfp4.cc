@@ -1,0 +1,151 @@
+#include "core/m2_nvfp4.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/elem_em.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+M2Nvfp4Quantizer::M2Nvfp4Quantizer(bool is_weight, unsigned group_size,
+                                   unsigned subgroup_size)
+    : isWeight_(is_weight), groupSize_(group_size),
+      subgroupSize_(subgroup_size)
+{
+    m2x_assert(subgroup_size >= 1 && subgroup_size <= group_size,
+               "bad subgroup size");
+}
+
+void
+M2Nvfp4Quantizer::calibrate(std::span<const float> full)
+{
+    float amax = absMax(full);
+    tensorScale_ = amax > 0.0f ? amax / (448.0f * 6.0f) : 1.0f;
+}
+
+double
+M2Nvfp4Quantizer::quantizeWithScale(std::span<const float> in,
+                                    std::span<float> out, float s) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+
+    double total_err = 0.0;
+    for (size_t base = 0; base < in.size(); base += subgroupSize_) {
+        size_t len = std::min<size_t>(subgroupSize_, in.size() - base);
+        std::span<const float> sub = in.subspan(base, len);
+        std::span<float> sub_out = out.subspan(base, len);
+
+        if (isWeight_) {
+            // Sg-EM: 2-bit multiplier refining the block scale.
+            double best_err = -1.0;
+            for (unsigned m = 0; m < 4; ++m) {
+                float ss = s * (1.0f + static_cast<float>(m) / 4.0f);
+                float inv = 1.0f / ss;
+                double err = 0.0;
+                float vals[64];
+                for (size_t i = 0; i < len; ++i) {
+                    vals[i] = fp4.quantize(sub[i] * inv) * ss;
+                    double d = static_cast<double>(vals[i]) - sub[i];
+                    err += d * d;
+                }
+                if (best_err < 0.0 || err < best_err) {
+                    best_err = err;
+                    std::copy(vals, vals + len, sub_out.begin());
+                }
+            }
+            total_err += best_err;
+        } else {
+            // Elem-EM-top1 under the NVFP4 scale: FP4 everywhere,
+            // subgroup max re-rounded to FP6 via the bias-clamp
+            // metadata encoding.
+            float inv = 1.0f / s;
+            uint8_t codes[64];
+            for (size_t i = 0; i < len; ++i) {
+                codes[i] = static_cast<uint8_t>(
+                    fp4.encode(sub[i] * inv));
+                sub_out[i] = fp4.decode(codes[i]) * s;
+            }
+            size_t idx = ElemEmQuantizer::top1Index({codes, len});
+            uint32_t mag4 = codes[idx] & 0x7u;
+            uint32_t mag6 =
+                fp6.encode(std::fabs(sub[idx]) * inv) & 0x1fu;
+            uint8_t meta = ElemEmQuantizer::encodeMeta(mag6, mag4);
+            uint32_t dec6 = ElemEmQuantizer::decodeFp6Mag(mag4, meta);
+            float mag = fp6.decode(dec6);
+            bool neg = (codes[idx] >> 3) & 1u;
+            sub_out[idx] = (neg ? -mag : mag) * s;
+            for (size_t i = 0; i < len; ++i) {
+                double d = static_cast<double>(sub_out[i]) - sub[i];
+                total_err += d * d;
+            }
+        }
+    }
+    return total_err;
+}
+
+void
+M2Nvfp4Quantizer::quantizeGroup(std::span<const float> in,
+                                std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    m2x_assert(subgroupSize_ <= 64, "subgroup too large");
+    const Minifloat &fp8 = Minifloat::fp8e4m3();
+
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    float want = amax / (6.0f * tensorScale_);
+    uint32_t code0 = fp8.encode(want);
+    if (fp8.decode(code0) <= 0.0f)
+        code0 = fp8.encode(fp8.minSubnormal());
+
+    if (!isWeight_) {
+        float s = fp8.decode(code0) * tensorScale_;
+        quantizeWithScale(in, out, s);
+        return;
+    }
+
+    // Adaptive block scale for weights: try the FP8 code and its
+    // neighbours (the NVFP4 analogue of the E8M0 exponent bias).
+    std::vector<float> tmp(in.size());
+    double best_err = -1.0;
+    uint32_t mag_mask = (1u << 8) - 1; // fp8 code space (sign incl.)
+    (void)mag_mask;
+    for (int d = -1; d <= 1; ++d) {
+        int64_t c = static_cast<int64_t>(code0) + d;
+        if (c < 0)
+            continue;
+        float block = fp8.decode(static_cast<uint32_t>(c));
+        if (!(block > 0.0f) || std::isnan(block) || std::isinf(block))
+            continue;
+        float s = block * tensorScale_;
+        double err = quantizeWithScale(in, tmp, s);
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            std::copy(tmp.begin(), tmp.end(), out.begin());
+        }
+    }
+    m2x_assert(best_err >= 0.0, "no valid NVFP4 block scale found");
+}
+
+BitBudget
+M2Nvfp4Quantizer::bitBudget() const
+{
+    unsigned n_sub = (groupSize_ + subgroupSize_ - 1) / subgroupSize_;
+    return {4.0, 8.0, 2.0 * n_sub, groupSize_};
+}
+
+std::string
+M2Nvfp4Quantizer::name() const
+{
+    return std::string("M2-NVFP4-") + (isWeight_ ? "W" : "A") + "-g" +
+           std::to_string(groupSize_) + "/sg" +
+           std::to_string(subgroupSize_);
+}
+
+} // namespace m2x

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * M2-NVFP4 (Tbl. 6): the paper's metadata augmentation applied on top
+ * of NVFP4. The block scale stays NVFP4's FP8(E4M3) x FP32 tensor
+ * scale (group 16); metadata is added per 4-element subgroup:
+ *   - activations: Elem-EM-top1 (2-bit extra mantissa on the subgroup
+ *     max, bias-clamp encoded),
+ *   - weights: Sg-EM-2bit multiplier with an adaptive block-scale
+ *     search over neighbouring FP8 codes.
+ * With group 16 and subgroup 4 the metadata adds 8 bits per group,
+ * raising the effective width from 4.5 to 5 bits — the overhead the
+ * paper calls out.
+ */
+
+#ifndef M2X_CORE_M2_NVFP4_HH__
+#define M2X_CORE_M2_NVFP4_HH__
+
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+
+namespace m2x {
+
+/** NVFP4 + M2XFP metadata. One instance per tensor role. */
+class M2Nvfp4Quantizer : public GroupQuantizer
+{
+  public:
+    /**
+     * @param is_weight  weights use Sg-EM + adaptive FP8 scale;
+     *                   activations use Elem-EM-top1 (fixed scale)
+     * @param group_size NVFP4 block size (16)
+     * @param subgroup_size metadata granule (4)
+     */
+    explicit M2Nvfp4Quantizer(bool is_weight, unsigned group_size = 16,
+                              unsigned subgroup_size = 4);
+
+    void calibrate(std::span<const float> full) override;
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+  private:
+    bool isWeight_;
+    unsigned groupSize_;
+    unsigned subgroupSize_;
+    float tensorScale_ = 1.0f;
+
+    /** Quantize with a given block scale; returns the group SSE. */
+    double quantizeWithScale(std::span<const float> in,
+                             std::span<float> out, float s) const;
+};
+
+} // namespace m2x
+
+#endif // M2X_CORE_M2_NVFP4_HH__

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * M2XFP — the paper's production format (§4.3): a hybrid that applies
+ *   - Elem-EM-top1 (fixed shared scale) to dynamic activations, and
+ *   - Sg-EM-2bit with adaptive shared scale to static weights,
+ * both at group size 32 / subgroup size 8 over FP4 E2M1 elements with
+ * an E8M0 shared scale. Effective precision: 4.5 bits per element
+ * (4 + 8/32 scale + 8/32 metadata).
+ *
+ * This header is the library's front door: it bundles the two codecs
+ * with their paper-default configurations.
+ */
+
+#ifndef M2X_CORE_M2XFP_HH__
+#define M2X_CORE_M2XFP_HH__
+
+#include <memory>
+
+#include "core/elem_em.hh"
+#include "core/sg_em.hh"
+
+namespace m2x {
+
+/** Paper-default configuration knobs for the hybrid format. */
+struct M2xfpConfig
+{
+    unsigned groupSize = 32;
+    unsigned subgroupSize = 8;
+    ScaleRule rule = ScaleRule::Floor;
+
+    /** Activation codec: Elem-EM-top1, fixed shared scale. */
+    ElemEmConfig
+    activationConfig() const
+    {
+        ElemEmConfig c;
+        c.groupSize = groupSize;
+        c.subgroupSize = subgroupSize;
+        c.topK = 1;
+        c.rule = rule;
+        c.adaptiveScale = false;
+        c.clampBias = true;
+        return c;
+    }
+
+    /** Weight codec: Sg-EM-2bit, adaptive shared scale. */
+    SgEmConfig
+    weightConfig() const
+    {
+        SgEmConfig c;
+        c.groupSize = groupSize;
+        c.subgroupSize = subgroupSize;
+        c.metaBits = 2;
+        c.extraExponent = false;
+        c.rule = rule;
+        c.adaptiveScale = true;
+        return c;
+    }
+};
+
+/** The paper-default activation quantizer (Elem-EM-top1). */
+inline ElemEmQuantizer
+makeM2xfpActivationQuantizer(const M2xfpConfig &cfg = {})
+{
+    return ElemEmQuantizer(cfg.activationConfig());
+}
+
+/** The paper-default weight quantizer (Sg-EM-2bit adaptive). */
+inline SgEmQuantizer
+makeM2xfpWeightQuantizer(const M2xfpConfig &cfg = {})
+{
+    return SgEmQuantizer(cfg.weightConfig());
+}
+
+} // namespace m2x
+
+#endif // M2X_CORE_M2XFP_HH__

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bit-level packed memory layout for M2XFP tensors (§5.2).
+ *
+ * Each group of 32 elements occupies three fixed-length fields kept
+ * in three separate contiguous streams (alignment-friendly, no
+ * fragmentation vs baseline MXFP):
+ *   - 128-bit block of packed 4-bit element codes (16 bytes),
+ *   - one 8-bit E8M0 shared scale,
+ *   - one 8-bit metadata byte (4 subgroups x 2 bits; subgroup 0 in
+ *     the low bits).
+ * The same layout serves both roles: for activations the metadata
+ * bits are the Elem-EM extra mantissas, for weights they are the
+ * Sg-EM subgroup-scale multipliers.
+ */
+
+#ifndef M2X_CORE_M2XFP_PACKED_HH__
+#define M2X_CORE_M2XFP_PACKED_HH__
+
+#include <cstdint>
+#include <vector>
+
+#include "core/elem_em.hh"
+#include "core/sg_em.hh"
+#include "quant/matrix.hh"
+
+namespace m2x {
+
+/** A matrix packed into the three M2XFP byte streams. */
+class PackedM2xfpTensor
+{
+  public:
+    static constexpr unsigned groupSize = 32;
+    static constexpr unsigned subgroupSize = 8;
+    static constexpr unsigned bytesPerGroupElems = 16;
+
+    /** Pack a row-major matrix as activations (Elem-EM-top1). */
+    static PackedM2xfpTensor packActivations(const Matrix &m,
+                                             const ElemEmQuantizer &q);
+
+    /** Pack a row-major matrix as weights (Sg-EM-2bit adaptive). */
+    static PackedM2xfpTensor packWeights(const Matrix &m,
+                                         const SgEmQuantizer &q);
+
+    /** Reconstruct the dequantized matrix (activation layout). */
+    Matrix unpackActivations(const ElemEmQuantizer &q) const;
+
+    /** Reconstruct the dequantized matrix (weight layout). */
+    Matrix unpackWeights(const SgEmQuantizer &q) const;
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** @{ Raw streams (exposed for the memory-traffic model). */
+    const std::vector<uint8_t> &elementStream() const
+    {
+        return elements_;
+    }
+    const std::vector<uint8_t> &scaleStream() const { return scales_; }
+    const std::vector<uint8_t> &metadataStream() const { return meta_; }
+    /** @} */
+
+    /** Total packed bytes across all three streams. */
+    size_t totalBytes() const
+    {
+        return elements_.size() + scales_.size() + meta_.size();
+    }
+
+    /** Effective bits per (unpadded) element. */
+    double bitsPerElement() const;
+
+    /** Fetch the 4-bit code of element (r, c). */
+    uint8_t elementCode(size_t r, size_t c) const;
+
+    /** Fetch the 2-bit metadata of (row, group, subgroup). */
+    uint8_t subgroupMeta(size_t r, size_t group, size_t sub) const;
+
+    /** Fetch the E8M0 scale code of (row, group). */
+    uint8_t scaleCode(size_t r, size_t group) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t groupsPerRow_ = 0;
+    std::vector<uint8_t> elements_;
+    std::vector<uint8_t> scales_;
+    std::vector<uint8_t> meta_;
+
+    void setElementCode(size_t r, size_t c, uint8_t code);
+    void reserveShape(size_t rows, size_t cols);
+};
+
+} // namespace m2x
+
+#endif // M2X_CORE_M2XFP_PACKED_HH__

@@ -1,0 +1,174 @@
+#include "core/sg_em.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+SgEmQuantizer::SgEmQuantizer(SgEmConfig cfg) : cfg_(cfg)
+{
+    m2x_assert(cfg_.groupSize >= 1, "group size must be positive");
+    m2x_assert(cfg_.subgroupSize >= 1 &&
+               cfg_.subgroupSize <= cfg_.groupSize,
+               "bad subgroup size %u for group %u", cfg_.subgroupSize,
+               cfg_.groupSize);
+    m2x_assert(cfg_.metaBits >= 1 && cfg_.metaBits <= 4,
+               "bad metadata width %u", cfg_.metaBits);
+}
+
+SgEmQuantizer
+SgEmQuantizer::paperWeights()
+{
+    return SgEmQuantizer(SgEmConfig{});
+}
+
+float
+SgEmQuantizer::subgroupScale(ScaleE8m0 s, uint8_t m) const
+{
+    if (cfg_.extraExponent) {
+        // Sg-EE: the subgroup shifts down by m binades (the group
+        // scale already covers the block maximum, so offsets only
+        // ever need to shrink).
+        return s.value() * std::exp2(-static_cast<float>(m));
+    }
+    float frac = static_cast<float>(m) /
+                 std::exp2(static_cast<float>(cfg_.metaBits));
+    return s.value() * (1.0f + frac);
+}
+
+double
+SgEmQuantizer::quantizeSubgroup(std::span<const float> in, float scale,
+                                std::vector<uint8_t> &codes) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    float inv = 1.0f / scale;
+    double err = 0.0;
+    codes.resize(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        uint32_t c = fp4.encode(in[i] * inv);
+        codes[i] = static_cast<uint8_t>(c);
+        double v = static_cast<double>(fp4.decode(c)) * scale;
+        double d = v - in[i];
+        err += d * d;
+    }
+    return err;
+}
+
+double
+SgEmQuantizer::encodeWithScale(std::span<const float> in, ScaleE8m0 s,
+                               SgEmGroup &g) const
+{
+    g.scale = s;
+    g.fp4Codes.assign(in.size(), 0);
+    g.sgMeta.clear();
+
+    unsigned n_codes = 1u << cfg_.metaBits;
+    size_t sg = cfg_.subgroupSize;
+    double total_err = 0.0;
+    std::vector<uint8_t> codes, best_codes;
+    for (size_t base = 0; base < in.size(); base += sg) {
+        size_t len = std::min(sg, in.size() - base);
+        std::span<const float> sub = in.subspan(base, len);
+
+        double best_err = -1.0;
+        uint8_t best_m = 0;
+        for (unsigned m = 0; m < n_codes; ++m) {
+            float scale = subgroupScale(s, static_cast<uint8_t>(m));
+            double err = quantizeSubgroup(sub, scale, codes);
+            if (best_err < 0.0 || err < best_err) {
+                best_err = err;
+                best_m = static_cast<uint8_t>(m);
+                best_codes = codes;
+            }
+        }
+        std::copy(best_codes.begin(), best_codes.end(),
+                  g.fp4Codes.begin() + base);
+        g.sgMeta.push_back(best_m);
+        total_err += best_err;
+    }
+    return total_err;
+}
+
+SgEmGroup
+SgEmQuantizer::encodeGroup(std::span<const float> in) const
+{
+    m2x_assert(in.size() <= cfg_.groupSize,
+               "group of %zu exceeds configured size %u", in.size(),
+               cfg_.groupSize);
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    ScaleE8m0 s0 = computeSharedScale(absMax(in), fp4, cfg_.rule);
+
+    SgEmGroup best;
+    if (!cfg_.adaptiveScale) {
+        encodeWithScale(in, s0, best);
+        return best;
+    }
+
+    // Eq. 4: hierarchical MSE minimization — per-subgroup k* given
+    // each bias b, then the best group-level b. The winning bias is
+    // absorbed into the stored scale.
+    double best_err = -1.0;
+    for (int b = -1; b <= 1; ++b) {
+        SgEmGroup g;
+        double err = encodeWithScale(in, s0.shifted(b), g);
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            best = std::move(g);
+        }
+    }
+    return best;
+}
+
+void
+SgEmQuantizer::decodeGroup(const SgEmGroup &g,
+                           std::span<float> out) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    m2x_assert(out.size() == g.fp4Codes.size(),
+               "decode size mismatch: %zu vs %zu", out.size(),
+               g.fp4Codes.size());
+    size_t sg = cfg_.subgroupSize;
+    size_t sg_index = 0;
+    for (size_t base = 0; base < out.size(); base += sg, ++sg_index) {
+        size_t len = std::min(sg, out.size() - base);
+        m2x_assert(sg_index < g.sgMeta.size(), "subgroup meta missing");
+        float scale = subgroupScale(g.scale, g.sgMeta[sg_index]);
+        for (size_t i = 0; i < len; ++i)
+            out[base + i] = fp4.decode(g.fp4Codes[base + i]) * scale;
+    }
+}
+
+void
+SgEmQuantizer::quantizeGroup(std::span<const float> in,
+                             std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    SgEmGroup g = encodeGroup(in);
+    decodeGroup(g, out);
+}
+
+BitBudget
+SgEmQuantizer::bitBudget() const
+{
+    unsigned n_sub = (cfg_.groupSize + cfg_.subgroupSize - 1) /
+                     cfg_.subgroupSize;
+    return {4.0, 8.0, static_cast<double>(cfg_.metaBits) * n_sub,
+            cfg_.groupSize};
+}
+
+std::string
+SgEmQuantizer::name() const
+{
+    std::string n = cfg_.extraExponent ? "SgEE" : "SgEM";
+    n += "-" + std::to_string(cfg_.metaBits) + "b-g" +
+         std::to_string(cfg_.groupSize) + "/sg" +
+         std::to_string(cfg_.subgroupSize);
+    if (cfg_.adaptiveScale)
+        n += "-adaptive";
+    return n;
+}
+
+} // namespace m2x

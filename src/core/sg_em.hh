@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sg-EM: subgroup-level extra-mantissa quantization for weights
+ * (§4.4.2, Eq. 3/4 of the M2XFP paper).
+ *
+ * Each subgroup of a group refines the shared power-of-two scale
+ * S = 2^E by a stored multiplier (1 + k/4), k in {0..3} (2 metadata
+ * bits). With the adaptive shared scale enabled, a group-level
+ * exponent bias b in {-1, 0, +1} — absorbed into the stored E8M0
+ * code, so storage-free — is chosen jointly with the per-subgroup k
+ * by hierarchical MSE minimization: first the best k per subgroup
+ * given b, then the best b over the summed subgroup errors.
+ *
+ * A generalized n-bit multiplier grid {1 + j/2^n} and a subgroup
+ * extra-*exponent* variant (Sg-EE, offsets {0, -1, ...}) are provided
+ * for the Fig. 6/7 design-space exploration.
+ */
+
+#ifndef M2X_CORE_SG_EM_HH__
+#define M2X_CORE_SG_EM_HH__
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/e8m0.hh"
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+#include "quant/scale_rules.hh"
+
+namespace m2x {
+
+/** Bit-level encoding of one Sg-EM group. */
+struct SgEmGroup
+{
+    ScaleE8m0 scale;               //!< stored scale (bias absorbed)
+    std::vector<uint8_t> fp4Codes; //!< one 4-bit code per element
+    std::vector<uint8_t> sgMeta;   //!< n-bit multiplier code per subgroup
+};
+
+/** Configuration for Sg-EM / Sg-EE. */
+struct SgEmConfig
+{
+    unsigned groupSize = 32;
+    unsigned subgroupSize = 8;
+    unsigned metaBits = 2;       //!< multiplier / offset bits
+    bool extraExponent = false;  //!< false: Sg-EM, true: Sg-EE
+    ScaleRule rule = ScaleRule::Floor;
+    bool adaptiveScale = true;   //!< paper's weight config
+};
+
+/** The Sg-EM / Sg-EE codec. */
+class SgEmQuantizer : public GroupQuantizer
+{
+  public:
+    explicit SgEmQuantizer(SgEmConfig cfg = {});
+
+    /** Encode one group (in.size() <= groupSize). */
+    SgEmGroup encodeGroup(std::span<const float> in) const;
+
+    /** Decode an encoding back to values. */
+    void decodeGroup(const SgEmGroup &g, std::span<float> out) const;
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return cfg_.groupSize; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    const SgEmConfig &config() const { return cfg_; }
+
+    /**
+     * The effective subgroup scale for metadata code @p m under
+     * stored scale @p s: Sg-EM gives s * (1 + m/2^metaBits); Sg-EE
+     * gives s * 2^-m.
+     */
+    float subgroupScale(ScaleE8m0 s, uint8_t m) const;
+
+    /** Paper's weight format: Sg-EM-2bit, g32/sg8, adaptive. */
+    static SgEmQuantizer paperWeights();
+
+  private:
+    SgEmConfig cfg_;
+
+    /** Quantize one subgroup under a fixed total scale; returns SSE. */
+    double quantizeSubgroup(std::span<const float> in, float scale,
+                            std::vector<uint8_t> &codes) const;
+
+    /** Encode with a specific shared scale; returns total SSE. */
+    double encodeWithScale(std::span<const float> in, ScaleE8m0 s,
+                           SgEmGroup &g) const;
+};
+
+} // namespace m2x
+
+#endif // M2X_CORE_SG_EM_HH__

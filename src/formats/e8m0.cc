@@ -1,0 +1,39 @@
+#include "formats/e8m0.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+ScaleE8m0
+ScaleE8m0::fromExponent(int e)
+{
+    ScaleE8m0 s;
+    s.exp_ = std::clamp(e, minExp, maxExp);
+    return s;
+}
+
+ScaleE8m0
+ScaleE8m0::fromCode(uint8_t code)
+{
+    m2x_assert(code != 255, "E8M0 code 255 is NaN");
+    ScaleE8m0 s;
+    s.exp_ = static_cast<int>(code) - bias;
+    return s;
+}
+
+float
+ScaleE8m0::value() const
+{
+    return std::exp2(static_cast<float>(exp_));
+}
+
+float
+ScaleE8m0::inverse() const
+{
+    return std::exp2(static_cast<float>(-exp_));
+}
+
+} // namespace m2x

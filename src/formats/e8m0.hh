@@ -1,0 +1,54 @@
+/**
+ * @file
+ * E8M0 shared-scale type: the OCP MX power-of-two scale.
+ *
+ * An E8M0 code is an 8-bit biased exponent (bias 127, code 255 = NaN),
+ * representing exactly 2^e for e in [-127, 127]. MX formats store one
+ * E8M0 scale per block; M2XFP additionally absorbs its adaptive
+ * exponent bias (b in {-1, 0, +1}) into this stored code.
+ */
+
+#ifndef M2X_FORMATS_E8M0_HH__
+#define M2X_FORMATS_E8M0_HH__
+
+#include <cstdint>
+
+namespace m2x {
+
+/** A power-of-two scale, stored as its integer exponent. */
+class ScaleE8m0
+{
+  public:
+    static constexpr int minExp = -127;
+    static constexpr int maxExp = 127;
+    static constexpr int bias = 127;
+
+    ScaleE8m0() : exp_(0) {}
+
+    /** Construct from an integer exponent, clamped to the E8M0 range. */
+    static ScaleE8m0 fromExponent(int e);
+
+    /** Decode an 8-bit code (biased exponent). Code 255 is invalid. */
+    static ScaleE8m0 fromCode(uint8_t code);
+
+    /** The represented scale value 2^exp as a float. */
+    float value() const;
+
+    /** 1 / value(), exact for the representable range. */
+    float inverse() const;
+
+    int exponent() const { return exp_; }
+    uint8_t code() const { return static_cast<uint8_t>(exp_ + bias); }
+
+    /** Shift the exponent by @p d, saturating at the range limits. */
+    ScaleE8m0 shifted(int d) const { return fromExponent(exp_ + d); }
+
+    bool operator==(const ScaleE8m0 &o) const { return exp_ == o.exp_; }
+
+  private:
+    int exp_;
+};
+
+} // namespace m2x
+
+#endif // M2X_FORMATS_E8M0_HH__

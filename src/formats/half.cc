@@ -1,0 +1,110 @@
+#include "formats/half.hh"
+
+#include <cstring>
+
+namespace m2x {
+
+namespace {
+
+uint32_t
+floatBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsToFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // anonymous namespace
+
+uint16_t
+floatToHalfBits(float f)
+{
+    uint32_t x = floatBits(f);
+    uint32_t sign = (x >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((x >> 23) & 0xff) - 127 + 15;
+    uint32_t mant = x & 0x7fffffu;
+
+    if (((x >> 23) & 0xff) == 0xff) {
+        // Inf / NaN
+        return static_cast<uint16_t>(sign | 0x7c00u |
+                                     (mant ? 0x200u | (mant >> 13) : 0));
+    }
+    if (exp >= 0x1f) {
+        // Overflow -> Inf
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+    if (exp <= 0) {
+        // Subnormal half or zero.
+        if (exp < -10)
+            return static_cast<uint16_t>(sign);
+        mant |= 0x800000u; // implicit bit
+        uint32_t shift = static_cast<uint32_t>(14 - exp);
+        uint32_t half_mant = mant >> shift;
+        uint32_t rem = mant & ((1u << shift) - 1);
+        uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            ++half_mant;
+        return static_cast<uint16_t>(sign | half_mant);
+    }
+    // Normal: round mantissa from 23 to 10 bits (RNE).
+    uint32_t half_mant = mant >> 13;
+    uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1)))
+        ++half_mant;
+    // Mantissa carry may overflow into the exponent; addition handles
+    // that correctly (RNE overflow rounds up to the next binade).
+    uint32_t out = sign + (static_cast<uint32_t>(exp) << 10) + half_mant;
+    return static_cast<uint16_t>(out);
+}
+
+float
+halfBitsToFloat(uint16_t h)
+{
+    uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+    uint32_t exp = (h >> 10) & 0x1fu;
+    uint32_t mant = h & 0x3ffu;
+
+    if (exp == 0x1f)
+        return bitsToFloat(sign | 0x7f800000u | (mant << 13));
+    if (exp == 0) {
+        if (mant == 0)
+            return bitsToFloat(sign);
+        // Normalize the subnormal.
+        int shift = 0;
+        while (!(mant & 0x400u)) {
+            mant <<= 1;
+            ++shift;
+        }
+        mant &= 0x3ffu;
+        uint32_t e = static_cast<uint32_t>(127 - 15 - shift + 1);
+        return bitsToFloat(sign | (e << 23) | (mant << 13));
+    }
+    return bitsToFloat(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+uint16_t
+floatToBf16Bits(float f)
+{
+    uint32_t x = floatBits(f);
+    if (((x >> 23) & 0xff) == 0xff && (x & 0x7fffffu))
+        return static_cast<uint16_t>((x >> 16) | 0x40u); // quiet NaN
+    uint32_t lsb = (x >> 16) & 1u;
+    uint32_t rounding = 0x7fffu + lsb;
+    return static_cast<uint16_t>((x + rounding) >> 16);
+}
+
+float
+bf16BitsToFloat(uint16_t b)
+{
+    return bitsToFloat(static_cast<uint32_t>(b) << 16);
+}
+
+} // namespace m2x

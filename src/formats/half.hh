@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Software IEEE binary16 (FP16) and bfloat16 conversions.
+ *
+ * The paper's baselines use FP16 group scales (pre-MX group-wise
+ * quantization, Fig. 4) and the "FP16" reference rows. We implement
+ * the conversions in portable integer arithmetic with RNE so results
+ * do not depend on the host's F16C support.
+ */
+
+#ifndef M2X_FORMATS_HALF_HH__
+#define M2X_FORMATS_HALF_HH__
+
+#include <cstdint>
+
+namespace m2x {
+
+/** Convert float -> IEEE binary16 bits, round-to-nearest-even. */
+uint16_t floatToHalfBits(float f);
+
+/** Convert IEEE binary16 bits -> float (exact). */
+float halfBitsToFloat(uint16_t h);
+
+/** Quantize a float onto the FP16 grid. */
+inline float
+quantizeToHalf(float f)
+{
+    return halfBitsToFloat(floatToHalfBits(f));
+}
+
+/** Convert float -> bfloat16 bits, round-to-nearest-even. */
+uint16_t floatToBf16Bits(float f);
+
+/** Convert bfloat16 bits -> float (exact). */
+float bf16BitsToFloat(uint16_t b);
+
+/** Quantize a float onto the BF16 grid. */
+inline float
+quantizeToBf16(float f)
+{
+    return bf16BitsToFloat(floatToBf16Bits(f));
+}
+
+} // namespace m2x
+
+#endif // M2X_FORMATS_HALF_HH__

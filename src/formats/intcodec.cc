@@ -1,0 +1,38 @@
+#include "formats/intcodec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+int64_t
+roundNearestEven(double x)
+{
+    double r = std::nearbyint(x); // default FE_TONEAREST is RNE
+    // nearbyint honours the dynamic rounding mode; enforce RNE
+    // explicitly for the half-integer case to stay mode-independent.
+    double diff = x - std::floor(x);
+    if (diff == 0.5) {
+        double lo = std::floor(x);
+        r = (static_cast<int64_t>(lo) % 2 == 0) ? lo : lo + 1.0;
+    }
+    return static_cast<int64_t>(r);
+}
+
+IntSym::IntSym(unsigned bits) : bits_(bits)
+{
+    m2x_assert(bits >= 2 && bits <= 16, "bad int width %u", bits);
+    maxCode_ = (1 << (bits - 1)) - 1;
+}
+
+int32_t
+IntSym::encode(float x) const
+{
+    int64_t r = roundNearestEven(static_cast<double>(x));
+    return static_cast<int32_t>(
+        std::clamp<int64_t>(r, -maxCode_, maxCode_));
+}
+
+} // namespace m2x

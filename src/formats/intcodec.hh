@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Symmetric integer codecs used by the INT-based baselines (MXINT8,
+ * SMX's INT3 mantissas, QuaRot/DuQuant INT4).
+ */
+
+#ifndef M2X_FORMATS_INTCODEC_HH__
+#define M2X_FORMATS_INTCODEC_HH__
+
+#include <cstdint>
+
+namespace m2x {
+
+/**
+ * Symmetric signed integer grid with @p bits total bits: codes in
+ * [-(2^(bits-1) - 1), 2^(bits-1) - 1] (the most negative code is
+ * unused so the grid is symmetric, the common convention in
+ * quantization papers).
+ */
+class IntSym
+{
+  public:
+    explicit IntSym(unsigned bits);
+
+    /** Round-to-nearest-even onto the integer grid, then clamp. */
+    int32_t encode(float x) const;
+
+    /** The integer code interpreted as a float. */
+    float decode(int32_t code) const { return static_cast<float>(code); }
+
+    /** encode + decode. */
+    float quantize(float x) const { return decode(encode(x)); }
+
+    int32_t maxCode() const { return maxCode_; }
+    unsigned bits() const { return bits_; }
+
+  private:
+    unsigned bits_;
+    int32_t maxCode_;
+};
+
+/** Round-half-to-even of a float to the nearest integer. */
+int64_t roundNearestEven(double x);
+
+} // namespace m2x
+
+#endif // M2X_FORMATS_INTCODEC_HH__

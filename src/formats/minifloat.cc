@@ -1,0 +1,173 @@
+#include "formats/minifloat.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+Minifloat::Minifloat(unsigned exp_bits, unsigned mant_bits, int bias,
+                     Special special, std::string name)
+    : expBits_(exp_bits), mantBits_(mant_bits), bias_(bias),
+      special_(special), name_(std::move(name))
+{
+    m2x_assert(exp_bits >= 1 && exp_bits <= 8, "bad exp bits %u",
+               exp_bits);
+    m2x_assert(mant_bits <= 10, "bad mant bits %u", mant_bits);
+
+    uint32_t mag_codes = 1u << (expBits_ + mantBits_);
+    posValues_.resize(mag_codes);
+    for (uint32_t m = 0; m < mag_codes; ++m)
+        posValues_[m] = decodeMagnitude(m);
+
+    // Largest finite magnitude.
+    for (uint32_t m = mag_codes; m-- > 0;) {
+        if (std::isfinite(posValues_[m]) && !std::isnan(posValues_[m])) {
+            maxValue_ = posValues_[m];
+            break;
+        }
+    }
+    // Largest representable power of two <= maxValue_.
+    maxPow2_ = std::exp2(std::floor(std::log2(maxValue_)));
+    minSub_ = posValues_[1];
+}
+
+float
+Minifloat::decodeMagnitude(uint32_t mag) const
+{
+    uint32_t e = mag >> mantBits_;
+    uint32_t m = mag & ((1u << mantBits_) - 1);
+    uint32_t emax = (1u << expBits_) - 1;
+
+    if (special_ == Special::InfNan && e == emax) {
+        return m == 0 ? std::numeric_limits<float>::infinity()
+                      : std::numeric_limits<float>::quiet_NaN();
+    }
+    if (special_ == Special::NanOnly && e == emax &&
+        m == (1u << mantBits_) - 1) {
+        return std::numeric_limits<float>::quiet_NaN();
+    }
+
+    float mant_scale = std::exp2(-static_cast<float>(mantBits_));
+    if (e == 0) {
+        // Subnormal: 0.m * 2^(1 - bias)
+        return std::exp2(static_cast<float>(1 - bias_)) *
+               (static_cast<float>(m) * mant_scale);
+    }
+    return std::exp2(static_cast<float>(static_cast<int>(e) - bias_)) *
+           (1.0f + static_cast<float>(m) * mant_scale);
+}
+
+float
+Minifloat::decode(uint32_t code) const
+{
+    uint32_t mag_bits = expBits_ + mantBits_;
+    uint32_t mag = code & ((1u << mag_bits) - 1);
+    uint32_t sign = (code >> mag_bits) & 1u;
+    float v = posValues_[mag];
+    return sign ? -v : v;
+}
+
+uint32_t
+Minifloat::magnitudeCode(float x) const
+{
+    uint32_t mag_bits = expBits_ + mantBits_;
+    return encode(x) & ((1u << mag_bits) - 1);
+}
+
+uint32_t
+Minifloat::encode(float x) const
+{
+    uint32_t mag_bits = expBits_ + mantBits_;
+    uint32_t sign = std::signbit(x) ? 1u : 0u;
+    float a = std::fabs(x);
+    if (std::isnan(x)) {
+        sign = 0;
+        a = maxValue_;
+    }
+    if (a >= maxValue_) {
+        // Saturate: find the code of maxValue_ (last finite).
+        uint32_t best = 0;
+        for (uint32_t m = 0; m < posValues_.size(); ++m)
+            if (posValues_[m] == maxValue_)
+                best = m;
+        return (sign << mag_bits) | best;
+    }
+
+    // Binary search over the finite prefix of the value table. Codes
+    // whose value is non-finite (Inf/NaN region) sit at the top and
+    // are already excluded by the saturation test above.
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(posValues_.size()) - 1;
+    while (!std::isfinite(posValues_[hi]) || std::isnan(posValues_[hi]))
+        --hi;
+    // Find largest code with value <= a.
+    while (lo < hi) {
+        uint32_t mid = (lo + hi + 1) / 2;
+        if (posValues_[mid] <= a)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    uint32_t below = lo;
+    uint32_t above = below;
+    if (below + 1 < posValues_.size() &&
+        std::isfinite(posValues_[below + 1]) &&
+        !std::isnan(posValues_[below + 1]))
+        above = below + 1;
+
+    uint32_t best;
+    if (above == below) {
+        best = below;
+    } else {
+        float dlo = a - posValues_[below];
+        float dhi = posValues_[above] - a;
+        if (dlo < dhi) {
+            best = below;
+        } else if (dhi < dlo) {
+            best = above;
+        } else {
+            // Tie: round to even code (mantissa LSB == 0).
+            best = (below & 1u) == 0 ? below : above;
+        }
+    }
+    return (sign << mag_bits) | best;
+}
+
+const Minifloat &
+Minifloat::fp4e2m1()
+{
+    static const Minifloat f(2, 1, 1, Special::None, "fp4_e2m1");
+    return f;
+}
+
+const Minifloat &
+Minifloat::fp6e2m3()
+{
+    static const Minifloat f(2, 3, 1, Special::None, "fp6_e2m3");
+    return f;
+}
+
+const Minifloat &
+Minifloat::fp6e3m2()
+{
+    static const Minifloat f(3, 2, 3, Special::None, "fp6_e3m2");
+    return f;
+}
+
+const Minifloat &
+Minifloat::fp8e4m3()
+{
+    static const Minifloat f(4, 3, 7, Special::NanOnly, "fp8_e4m3");
+    return f;
+}
+
+const Minifloat &
+Minifloat::fp8e5m2()
+{
+    static const Minifloat f(5, 2, 15, Special::InfNan, "fp8_e5m2");
+    return f;
+}
+
+} // namespace m2x

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Generic parameterized minifloat codec.
+ *
+ * All of the narrow element types used by MX-family formats (FP4 E2M1,
+ * FP6 E2M3/E3M2, FP8 E4M3/E5M2) are sign + exponent + mantissa codes
+ * with subnormals. This class decodes/encodes any such layout with
+ * round-to-nearest-even and saturation to the largest finite value,
+ * which is the quantization convention used by the OCP MX spec and by
+ * the M2XFP paper.
+ *
+ * Encoding is implemented against a precomputed table of all positive
+ * representable values (at most 2^(E+M) entries), which makes the RNE
+ * semantics — including tie-to-even-code behaviour — self-evidently
+ * correct and cheap to test exhaustively.
+ */
+
+#ifndef M2X_FORMATS_MINIFLOAT_HH__
+#define M2X_FORMATS_MINIFLOAT_HH__
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m2x {
+
+/**
+ * A concrete minifloat layout: 1 sign bit, expBits exponent bits,
+ * mantBits mantissa bits.
+ */
+class Minifloat
+{
+  public:
+    /** How the top exponent codes are interpreted. */
+    enum class Special
+    {
+        None,    //!< every code is finite (FP4/FP6 per OCP)
+        NanOnly, //!< exp=max, mant=max is NaN; rest finite (FP8 E4M3)
+        InfNan,  //!< exp=max is Inf (mant=0) / NaN (IEEE, FP8 E5M2)
+    };
+
+    Minifloat(unsigned exp_bits, unsigned mant_bits, int bias,
+              Special special, std::string name);
+
+    /** Decode an integer code (low bits() bits used). NaN -> quiet NaN. */
+    float decode(uint32_t code) const;
+
+    /**
+     * Encode with round-to-nearest-even, saturating at the largest
+     * finite magnitude. NaN inputs map to +max (quantizers never emit
+     * NaN). Signed zero is preserved in the sign bit.
+     */
+    uint32_t encode(float x) const;
+
+    /** decode(encode(x)) — quantize onto this format's grid. */
+    float quantize(float x) const { return decode(encode(x)); }
+
+    /** Total bit width including sign. */
+    unsigned bits() const { return 1 + expBits_ + mantBits_; }
+    unsigned expBits() const { return expBits_; }
+    unsigned mantBits() const { return mantBits_; }
+    int bias() const { return bias_; }
+    const std::string &name() const { return name_; }
+
+    /** Number of distinct codes (2^bits). */
+    uint32_t codeCount() const { return 1u << bits(); }
+
+    /** Largest finite magnitude — the paper's "M" (6 for FP4). */
+    float maxValue() const { return maxValue_; }
+
+    /** Largest representable power of two — the paper's "P" (4). */
+    float maxPow2() const { return maxPow2_; }
+
+    /** Smallest positive (subnormal) magnitude. */
+    float minSubnormal() const { return minSub_; }
+
+    /**
+     * Positive finite values in increasing order, one per magnitude
+     * code (exposed for exhaustive tests and the hardware LUTs).
+     */
+    const std::vector<float> &positiveValues() const { return posValues_; }
+
+    /** The magnitude code (sign stripped) of @p x's encoding. */
+    uint32_t magnitudeCode(float x) const;
+
+    /** @{ Canonical shared instances of the formats the paper uses. */
+    static const Minifloat &fp4e2m1();
+    static const Minifloat &fp6e2m3();
+    static const Minifloat &fp6e3m2();
+    static const Minifloat &fp8e4m3();
+    static const Minifloat &fp8e5m2();
+    /** @} */
+
+  private:
+    unsigned expBits_;
+    unsigned mantBits_;
+    int bias_;
+    Special special_;
+    std::string name_;
+
+    float maxValue_ = 0.0f;
+    float maxPow2_ = 0.0f;
+    float minSub_ = 0.0f;
+    /** posValues_[magnitude code] = value; strictly nondecreasing. */
+    std::vector<float> posValues_;
+
+    float decodeMagnitude(uint32_t mag) const;
+};
+
+} // namespace m2x
+
+#endif // M2X_FORMATS_MINIFLOAT_HH__

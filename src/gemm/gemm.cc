@@ -1,0 +1,80 @@
+#include "gemm/gemm.hh"
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+Matrix
+matmulNt(const Matrix &a, const Matrix &b_nk)
+{
+    m2x_assert(a.cols() == b_nk.cols(),
+               "matmulNt K mismatch: %zu vs %zu", a.cols(),
+               b_nk.cols());
+    size_t m = a.rows(), n = b_nk.rows(), k = a.cols();
+    Matrix c(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b_nk.data() + j * k;
+            double acc = 0.0;
+            for (size_t p = 0; p < k; ++p)
+                acc += static_cast<double>(arow[p]) * brow[p];
+            crow[j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    m2x_assert(a.cols() == b.rows(), "matmul K mismatch: %zu vs %zu",
+               a.cols(), b.rows());
+    size_t m = a.rows(), n = b.cols(), k = a.cols();
+    Matrix c(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (size_t p = 0; p < k; ++p) {
+            float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + p * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+QuantizedLinear::QuantizedLinear(Matrix weight,
+                                 std::shared_ptr<GroupQuantizer> weight_q,
+                                 std::shared_ptr<GroupQuantizer> act_q)
+    : weightQ_(std::move(weight_q)), actQ_(std::move(act_q))
+{
+    setWeight(std::move(weight));
+}
+
+void
+QuantizedLinear::setWeight(Matrix weight)
+{
+    if (weightQ_)
+        weight_ = quantizeRowsGrouped(weight, *weightQ_);
+    else
+        weight_ = std::move(weight);
+}
+
+Matrix
+QuantizedLinear::forward(const Matrix &x) const
+{
+    m2x_assert(x.cols() == weight_.cols(),
+               "linear in_features mismatch: %zu vs %zu", x.cols(),
+               weight_.cols());
+    if (!actQ_)
+        return matmulNt(x, weight_);
+    Matrix xq = quantizeRowsGrouped(x, *actQ_);
+    return matmulNt(xq, weight_);
+}
+
+} // namespace m2x

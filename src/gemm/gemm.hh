@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference GEMM kernels and the quantized linear layer used by the
+ * transformer substrate. The quantized path follows the MX dataflow:
+ * operands are group-quantized along the reduction (K) dimension and
+ * the dot product accumulates dequantized group contributions — the
+ * same arithmetic the systolic PE array performs (the bit-exact
+ * datapath model lives in src/hw and is tested against this).
+ */
+
+#ifndef M2X_GEMM_GEMM_HH__
+#define M2X_GEMM_GEMM_HH__
+
+#include <memory>
+
+#include "quant/group_quantizer.hh"
+#include "quant/matrix.hh"
+
+namespace m2x {
+
+/**
+ * C[M,N] = A[M,K] * B^T, with B stored row-major as [N,K] (the usual
+ * weight layout: one output channel per row, contiguous along K).
+ */
+Matrix matmulNt(const Matrix &a, const Matrix &b_nk);
+
+/** C[M,N] = A[M,K] * B[K,N]. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/**
+ * Abstract linear operator y = f(x): the unit the transformer
+ * substrate composes. Implementations include the plain quantized
+ * linear below and the algorithm-scheme wrappers (QuaRot rotation,
+ * GPTQ-compensated weights) in src/model/algorithms.
+ */
+class LinearOp
+{
+  public:
+    virtual ~LinearOp() = default;
+
+    /** y[M, out] = op(x[M, in]) */
+    virtual Matrix forward(const Matrix &x) const = 0;
+
+    virtual size_t inFeatures() const = 0;
+    virtual size_t outFeatures() const = 0;
+};
+
+/**
+ * A linear layer y = x W^T with independently quantized operands.
+ *
+ * The weight is quantized once at construction (offline, like the
+ * paper's weight calibration); activations are quantized on every
+ * forward call (online). Either quantizer may be null for an FP
+ * reference path.
+ */
+class QuantizedLinear : public LinearOp
+{
+  public:
+    /**
+     * @param weight  [out_features, in_features]
+     * @param weight_q  offline weight quantizer (nullable)
+     * @param act_q  online activation quantizer (nullable); shared,
+     *        not owned — one instance can serve many layers
+     */
+    QuantizedLinear(Matrix weight,
+                    std::shared_ptr<GroupQuantizer> weight_q,
+                    std::shared_ptr<GroupQuantizer> act_q);
+
+    /** y[M, out] = quantize(x)[M, in] * W_q^T */
+    Matrix forward(const Matrix &x) const override;
+
+    size_t inFeatures() const override { return weight_.cols(); }
+    size_t outFeatures() const override { return weight_.rows(); }
+
+    /** The dequantized weight actually used by forward(). */
+    const Matrix &effectiveWeight() const { return weight_; }
+
+    /** Replace the weight (re-quantizing with the weight quantizer). */
+    void setWeight(Matrix weight);
+
+  private:
+    Matrix weight_; // dequantized (or original) weight
+    std::shared_ptr<GroupQuantizer> weightQ_;
+    std::shared_ptr<GroupQuantizer> actQ_;
+};
+
+} // namespace m2x
+
+#endif // M2X_GEMM_GEMM_HH__

@@ -1,0 +1,175 @@
+#include "hw/area_power.hh"
+
+namespace m2x {
+namespace hw {
+
+UnitModel::UnitModel(std::string name, std::vector<LogicBlock> blocks)
+    : name_(std::move(name)), blocks_(std::move(blocks))
+{}
+
+double
+UnitModel::areaUm2() const
+{
+    double a = 0.0;
+    for (const auto &b : blocks_)
+        a += b.areaUm2();
+    return a;
+}
+
+double
+UnitModel::powerMw() const
+{
+    double p = 0.0;
+    for (const auto &b : blocks_)
+        p += b.powerMw();
+    return p;
+}
+
+namespace {
+
+/**
+ * Shared baseline FP4 MAC datapath (present in every PE variant):
+ * eight 4x4 sign-magnitude multipliers, the 8-input adder tree, the
+ * 32-bit fixed-point accumulator, the dequantize/exponent-align
+ * stage and the operand/pipeline registers.
+ */
+std::vector<LogicBlock>
+baseFp4MacBlocks()
+{
+    return {
+        {"fp4_multipliers_x8", 360.0},
+        {"adder_tree_8to1", 320.0},
+        {"fxp32_accumulator", 640.0},
+        {"dequant_exponent_align", 780.0},
+        {"operand_pipeline_regs", 2099.2},
+    };
+}
+
+} // anonymous namespace
+
+UnitModel
+makeMxfp4PeTile()
+{
+    return {"PE tile (MXFP4)", baseFp4MacBlocks()};
+}
+
+UnitModel
+makeNvfp4PeTile()
+{
+    auto blocks = baseFp4MacBlocks();
+    // NVFP4 replaces the shift-only E8M0 dequant with an FP8 (E4M3)
+    // block-scale multiply into the accumulation path (+2.3%).
+    blocks.push_back({"fp8_scale_multiplier", 96.1});
+    return {"PE tile (NVFP4)", std::move(blocks)};
+}
+
+UnitModel
+makeM2xfpPeTile()
+{
+    auto blocks = baseFp4MacBlocks();
+    // M2XFP extensions (Fig. 11): the auxiliary extra-mantissa MAC,
+    // the shift-add subgroup scaler, and metadata routing (+4.0%).
+    blocks.push_back({"aux_extra_mantissa_mac", 78.0});
+    blocks.push_back({"subgroup_shift_add_scaler", 60.4});
+    blocks.push_back({"metadata_routing", 30.0});
+    return {"PE tile (M2XFP)", std::move(blocks)};
+}
+
+UnitModel
+makeTop1DecodeUnit()
+{
+    return {"Top-1 Decode Unit",
+            {
+                {"fp4_to_uint_lut", 24.0},
+                {"comparator_tree_3lvl", 98.0},
+                {"bias_adjust_and_packer", 47.2},
+            }};
+}
+
+UnitModel
+makeQuantizationEngine()
+{
+    return {"Quantization Engine",
+            {
+                {"max_reduce_tree_32", 682.0},
+                {"exponent_extract", 160.0},
+                {"normalize_shifters_x32", 1280.0},
+                {"fp4_threshold_nets_x32", 768.0},
+                {"fp6_threshold_nets_x32", 1152.0},
+                {"top1_encode_clamp_x4", 220.0},
+                {"pack_output_regs", 741.0},
+            }};
+}
+
+double
+SramModel::areaMm2() const
+{
+    // Linear CACTI-like fit anchored at the paper's 324 KB point
+    // (0.7740 mm^2).
+    return 0.0023889 * capacityKb;
+}
+
+double
+SramModel::powerMw() const
+{
+    // 176.268 mW at 324 KB (read-dominated activity at 500 MHz).
+    return 0.544037 * capacityKb;
+}
+
+double
+SramModel::energyPerBytePj() const
+{
+    // Access energy grows mildly with bank capacity.
+    return 2.0 + 0.004 * capacityKb;
+}
+
+namespace {
+
+/** Per-unit switching-activity factors calibrating Tbl. 5 power. */
+constexpr double peActivity = 0.358;
+constexpr double decodeActivity = 0.703;
+constexpr double engineActivity = 0.981;
+/** Full-activity gate power at 500 MHz, mW (see Tech28nm). */
+constexpr double fullGatePowerMw = 1.35e-4;
+
+double
+unitPowerMw(const UnitModel &u, double activity)
+{
+    double gates = u.areaUm2() / Tech28nm::gateAreaUm2;
+    return gates * fullGatePowerMw * activity;
+}
+
+} // anonymous namespace
+
+std::vector<ComponentRow>
+table5Breakdown()
+{
+    UnitModel pe = makeM2xfpPeTile();
+    UnitModel dec = makeTop1DecodeUnit();
+    UnitModel qe = makeQuantizationEngine();
+    SramModel buf{324.0};
+
+    std::vector<ComponentRow> rows;
+    rows.push_back({"PE Tile", pe.areaUm2(), 128,
+                    pe.areaUm2() * 128 * 1e-6,
+                    unitPowerMw(pe, peActivity) * 128});
+    rows.push_back({"Top-1 Decode Unit", dec.areaUm2(), 4,
+                    dec.areaUm2() * 4 * 1e-6,
+                    unitPowerMw(dec, decodeActivity) * 4});
+    rows.push_back({"Quantization Engine", qe.areaUm2(), 1,
+                    qe.areaUm2() * 1e-6,
+                    unitPowerMw(qe, engineActivity)});
+    rows.push_back({"Buffer (324KB)", 0.0, 1, buf.areaMm2(),
+                    buf.powerMw()});
+
+    double ta = 0.0, tp = 0.0;
+    for (const auto &r : rows) {
+        ta += r.totalAreaMm2;
+        tp += r.totalPowerMw;
+    }
+    rows.push_back({"Total", 0.0, 1, ta, tp});
+    return rows;
+}
+
+} // namespace hw
+} // namespace m2x

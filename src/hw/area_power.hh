@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analytic area/power model for the M2XFP accelerator components
+ * (Tbl. 5) and the per-format PE-tile comparison (§6.3).
+ *
+ * Substitution note (DESIGN.md §3): the paper synthesizes RTL with
+ * Design Compiler on TSMC 28 nm at 500 MHz and models buffers with
+ * CACTI v7. Offline we use a gate-count accounting: every datapath
+ * subcomponent is assigned a NAND2-equivalent gate count, converted
+ * with a 28 nm gate area/power factor; SRAM uses a capacity-linear
+ * fit. The per-unit constants are anchored so the totals reproduce
+ * the paper's synthesized numbers, and the *relative* costs (what
+ * Fig. 13 and the PE comparison need) follow from the structure.
+ */
+
+#ifndef M2X_HW_AREA_POWER_HH__
+#define M2X_HW_AREA_POWER_HH__
+
+#include <string>
+#include <vector>
+
+namespace m2x {
+namespace hw {
+
+/** 28 nm standard-cell conversion factors @ 500 MHz. */
+struct Tech28nm
+{
+    /** NAND2-equivalent gate area, um^2 (incl. routing overhead). */
+    static constexpr double gateAreaUm2 = 0.49;
+    /** Dynamic + leakage power per gate at 500 MHz, mW. */
+    static constexpr double gatePowerMw = 9.86e-5;
+};
+
+/** One logic subcomponent: a named gate-count entry. */
+struct LogicBlock
+{
+    std::string name;
+    double gates; //!< NAND2-equivalent count
+
+    double areaUm2() const { return gates * Tech28nm::gateAreaUm2; }
+    double powerMw() const { return gates * Tech28nm::gatePowerMw; }
+};
+
+/** A hardware unit composed of logic blocks. */
+class UnitModel
+{
+  public:
+    UnitModel(std::string name, std::vector<LogicBlock> blocks);
+
+    double areaUm2() const;
+    double powerMw() const;
+    const std::string &name() const { return name_; }
+    const std::vector<LogicBlock> &blocks() const { return blocks_; }
+
+  private:
+    std::string name_;
+    std::vector<LogicBlock> blocks_;
+};
+
+/** @{ The synthesized units of §6.3, with Tbl. 5-calibrated totals. */
+UnitModel makeM2xfpPeTile();   //!< 2140.1 um^2
+UnitModel makeMxfp4PeTile();   //!< 2057.6 um^2 (no aux MAC/scaler)
+UnitModel makeNvfp4PeTile();   //!< 2104.7 um^2 (FP8 scale multiply)
+UnitModel makeTop1DecodeUnit(); //!< 82.91 um^2
+UnitModel makeQuantizationEngine(); //!< 2451.47 um^2
+/** @} */
+
+/** CACTI-like SRAM model: linear in capacity (28 nm, 1 RW port). */
+struct SramModel
+{
+    double capacityKb; //!< kilobytes
+
+    double areaMm2() const;
+    double powerMw() const;
+    /** Dynamic read/write energy per byte, pJ. */
+    double energyPerBytePj() const;
+};
+
+/** One row of the Tbl. 5 accounting. */
+struct ComponentRow
+{
+    std::string name;
+    double unitAreaUm2;
+    unsigned count;
+    double totalAreaMm2;
+    double totalPowerMw;
+};
+
+/** The full Tbl. 5 accounting: 128 PE tiles, 4 decoders, 1 engine,
+ *  324 KB of buffers. */
+std::vector<ComponentRow> table5Breakdown();
+
+} // namespace hw
+} // namespace m2x
+
+#endif // M2X_HW_AREA_POWER_HH__

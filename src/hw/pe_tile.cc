@@ -1,0 +1,91 @@
+#include "hw/pe_tile.hh"
+
+#include <cmath>
+
+#include "formats/minifloat.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace hw {
+
+PeTile::PeTile()
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    for (uint32_t code = 0; code < 16; ++code) {
+        float v = fp4.decode(code);
+        fp4Int8_[code] = static_cast<int8_t>(std::lround(v * 8.0f));
+    }
+    for (uint32_t mag = 0; mag < 32; ++mag) {
+        float v = fp6.decode(mag);
+        fp6MagInt8_[mag] = static_cast<int8_t>(std::lround(v * 8.0f));
+    }
+}
+
+int64_t
+PeTile::macSubgroup(const PeSubgroupInput &in) const
+{
+    m2x_assert(in.len >= 1 && in.len <= 8, "bad subgroup length %u",
+               in.len);
+
+    // Base path: eight FP4 x FP4 products into the adder tree.
+    int64_t base64 = 0; // value * 64
+    for (unsigned i = 0; i < in.len; ++i) {
+        int w = fp4Int8_[in.wCodes[i] & 0xf];
+        int x = fp4Int8_[in.xCodes[i] & 0xf];
+        base64 += static_cast<int64_t>(w) * x;
+        ++ops_.baseMacs;
+    }
+
+    // Aux path: the top-1 activation's extra-mantissa correction,
+    // W[idx] * deltaX. The decode unit reconstructs the FP6 code.
+    Top1Decode t = decode_.decode({in.xCodes.data(), in.len},
+                                  in.xMeta);
+    int x4 = fp4Int8_[in.xCodes[t.idx] & 0xf];
+    int x6_mag = fp6MagInt8_[t.fp6Mag];
+    int x6 = t.negative ? -x6_mag : x6_mag;
+    int dx = x6 - x4; // value * 8; fits in 7 bits + sign
+    int w_top = fp4Int8_[in.wCodes[t.idx] & 0xf];
+    int64_t aux64 = static_cast<int64_t>(w_top) * dx;
+    ++ops_.auxMacs;
+
+    // Two extra fraction bits so the downstream shift-add subgroup
+    // refinement is exact.
+    return (base64 + aux64) * 4; // value * 256
+}
+
+int64_t
+PeTile::applySubgroupScale(int64_t p256, uint8_t sg_em)
+{
+    m2x_assert(p256 % 4 == 0, "partial sum not aligned for shift-add");
+    switch (sg_em & 0x3) {
+      case 0:
+        return p256;
+      case 1:
+        return p256 + (p256 >> 2); // * 1.25
+      case 2:
+        return p256 + (p256 >> 1); // * 1.5
+      default:
+        return p256 + (p256 >> 1) + (p256 >> 2); // * 1.75
+    }
+}
+
+double
+PeTile::computeGroup(std::span<const PeSubgroupInput> subgroups,
+                     int w_scale_exp, int x_scale_exp) const
+{
+    int64_t acc256 = 0;
+    for (const PeSubgroupInput &sg : subgroups) {
+        int64_t p = macSubgroup(sg);
+        acc256 += applySubgroupScale(p, sg.wSgEm);
+        ++ops_.scaleOps;
+    }
+    ++ops_.dequants;
+    // Dequantize: value*256 -> value, then the two power-of-two
+    // shared scales (pure exponent alignment for E8M0).
+    return std::ldexp(static_cast<double>(acc256),
+                      w_scale_exp + x_scale_exp - 8);
+}
+
+} // namespace hw
+} // namespace m2x

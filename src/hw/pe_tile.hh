@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-exact model of the M2XFP processing element tile (Fig. 11).
+ *
+ * One PE tile processes an 8-element subgroup per cycle:
+ *   - eight parallel FP4 x FP4 multipliers + adder tree (base path),
+ *   - a lightweight auxiliary MAC computing W x deltaX for the top-1
+ *     activation's extra mantissa (hidden bit of deltaX is zero, so
+ *     the correction reuses FP4-width hardware),
+ *   - shift-add subgroup-scale refinement: the 2-bit weight Sg-EM
+ *     code scales the partial sum by 1.0 / 1.25 / 1.5 / 1.75
+ *     (P + P>>2, P + P>>1, P + P>>1 + P>>2),
+ *   - dequantize-and-accumulate: exponent alignment by the two E8M0
+ *     shared scales.
+ *
+ * All arithmetic is integer. FP4/FP6 magnitudes are multiples of 1/8,
+ * so operands are held as value*8 integers; products are kept in
+ * value*256 fixed point (two extra fraction bits) which makes the
+ * shift-add refinement exact. The tile's result is proven bit-equal
+ * to the functional codecs' dequantized dot product in the tests.
+ */
+
+#ifndef M2X_HW_PE_TILE_HH__
+#define M2X_HW_PE_TILE_HH__
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "hw/top1_decode.hh"
+
+namespace m2x {
+namespace hw {
+
+/** One subgroup's operands as they arrive from the buffers. */
+struct PeSubgroupInput
+{
+    std::array<uint8_t, 8> wCodes{}; //!< weight FP4 codes
+    std::array<uint8_t, 8> xCodes{}; //!< activation FP4 codes
+    uint8_t xMeta = 1;  //!< activation Elem-EM metadata (2 bits)
+    uint8_t wSgEm = 0;  //!< weight Sg-EM multiplier code (2 bits)
+    uint8_t len = 8;    //!< valid lanes
+};
+
+/** Cumulative operation counters (for the energy model). */
+struct PeOpCounts
+{
+    uint64_t baseMacs = 0;
+    uint64_t auxMacs = 0;
+    uint64_t scaleOps = 0;
+    uint64_t dequants = 0;
+};
+
+/** The PE tile datapath. */
+class PeTile
+{
+  public:
+    PeTile();
+
+    /**
+     * Base + aux MAC for one subgroup, before subgroup-scale
+     * refinement. Returns the partial sum in value*256 fixed point.
+     */
+    int64_t macSubgroup(const PeSubgroupInput &in) const;
+
+    /**
+     * Apply the Sg-EM multiplier to a partial sum via shift-add.
+     * @pre p256 is a multiple of 4 (guaranteed by the datapath).
+     */
+    static int64_t applySubgroupScale(int64_t p256, uint8_t sg_em);
+
+    /**
+     * Full group dot product: subgroup MACs, per-subgroup scale
+     * refinement, accumulation, and dequantization by the two shared
+     * scale exponents. Exact (double) result.
+     */
+    double computeGroup(std::span<const PeSubgroupInput> subgroups,
+                        int w_scale_exp, int x_scale_exp) const;
+
+    const PeOpCounts &opCounts() const { return ops_; }
+    void resetOpCounts() { ops_ = {}; }
+
+    /** value*8 of an FP4 sign-magnitude code (exposed for tests). */
+    int fp4Int8(uint8_t code) const { return fp4Int8_[code & 0xf]; }
+    /** value*8 of an FP6 magnitude code. */
+    int fp6MagInt8(uint8_t mag) const { return fp6MagInt8_[mag & 0x1f]; }
+
+  private:
+    Top1DecodeUnit decode_;
+    std::array<int8_t, 16> fp4Int8_;
+    std::array<int8_t, 32> fp6MagInt8_;
+    mutable PeOpCounts ops_;
+};
+
+} // namespace hw
+} // namespace m2x
+
+#endif // M2X_HW_PE_TILE_HH__

@@ -1,0 +1,111 @@
+#include "hw/quant_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/scale_rules.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace hw {
+
+QuantizationEngine::QuantizationEngine(unsigned lanes) : lanes_(lanes)
+{
+    m2x_assert(lanes >= 1, "engine needs at least one lane");
+}
+
+uint32_t
+QuantizationEngine::encodeMagnitudeRne(float mag, const Minifloat &fmt)
+{
+    // Comparator chain against the RNE decision boundaries: value
+    // belongs to code i+1 once it passes the midpoint; the exact
+    // midpoint goes to whichever neighbour has an even code.
+    const std::vector<float> &vals = fmt.positiveValues();
+    uint32_t code = 0;
+    for (uint32_t i = 0; i + 1 < vals.size(); ++i) {
+        float mid = 0.5f * (vals[i] + vals[i + 1]);
+        bool up;
+        if (mag > mid)
+            up = true;
+        else if (mag < mid)
+            up = false;
+        else
+            up = ((i + 1) & 1u) == 0; // tie: even code wins
+        if (up)
+            code = i + 1;
+        else
+            break;
+    }
+    return code;
+}
+
+QuantEngineResult
+QuantizationEngine::encodeGroup(std::span<const float> in) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    constexpr unsigned sg_size = 8;
+
+    QuantEngineResult res;
+    ElemEmGroup &g = res.group;
+
+    // --- Stage 1: Scaling & Normalize Unit -------------------------
+    // Max reduction, shared-scale derivation (OCP floor rule), and
+    // normalization. The normalization is an exponent subtraction in
+    // hardware; multiplying by the exact power of two is equivalent.
+    float amax = absMax(in);
+    g.scale = computeSharedScale(amax, fp4, ScaleRule::Floor);
+    float inv = g.scale.inverse();
+
+    // FP4 and FP6 candidate codes for every element (two threshold
+    // networks in parallel).
+    g.fp4Codes.resize(in.size());
+    std::vector<uint8_t> fp6_codes(in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        float norm = in[i] * inv;
+        float mag = std::fabs(norm);
+        uint32_t sign = std::signbit(norm) ? 1u : 0u;
+        uint32_t c4 = encodeMagnitudeRne(mag, fp4);
+        uint32_t c6 = encodeMagnitudeRne(mag, fp6);
+        g.fp4Codes[i] = static_cast<uint8_t>((sign << 3) | c4);
+        fp6_codes[i] = static_cast<uint8_t>(c6);
+    }
+
+    // --- Stage 2: Encode Unit ---------------------------------------
+    // Top-1 per subgroup via the comparator tree, then the +1 bias
+    // and clamp (Alg. 1 steps 6-7).
+    for (size_t base = 0; base < in.size(); base += sg_size) {
+        size_t len = std::min<size_t>(sg_size, in.size() - base);
+        Top1Decode t =
+            top1_.decode({g.fp4Codes.data() + base, len}, 1);
+        uint32_t fp4_mag = t.fp4Mag;
+        uint32_t fp6_mag = fp6_codes[base + t.idx];
+        uint32_t encoded = fp6_mag + 1;
+        uint32_t lo = fp4_mag << 2;
+        uint32_t hi = lo | 3;
+        uint32_t clamped = std::clamp(encoded, lo, hi);
+        g.meta.push_back(static_cast<uint8_t>(clamped & 3u));
+    }
+
+    // Pipeline: each stage handles `lanes_` elements per cycle; the
+    // stages overlap, so one group costs fill + drain.
+    unsigned per_stage = static_cast<unsigned>(
+        (in.size() + lanes_ - 1) / lanes_);
+    res.cycles = 2 * per_stage;
+    return res;
+}
+
+unsigned
+QuantizationEngine::streamCycles(size_t n_groups) const
+{
+    if (n_groups == 0)
+        return 0;
+    // Steady state: one group per `ceil(32/lanes)` cycles after the
+    // two-stage fill.
+    unsigned per_stage = (32 + lanes_ - 1) / lanes_;
+    return static_cast<unsigned>(per_stage * (n_groups + 1));
+}
+
+} // namespace hw
+} // namespace m2x

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-exact model of the streaming Quantization Engine (Fig. 12).
+ *
+ * The engine quantizes activations online in a two-stage pipeline:
+ *   stage 1 (Scaling & Normalize Unit): max-reduce the group,
+ *     derive the E8M0 shared scale, normalize every element
+ *     (exponent subtraction) and emit FP4 + FP6 candidate codes via
+ *     threshold comparison networks (RNE boundaries);
+ *   stage 2 (Encode Unit): top-1 identification (reusing the decode
+ *     unit's comparator tree), the +1-bias / clamp metadata encoding,
+ *     and packing into the three M2XFP streams.
+ *
+ * The model produces results bit-identical to the functional
+ * ElemEmQuantizer (verified in tests) and reports a cycle count from
+ * the pipeline shape (deterministic, stall-free — the property §5.5
+ * claims).
+ */
+
+#ifndef M2X_HW_QUANT_ENGINE_HH__
+#define M2X_HW_QUANT_ENGINE_HH__
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/elem_em.hh"
+#include "hw/top1_decode.hh"
+
+namespace m2x {
+namespace hw {
+
+/** Result of pushing one group through the engine. */
+struct QuantEngineResult
+{
+    ElemEmGroup group;   //!< bit-level encoding (scale, codes, meta)
+    unsigned cycles;     //!< pipeline cycles consumed
+};
+
+/** The two-stage streaming quantization engine. */
+class QuantizationEngine
+{
+  public:
+    /**
+     * @param lanes elements processed per cycle per stage (32 in the
+     *        paper's configuration: one group per cycle per stage)
+     */
+    explicit QuantizationEngine(unsigned lanes = 32);
+
+    /** Quantize one activation group (paper config: 32/sg 8). */
+    QuantEngineResult encodeGroup(std::span<const float> in) const;
+
+    /**
+     * Steady-state throughput: cycles to stream @p n_groups groups
+     * through the two-stage pipeline.
+     */
+    unsigned streamCycles(size_t n_groups) const;
+
+    unsigned lanes() const { return lanes_; }
+
+  private:
+    unsigned lanes_;
+    Top1DecodeUnit top1_;
+
+    /**
+     * Threshold-network RNE encode of a nonnegative magnitude onto a
+     * minifloat grid; returns the magnitude code. Models the
+     * comparator chain the RTL uses instead of a divider.
+     */
+    static uint32_t encodeMagnitudeRne(float mag,
+                                       const Minifloat &fmt);
+};
+
+} // namespace hw
+} // namespace m2x
+
+#endif // M2X_HW_QUANT_ENGINE_HH__

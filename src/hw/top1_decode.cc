@@ -1,0 +1,78 @@
+#include "hw/top1_decode.hh"
+
+#include "util/logging.hh"
+
+namespace m2x {
+namespace hw {
+
+Top1DecodeUnit::Top1DecodeUnit()
+{
+    // The magnitude key is simply the low 3 bits of the sign-magnitude
+    // FP4 code: E2M1 codes are already ordered by magnitude, so the
+    // LUT's job in hardware is just to strip the sign bit. We model
+    // it as a real 16-entry table as in Fig. 10.
+    for (uint32_t code = 0; code < 16; ++code)
+        lut_[code] = static_cast<uint8_t>(code & 0x7u);
+}
+
+Top1Decode
+Top1DecodeUnit::decode(std::span<const uint8_t> fp4_codes,
+                       uint8_t meta) const
+{
+    m2x_assert(!fp4_codes.empty() && fp4_codes.size() <= 8,
+               "decode unit handles 1..8 codes, got %zu",
+               fp4_codes.size());
+    comparatorOps_ = 0;
+
+    // Stage 1: LUT lookups.
+    struct Entry
+    {
+        uint8_t val;
+        uint8_t idx;
+    };
+    Entry lanes[8];
+    size_t n = fp4_codes.size();
+    for (size_t i = 0; i < 8; ++i) {
+        // Missing lanes (short tail subgroups) present magnitude 0,
+        // which can never displace a real element (ties keep lower
+        // index).
+        uint8_t code = i < n ? fp4_codes[i] : 0;
+        lanes[i] = {lut_[code & 0xfu], static_cast<uint8_t>(i)};
+    }
+
+    // Stage 2: three-level comparator tree; >= keeps the left (lower
+    // index) input, matching Alg. 1's tie rule.
+    Entry level[8];
+    for (int i = 0; i < 8; ++i)
+        level[i] = lanes[i];
+    size_t width = 8;
+    while (width > 1) {
+        for (size_t i = 0; i < width / 2; ++i) {
+            const Entry &l = level[2 * i];
+            const Entry &r = level[2 * i + 1];
+            ++comparatorOps_;
+            level[i] = (l.val >= r.val) ? l : r;
+        }
+        width /= 2;
+    }
+    Entry top = level[0];
+
+    // Stage 3: metadata application (the "-1" box): reconstruct the
+    // FP6 magnitude code.
+    uint8_t code = top.idx < n ? fp4_codes[top.idx] : 0;
+    uint8_t fp4_mag = static_cast<uint8_t>(code & 0x7u);
+    int fp6 = static_cast<int>(fp4_mag) * 4 + (meta & 0x3) - 1;
+    m2x_assert(fp6 >= 0 && fp6 <= 30,
+               "reconstructed FP6 code %d out of range", fp6);
+
+    Top1Decode out;
+    out.idx = top.idx;
+    out.fp4Mag = fp4_mag;
+    out.fp6Mag = static_cast<uint8_t>(fp6);
+    out.negative = (code >> 3) & 1u;
+    out.deltaUlp6 = static_cast<int8_t>((meta & 0x3) - 1);
+    return out;
+}
+
+} // namespace hw
+} // namespace m2x

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-exact model of the Top-1 Decode Unit (Fig. 10).
+ *
+ * The unit preprocesses an 8-element FP4 subgroup before it enters
+ * the PE array:
+ *  1. an FP4-to-UINT lookup table maps each 4-bit code to a value
+ *     that is monotonic in magnitude (sign stripped), enabling plain
+ *     unsigned comparisons;
+ *  2. a three-level comparator tree finds the unique top-1; on equal
+ *     values the comparator keeps the lower index (left input), so
+ *     the result is deterministic and matches the encoder (Alg. 1);
+ *  3. the "-1" stage reconstructs the FP6 magnitude code from the
+ *     element's FP4 code and the 2-bit metadata
+ *     (fp6 = fp4*4 + meta - 1) and packs (idx, val, delta) for the
+ *     PE's auxiliary extra-mantissa path.
+ *
+ * Every step is modelled at the same granularity the RTL would use
+ * (LUT reads, comparator nodes), and the unit's outputs are tested
+ * bit-for-bit against the functional ElemEmQuantizer decoder.
+ */
+
+#ifndef M2X_HW_TOP1_DECODE_HH__
+#define M2X_HW_TOP1_DECODE_HH__
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace m2x {
+namespace hw {
+
+/** Output bundle forwarded to the PE tile. */
+struct Top1Decode
+{
+    uint8_t idx;     //!< top-1 position within the subgroup [0, 7]
+    uint8_t fp4Mag;  //!< its FP4 magnitude code [0, 7]
+    uint8_t fp6Mag;  //!< reconstructed FP6 magnitude code [0, 30]
+    bool negative;   //!< sign of the top-1 element
+    /**
+     * Extra-mantissa delta in FP6 grid steps relative to the FP4
+     * value: fp6 - fp4*4 in {-1, 0, +1, +2} (meta - 1).
+     */
+    int8_t deltaUlp6;
+};
+
+/** The decode unit: stateless combinational logic. */
+class Top1DecodeUnit
+{
+  public:
+    Top1DecodeUnit();
+
+    /**
+     * Process one subgroup.
+     * @param fp4_codes up to 8 sign-magnitude FP4 codes
+     * @param meta the subgroup's 2-bit metadata
+     */
+    Top1Decode decode(std::span<const uint8_t> fp4_codes,
+                      uint8_t meta) const;
+
+    /** The FP4-to-UINT LUT (exposed for tests). */
+    const std::array<uint8_t, 16> &lut() const { return lut_; }
+
+    /** Comparator evaluations consumed by the last decode() call. */
+    unsigned comparatorOps() const { return comparatorOps_; }
+
+  private:
+    /** lut_[code] = magnitude key for monotonic comparison. */
+    std::array<uint8_t, 16> lut_;
+    mutable unsigned comparatorOps_ = 0;
+};
+
+} // namespace hw
+} // namespace m2x
+
+#endif // M2X_HW_TOP1_DECODE_HH__

@@ -1,0 +1,378 @@
+#include "model/algorithms.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "formats/minifloat.hh"
+#include "quant/scale_rules.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace model {
+
+unsigned
+hadamardBlockFor(size_t n)
+{
+    unsigned b = 1;
+    while (n % (2ull * b) == 0 && 2ull * b <= 64)
+        b *= 2;
+    return b;
+}
+
+void
+hadamardRotateRows(Matrix &m, unsigned block, uint64_t seed)
+{
+    m2x_assert(block >= 1 && (block & (block - 1)) == 0,
+               "Hadamard block must be a power of two");
+    m2x_assert(m.cols() % block == 0,
+               "cols %zu not divisible by block %u", m.cols(), block);
+
+    // Deterministic per-channel signs (the randomized-Hadamard part).
+    Rng rng(seed ^ 0x4ad0'0000ull);
+    std::vector<float> sign(m.cols());
+    for (auto &s : sign)
+        s = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+
+    float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(block));
+    for (size_t r = 0; r < m.rows(); ++r) {
+        float *row = m.data() + r * m.cols();
+        for (size_t off = 0; off < m.cols(); off += block) {
+            float *seg = row + off;
+            for (unsigned i = 0; i < block; ++i)
+                seg[i] *= sign[off + i];
+            // In-place FWHT.
+            for (unsigned h = 1; h < block; h *= 2) {
+                for (unsigned i = 0; i < block; i += 2 * h) {
+                    for (unsigned j = i; j < i + h; ++j) {
+                        float a = seg[j];
+                        float b = seg[j + h];
+                        seg[j] = a + b;
+                        seg[j + h] = a - b;
+                    }
+                }
+            }
+            for (unsigned i = 0; i < block; ++i)
+                seg[i] *= inv_sqrt;
+        }
+    }
+}
+
+RotatedLinear::RotatedLinear(const Matrix &weight,
+                             std::shared_ptr<GroupQuantizer> weight_q,
+                             std::shared_ptr<GroupQuantizer> act_q,
+                             uint64_t seed)
+    : block_(hadamardBlockFor(weight.cols())), seed_(seed)
+{
+    Matrix wr = weight;
+    hadamardRotateRows(wr, block_, seed_);
+    inner_ = std::make_unique<QuantizedLinear>(
+        std::move(wr), std::move(weight_q), std::move(act_q));
+}
+
+Matrix
+RotatedLinear::forward(const Matrix &x) const
+{
+    Matrix xr = x;
+    hadamardRotateRows(xr, block_, seed_);
+    return inner_->forward(xr);
+}
+
+DuQuantLinear::DuQuantLinear(const Matrix &weight,
+                             std::shared_ptr<GroupQuantizer> weight_q,
+                             std::shared_ptr<GroupQuantizer> act_q,
+                             const Matrix *calib_input, uint64_t seed)
+    : seed_(seed)
+{
+    size_t k = weight.cols();
+    // Rank channels by energy (calibrated if available).
+    std::vector<double> energy(k, 0.0);
+    if (calib_input && calib_input->cols() == k) {
+        for (size_t r = 0; r < calib_input->rows(); ++r)
+            for (size_t c = 0; c < k; ++c)
+                energy[c] += static_cast<double>((*calib_input)(r, c)) *
+                             (*calib_input)(r, c);
+    } else {
+        for (size_t r = 0; r < weight.rows(); ++r)
+            for (size_t c = 0; c < k; ++c)
+                energy[c] +=
+                    static_cast<double>(weight(r, c)) * weight(r, c);
+    }
+    std::vector<uint32_t> order(k);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return energy[a] > energy[b];
+    });
+
+    // Zigzag deal: spread high-energy channels round-robin across
+    // rotation blocks so no block holds two top outliers.
+    block_ = 16;
+    while (k % block_ != 0)
+        block_ /= 2;
+    size_t n_blocks = k / block_;
+    perm_.assign(k, 0);
+    for (size_t rank = 0; rank < k; ++rank) {
+        size_t blk = rank % n_blocks;
+        size_t slot = rank / n_blocks;
+        perm_[blk * block_ + slot] = order[rank];
+    }
+
+    Matrix wp(weight.rows(), k);
+    for (size_t r = 0; r < weight.rows(); ++r)
+        for (size_t c = 0; c < k; ++c)
+            wp(r, c) = weight(r, perm_[c]);
+    hadamardRotateRows(wp, block_, seed_);
+    inner_ = std::make_unique<QuantizedLinear>(
+        std::move(wp), std::move(weight_q), std::move(act_q));
+}
+
+Matrix
+DuQuantLinear::forward(const Matrix &x) const
+{
+    Matrix xp(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t c = 0; c < x.cols(); ++c)
+            xp(r, c) = x(r, perm_[c]);
+    hadamardRotateRows(xp, block_, seed_);
+    return inner_->forward(xp);
+}
+
+namespace {
+
+/** Cholesky decomposition A = L L^T in place (lower). */
+bool
+cholesky(std::vector<double> &a, size_t n)
+{
+    for (size_t j = 0; j < n; ++j) {
+        double d = a[j * n + j];
+        for (size_t k = 0; k < j; ++k)
+            d -= a[j * n + k] * a[j * n + k];
+        if (d <= 0.0)
+            return false;
+        double lj = std::sqrt(d);
+        a[j * n + j] = lj;
+        for (size_t i = j + 1; i < n; ++i) {
+            double s = a[i * n + j];
+            for (size_t k = 0; k < j; ++k)
+                s -= a[i * n + k] * a[j * n + k];
+            a[i * n + j] = s / lj;
+        }
+        for (size_t i = 0; i < j; ++i)
+            a[i * n + j] = 0.0;
+    }
+    return true;
+}
+
+/** Invert SPD matrix via its Cholesky factor. */
+std::vector<double>
+spdInverse(std::vector<double> h, size_t n)
+{
+    bool ok = cholesky(h, n);
+    m2x_assert(ok, "Hessian not positive definite");
+    // Invert L (lower triangular).
+    std::vector<double> linv(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        linv[i * n + i] = 1.0 / h[i * n + i];
+        for (size_t j = 0; j < i; ++j) {
+            double s = 0.0;
+            for (size_t k = j; k < i; ++k)
+                s += h[i * n + k] * linv[k * n + j];
+            linv[i * n + j] = -s / h[i * n + i];
+        }
+    }
+    // H^-1 = L^-T L^-1.
+    std::vector<double> inv(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double s = 0.0;
+            for (size_t k = i; k < n; ++k)
+                s += linv[k * n + i] * linv[k * n + j];
+            inv[i * n + j] = s;
+            inv[j * n + i] = s;
+        }
+    }
+    return inv;
+}
+
+/**
+ * Upper Cholesky factor U of H^-1 (H^-1 = U^T U), the matrix GPTQ
+ * propagates errors through.
+ */
+std::vector<double>
+gptqCholeskyUpper(const Matrix &calib_x, size_t k)
+{
+    std::vector<double> h(k * k, 0.0);
+    for (size_t r = 0; r < calib_x.rows(); ++r) {
+        const float *row = calib_x.data() + r * k;
+        for (size_t i = 0; i < k; ++i) {
+            double xi = 2.0 * row[i];
+            for (size_t j = i; j < k; ++j)
+                h[i * k + j] += xi * row[j];
+        }
+    }
+    for (size_t i = 0; i < k; ++i)
+        for (size_t j = 0; j < i; ++j)
+            h[i * k + j] = h[j * k + i];
+    // Damping.
+    double mean_diag = 0.0;
+    for (size_t i = 0; i < k; ++i)
+        mean_diag += h[i * k + i];
+    mean_diag = mean_diag / static_cast<double>(k);
+    double damp = 0.01 * (mean_diag > 0 ? mean_diag : 1.0);
+    for (size_t i = 0; i < k; ++i)
+        h[i * k + i] += damp;
+
+    std::vector<double> hinv = spdInverse(std::move(h), k);
+    // Hinv = L L^T, so U = L^T satisfies Hinv = U^T U — the upper
+    // factor GPTQ propagates errors through.
+    bool ok = cholesky(hinv, k);
+    m2x_assert(ok, "Hinv lost positive definiteness");
+    std::vector<double> upper(k * k, 0.0);
+    for (size_t i = 0; i < k; ++i)
+        for (size_t j = i; j < k; ++j)
+            upper[i * k + j] = hinv[j * k + i];
+    return upper;
+}
+
+} // anonymous namespace
+
+Matrix
+gptqQuantizeWeight(const Matrix &weight, const Matrix &calib_x,
+                   GptqGrid grid)
+{
+    size_t k = weight.cols();
+    m2x_assert(calib_x.cols() == k,
+               "calibration width %zu != weight K %zu", calib_x.cols(),
+               k);
+    std::vector<double> u = gptqCholeskyUpper(calib_x, k);
+
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const unsigned group = 32;
+    const unsigned sub = 8;
+
+    Matrix out(weight.rows(), k);
+    std::vector<double> w(k);
+    std::vector<float> scale_at(k); // effective scale per column
+    for (size_t r = 0; r < weight.rows(); ++r) {
+        for (size_t c = 0; c < k; ++c)
+            w[c] = weight(r, c);
+
+        // Static groups: freeze every group/subgroup grid from the
+        // ORIGINAL weights. (Deriving scales from the drifting
+        // residuals is a known GPTQ failure mode.)
+        for (size_t base = 0; base < k; base += group) {
+            size_t glen = std::min<size_t>(group, k - base);
+            float amax = 0.0f;
+            for (size_t i = 0; i < glen; ++i)
+                amax = std::max(amax, std::fabs(weight(r, base + i)));
+            ScaleE8m0 gs =
+                computeSharedScale(amax, fp4, ScaleRule::Floor);
+            if (grid == GptqGrid::Mxfp4) {
+                for (size_t i = 0; i < glen; ++i)
+                    scale_at[base + i] = gs.value();
+            } else {
+                for (size_t sb = base; sb < base + glen; sb += sub) {
+                    size_t slen =
+                        std::min<size_t>(sub, base + glen - sb);
+                    double best = -1.0;
+                    float best_s = gs.value();
+                    for (unsigned m = 0; m < 4; ++m) {
+                        float s = gs.value() *
+                                  (1.0f + static_cast<float>(m) / 4);
+                        double err = 0.0;
+                        for (size_t i = 0; i < slen; ++i) {
+                            float x = weight(r, sb + i);
+                            float qv = fp4.quantize(x / s) * s;
+                            err += (qv - x) *
+                                   static_cast<double>(qv - x);
+                        }
+                        if (best < 0.0 || err < best) {
+                            best = err;
+                            best_s = s;
+                        }
+                    }
+                    for (size_t i = 0; i < slen; ++i)
+                        scale_at[sb + i] = best_s;
+                }
+            }
+        }
+
+        // Column-by-column quantization with error feedback through
+        // the Cholesky factor.
+        for (size_t j = 0; j < k; ++j) {
+            float s = scale_at[j];
+            float x = static_cast<float>(w[j]);
+            double qv =
+                fp4.quantize(x / s) * static_cast<double>(s);
+            out(r, j) = static_cast<float>(qv);
+            double ujj = u[j * k + j];
+            double err = (w[j] - qv) / (ujj > 0 ? ujj : 1.0);
+            const double *urow = u.data() + j * k;
+            for (size_t jj = j + 1; jj < k; ++jj)
+                w[jj] -= err * urow[jj];
+        }
+    }
+    return out;
+}
+
+GptqLinear::GptqLinear(const Matrix &weight, const Matrix *calib_input,
+                       GptqGrid grid,
+                       std::shared_ptr<GroupQuantizer> act_q)
+{
+    m2x_assert(calib_input != nullptr,
+               "GPTQ needs calibration data (run collectCalibration)");
+    Matrix wq = gptqQuantizeWeight(weight, *calib_input, grid);
+    // Weights already on the grid: no further weight quantizer.
+    inner_ = std::make_unique<QuantizedLinear>(std::move(wq), nullptr,
+                                               std::move(act_q));
+}
+
+Matrix
+GptqLinear::forward(const Matrix &x) const
+{
+    return inner_->forward(x);
+}
+
+LinearFactory
+quarotFactory(std::function<std::shared_ptr<GroupQuantizer>()> weight_q,
+              std::function<std::shared_ptr<GroupQuantizer>()> act_q,
+              uint64_t seed)
+{
+    return [=](const Matrix &w, const std::string &name,
+               const Matrix *) -> std::unique_ptr<LinearOp> {
+        uint64_t s = seed ^ std::hash<std::string>{}(name);
+        return std::make_unique<RotatedLinear>(
+            w, weight_q ? weight_q() : nullptr,
+            act_q ? act_q() : nullptr, s);
+    };
+}
+
+LinearFactory
+duquantFactory(std::function<std::shared_ptr<GroupQuantizer>()> weight_q,
+               std::function<std::shared_ptr<GroupQuantizer>()> act_q,
+               uint64_t seed)
+{
+    return [=](const Matrix &w, const std::string &name,
+               const Matrix *calib) -> std::unique_ptr<LinearOp> {
+        uint64_t s = seed ^ std::hash<std::string>{}(name);
+        return std::make_unique<DuQuantLinear>(
+            w, weight_q ? weight_q() : nullptr,
+            act_q ? act_q() : nullptr, calib, s);
+    };
+}
+
+LinearFactory
+gptqFactory(GptqGrid grid,
+            std::function<std::shared_ptr<GroupQuantizer>()> act_q)
+{
+    return [=](const Matrix &w, const std::string &,
+               const Matrix *calib) -> std::unique_ptr<LinearOp> {
+        return std::make_unique<GptqLinear>(
+            w, calib, grid, act_q ? act_q() : nullptr);
+    };
+}
+
+} // namespace model
+} // namespace m2x

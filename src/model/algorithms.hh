@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Algorithm-level quantization schemes (Tbl. 7): QuaRot-style
+ * randomized Hadamard rotation, DuQuant-style permutation + block
+ * rotation, and GPTQ-style sequential error compensation (MR-GPTQ).
+ * All are LinearOp wrappers, so the transformer substrate runs them
+ * end to end exactly like plain formats.
+ *
+ *  - QuaRot: y = x W^T = (xR)(WR)^T for orthogonal R; quantization
+ *    sees the rotated tensors, whose outliers are smeared across
+ *    channels. R is a block-diagonal randomized Hadamard.
+ *  - DuQuant: channels are first permuted (round-robin by calibrated
+ *    energy, spreading outliers across rotation blocks), then
+ *    rotated within small blocks.
+ *  - MR-GPTQ: weights are quantized column-by-column with error
+ *    feedback through the Cholesky factor of the inverse calibration
+ *    Hessian (H = 2 X^T X + damping); the quantization grid is the
+ *    MX format under test (MXFP4, or M2XFP's Sg-EM for the combined
+ *    MR-GPTQ-M2XFP row).
+ */
+
+#ifndef M2X_MODEL_ALGORITHMS_HH__
+#define M2X_MODEL_ALGORITHMS_HH__
+
+#include <cstdint>
+#include <memory>
+
+#include "gemm/gemm.hh"
+#include "model/transformer.hh"
+
+namespace m2x {
+namespace model {
+
+/**
+ * In-place fast Walsh-Hadamard transform of each length-@p block
+ * segment of each row, orthonormal scaling, with a per-channel
+ * random sign flip (seeded). The combined map R = S*H is orthogonal,
+ * so applying it to both GEMM operands leaves the product unchanged.
+ */
+void hadamardRotateRows(Matrix &m, unsigned block, uint64_t seed);
+
+/** Largest power-of-two divisor of n (the usable Hadamard block). */
+unsigned hadamardBlockFor(size_t n);
+
+/** QuaRot-style rotated + quantized linear. */
+class RotatedLinear : public LinearOp
+{
+  public:
+    RotatedLinear(const Matrix &weight,
+                  std::shared_ptr<GroupQuantizer> weight_q,
+                  std::shared_ptr<GroupQuantizer> act_q,
+                  uint64_t seed);
+
+    Matrix forward(const Matrix &x) const override;
+    size_t inFeatures() const override { return inner_->inFeatures(); }
+    size_t outFeatures() const override
+    {
+        return inner_->outFeatures();
+    }
+
+  private:
+    unsigned block_;
+    uint64_t seed_;
+    std::unique_ptr<QuantizedLinear> inner_;
+};
+
+/** DuQuant-style permuted + block-rotated linear. */
+class DuQuantLinear : public LinearOp
+{
+  public:
+    /**
+     * @param calib_input optional calibration rows used to rank
+     *        channel energies for the zigzag permutation (falls back
+     *        to weight column norms)
+     */
+    DuQuantLinear(const Matrix &weight,
+                  std::shared_ptr<GroupQuantizer> weight_q,
+                  std::shared_ptr<GroupQuantizer> act_q,
+                  const Matrix *calib_input, uint64_t seed);
+
+    Matrix forward(const Matrix &x) const override;
+    size_t inFeatures() const override { return perm_.size(); }
+    size_t outFeatures() const override
+    {
+        return inner_->outFeatures();
+    }
+
+  private:
+    std::vector<uint32_t> perm_; //!< channel permutation
+    unsigned block_;
+    uint64_t seed_;
+    std::unique_ptr<QuantizedLinear> inner_;
+};
+
+/** The weight grid GPTQ compensates onto. */
+enum class GptqGrid
+{
+    Mxfp4,    //!< MR-GPTQ: FP4 + E8M0 floor scale, group 32
+    M2xfpSgEm //!< MR-GPTQ-M2XFP: Sg-EM-2bit adaptive, g32/sg8
+};
+
+/**
+ * GPTQ-quantize a weight matrix [out, K] against calibration inputs
+ * X [N, K]. Returns the dequantized compensated weight.
+ */
+Matrix gptqQuantizeWeight(const Matrix &weight, const Matrix &calib_x,
+                          GptqGrid grid);
+
+/** GPTQ-compensated linear (weights offline, activations online). */
+class GptqLinear : public LinearOp
+{
+  public:
+    GptqLinear(const Matrix &weight, const Matrix *calib_input,
+               GptqGrid grid, std::shared_ptr<GroupQuantizer> act_q);
+
+    Matrix forward(const Matrix &x) const override;
+    size_t inFeatures() const override { return inner_->inFeatures(); }
+    size_t outFeatures() const override
+    {
+        return inner_->outFeatures();
+    }
+
+  private:
+    std::unique_ptr<QuantizedLinear> inner_;
+};
+
+/** @{ LinearFactory builders for the Tbl. 7 schemes. */
+LinearFactory quarotFactory(
+    std::function<std::shared_ptr<GroupQuantizer>()> weight_q,
+    std::function<std::shared_ptr<GroupQuantizer>()> act_q,
+    uint64_t seed);
+
+LinearFactory duquantFactory(
+    std::function<std::shared_ptr<GroupQuantizer>()> weight_q,
+    std::function<std::shared_ptr<GroupQuantizer>()> act_q,
+    uint64_t seed);
+
+LinearFactory gptqFactory(
+    GptqGrid grid,
+    std::function<std::shared_ptr<GroupQuantizer>()> act_q);
+/** @} */
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_ALGORITHMS_HH__

@@ -1,0 +1,284 @@
+#include "model/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "formats/minifloat.hh"
+#include "quant/scale_rules.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace model {
+
+float
+ValueGrid::maxPow2() const
+{
+    return std::exp2(std::floor(std::log2(maxValue())));
+}
+
+float
+ValueGrid::quantizeMag(float m) const
+{
+    // Nearest value; ties resolve downward (grid entries are exact).
+    size_t lo = 0, hi = mags.size() - 1;
+    if (m >= mags[hi])
+        return mags[hi];
+    while (lo + 1 < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (mags[mid] <= m)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    float dlo = m - mags[lo];
+    float dhi = mags[hi] - m;
+    return dlo <= dhi ? mags[lo] : mags[hi];
+}
+
+ValueGrid
+gridFp4()
+{
+    return {"fp4", {0, 0.5f, 1, 1.5f, 2, 3, 4, 6}};
+}
+
+ValueGrid
+gridInt4()
+{
+    return {"int4", {0, 1, 2, 3, 4, 5, 6, 7}};
+}
+
+ValueGrid
+gridPot4()
+{
+    return {"pot4", {0, 0.125f, 0.25f, 0.5f, 1, 2, 4, 8}};
+}
+
+ValueGrid
+gridFlint4()
+{
+    // ANT's flint: float-ish near 1, int-ish near max.
+    return {"flint4", {0, 1, 1.5f, 2, 3, 4, 6, 8}};
+}
+
+GridSelectQuantizer::GridSelectQuantizer(std::string name,
+                                         std::vector<ValueGrid> grids,
+                                         unsigned group_size,
+                                         double index_bits)
+    : name_(std::move(name)), grids_(std::move(grids)),
+      groupSize_(group_size), indexBits_(index_bits)
+{
+    m2x_assert(!grids_.empty(), "need at least one grid");
+}
+
+void
+GridSelectQuantizer::quantizeGroup(std::span<const float> in,
+                                   std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    double best_err = -1.0;
+    std::vector<float> cand(in.size());
+    for (const ValueGrid &g : grids_) {
+        // E8M0 shared scale, OCP floor rule w.r.t. this grid's P.
+        int e = floorLog2Exact(amax) -
+                floorLog2Exact(g.maxPow2());
+        float scale = std::exp2(static_cast<float>(e));
+        float inv = 1.0f / scale;
+        double err = 0.0;
+        for (size_t i = 0; i < in.size(); ++i) {
+            float mag = std::fabs(in[i]) * inv;
+            float q = g.quantizeMag(mag) * scale;
+            cand[i] = in[i] < 0 ? -q : q;
+            double d = static_cast<double>(cand[i]) - in[i];
+            err += d * d;
+        }
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            std::copy(cand.begin(), cand.end(), out.begin());
+        }
+    }
+}
+
+BitBudget
+GridSelectQuantizer::bitBudget() const
+{
+    return {4.0, 8.0, indexBits_, groupSize_};
+}
+
+GridSelectQuantizer
+GridSelectQuantizer::mxAnt()
+{
+    return {"MX-ANT",
+            {gridFp4(), gridInt4(), gridPot4(), gridFlint4()},
+            32,
+            2.0};
+}
+
+GridSelectQuantizer
+GridSelectQuantizer::mxMAnt()
+{
+    // M-ANT adds mathematically shaped grids (lognormal/gaussian-
+    // optimal spacings and mixed-resolution variants).
+    std::vector<ValueGrid> grids{gridFp4(), gridInt4(), gridPot4(),
+                                 gridFlint4()};
+    grids.push_back({"gauss4", {0, 0.4f, 0.8f, 1.3f, 1.9f, 2.6f,
+                                3.8f, 6}});
+    grids.push_back({"lognorm4", {0, 0.35f, 0.7f, 1.1f, 1.6f, 2.3f,
+                                  3.4f, 6}});
+    grids.push_back({"dense-mid4", {0, 0.75f, 1.25f, 1.75f, 2.25f,
+                                    3, 4, 6}});
+    grids.push_back({"wide4", {0, 0.5f, 1, 2, 4, 6, 8, 12}});
+    return {"MX-M-ANT", std::move(grids), 64, 8.0};
+}
+
+GridSelectQuantizer
+GridSelectQuantizer::blockDialect()
+{
+    // 16 dialects spanning precision-vs-range trade-offs.
+    std::vector<ValueGrid> grids{gridFp4(), gridInt4(), gridPot4(),
+                                 gridFlint4()};
+    grids.push_back({"d4", {0, 0.4f, 0.8f, 1.3f, 1.9f, 2.6f, 3.8f, 6}});
+    grids.push_back({"d5", {0, 0.35f, 0.7f, 1.1f, 1.6f, 2.3f, 3.4f, 6}});
+    grids.push_back({"d6", {0, 0.25f, 0.5f, 0.75f, 1, 1.5f, 3, 6}});
+    grids.push_back({"d7", {0, 0.5f, 1, 1.5f, 2.5f, 3.5f, 5, 7}});
+    grids.push_back({"d8", {0, 0.75f, 1.5f, 2.25f, 3, 4, 5, 6}});
+    grids.push_back({"d9", {0, 1, 2, 3, 4, 5, 6, 8}});
+    grids.push_back({"d10", {0, 0.5f, 1, 2, 3, 4.5f, 6, 9}});
+    grids.push_back({"d11", {0, 0.3f, 0.6f, 1, 1.5f, 2.2f, 3.2f, 4.8f}});
+    grids.push_back({"d12", {0, 0.6f, 1.2f, 1.8f, 2.6f, 3.6f, 4.8f, 6.4f}});
+    grids.push_back({"d13", {0, 0.45f, 0.95f, 1.5f, 2.1f, 2.9f, 4.1f, 6}});
+    grids.push_back({"d14", {0, 0.2f, 0.45f, 0.8f, 1.3f, 2, 3.2f, 5.5f}});
+    grids.push_back({"d15", {0, 0.55f, 1.05f, 1.65f, 2.4f, 3.3f, 4.4f,
+                             5.8f}});
+    return {"BlockDialect", std::move(grids), 32, 4.0};
+}
+
+OliveQuantizer::OliveQuantizer(unsigned group_size)
+    : groupSize_(group_size)
+{}
+
+void
+OliveQuantizer::quantizeGroup(std::span<const float> in,
+                              std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+
+    // Identify the dominant outlier and its victim neighbour.
+    size_t o_idx = 0;
+    for (size_t i = 1; i < in.size(); ++i)
+        if (std::fabs(in[i]) > std::fabs(in[o_idx]))
+            o_idx = i;
+    size_t victim = o_idx ^ 1u;
+    bool has_victim = victim < in.size();
+
+    // Inlier scale from the largest non-outlier magnitude.
+    float inlier_max = 0.0f;
+    for (size_t i = 0; i < in.size(); ++i) {
+        if (i == o_idx || (has_victim && i == victim))
+            continue;
+        inlier_max = std::max(inlier_max, std::fabs(in[i]));
+    }
+    ScaleE8m0 s = computeSharedScale(
+        inlier_max > 0 ? inlier_max : amax, fp4, ScaleRule::Floor);
+    float inv = s.inverse();
+    float sval = s.value();
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = fp4.quantize(in[i] * inv) * sval;
+
+    // The victim is sacrificed; the pair encodes the outlier on a
+    // wide power-of-two (abfloat-style) grid anchored to the inlier
+    // scale.
+    if (has_victim)
+        out[victim] = 0.0f;
+    float mag = std::fabs(in[o_idx]) * inv;
+    float best = 0.0f;
+    for (int k = 0; k < 8; ++k) {
+        float cand = std::exp2(static_cast<float>(k)) * 4.0f;
+        if (std::fabs(cand - mag) < std::fabs(best - mag))
+            best = cand;
+    }
+    // Small outliers stay on the FP4 grid if that is closer.
+    float fp4_q = fp4.quantize(mag);
+    if (std::fabs(fp4_q - mag) <= std::fabs(best - mag))
+        best = fp4_q;
+    out[o_idx] = (in[o_idx] < 0 ? -best : best) * sval;
+}
+
+BitBudget
+OliveQuantizer::bitBudget() const
+{
+    // Outlier-victim encoding is in-band (the victim's slot), plus a
+    // per-group outlier locator.
+    return {4.0, 8.0, 5.0, groupSize_};
+}
+
+MicroScopiQWeightQuantizer::MicroScopiQWeightQuantizer(
+    unsigned group_size, unsigned n_outliers)
+    : groupSize_(group_size), nOutliers_(n_outliers)
+{}
+
+void
+MicroScopiQWeightQuantizer::quantizeGroup(std::span<const float> in,
+                                          std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp8 = Minifloat::fp8e4m3();
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+
+    // Rank elements by magnitude.
+    std::vector<size_t> order(in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return std::fabs(in[a]) > std::fabs(in[b]);
+    });
+    size_t n_out = std::min<size_t>(nOutliers_, in.size());
+
+    // Inlier scale from the largest inlier.
+    float inlier_max =
+        n_out < in.size() ? std::fabs(in[order[n_out]]) : amax;
+    ScaleE8m0 s = computeSharedScale(
+        inlier_max > 0 ? inlier_max : amax, fp4, ScaleRule::Floor);
+    float inv = s.inverse();
+    float sval = s.value();
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = fp4.quantize(in[i] * inv) * sval;
+
+    // Outliers re-encoded in FP8 (E4M3) precision; the smallest
+    // elements are pruned to pay the bit budget.
+    for (size_t k = 0; k < n_out; ++k) {
+        size_t idx = order[k];
+        out[idx] = fp8.quantize(in[idx] * inv) * sval;
+    }
+    for (size_t k = 0; k < n_out; ++k) {
+        size_t idx = order[in.size() - 1 - k];
+        out[idx] = 0.0f;
+    }
+}
+
+BitBudget
+MicroScopiQWeightQuantizer::bitBudget() const
+{
+    // Paper: permutation list + identifier + extra scale, 40+ bits
+    // per block at group 128; scaled to group 32 here.
+    return {4.0, 8.0, 12.0, groupSize_};
+}
+
+} // namespace model
+} // namespace m2x

@@ -1,0 +1,197 @@
+#include "model/config.hh"
+
+namespace m2x {
+namespace model {
+
+/*
+ * Family knobs are set so the quantization-error regime matches what
+ * the paper reports for real LLMs: block-max handling dominates
+ * (Fig. 3), OPT is the hardest model (activation outliers), LLaMA-3
+ * is harder than LLaMA-2, and Mistral/Falcon are mildest.
+ *
+ * klToLogPpl is the proxy-perplexity coupling (DESIGN.md §3):
+ * calibrated once per model so the *MXFP4 row* of Tbl. 3 reproduces
+ * the paper's value; every other method's perplexity then follows
+ * from its own measured KL. The calibration tool is
+ * bench/calibrate_coupling (run it if the generators change).
+ */
+
+namespace {
+
+ModelConfig
+base(const std::string &name, uint64_t seed)
+{
+    ModelConfig c;
+    c.name = name;
+    c.seed = seed;
+    return c;
+}
+
+} // anonymous namespace
+
+ModelConfig
+llama2_7b()
+{
+    ModelConfig c = base("LLaMA2-7B", 0x11a);
+    c.weightOutlierRate = 0.03;
+    c.weightOutlierAmp = 6.0;
+    c.embedOutlierRate = 0.04;
+    c.embedOutlierAmp = 6.0;
+    c.normGainOutlierRate = 0.01;
+    c.normGainOutlierAmp = 3.0;
+    c.actTailDof = 4.5;
+    c.fp16Perplexity = 5.47;
+    c.klToLogPpl = 0.085;
+    return c;
+}
+
+ModelConfig
+llama3_8b()
+{
+    // LLaMA-3 is consistently harder to quantize (larger effective
+    // dynamic range after its aggressive tokenizer/training recipe).
+    ModelConfig c = base("LLaMA3-8B", 0x3a8);
+    c.weightOutlierRate = 0.04;
+    c.weightOutlierAmp = 7.0;
+    c.embedOutlierRate = 0.05;
+    c.embedOutlierAmp = 7.0;
+    c.normGainOutlierRate = 0.012;
+    c.normGainOutlierAmp = 3.5;
+    c.actTailDof = 4.0;
+    c.fp16Perplexity = 6.14;
+    c.klToLogPpl = 0.0612;
+    return c;
+}
+
+ModelConfig
+llama3_70b()
+{
+    ModelConfig c = base("LLaMA3-70B", 0x370);
+    c.dModel = 256;
+    c.nHeads = 8;
+    c.nLayers = 4;
+    c.dFf = 688;
+    c.weightOutlierRate = 0.04;
+    c.weightOutlierAmp = 7.0;
+    c.embedOutlierRate = 0.05;
+    c.embedOutlierAmp = 7.0;
+    c.normGainOutlierRate = 0.012;
+    c.normGainOutlierAmp = 3.5;
+    c.actTailDof = 4.0;
+    c.fp16Perplexity = 2.85;
+    c.klToLogPpl = 0.1207;
+    return c;
+}
+
+ModelConfig
+opt_6_7b()
+{
+    // OPT's massive activation outliers are the canonical hard case.
+    ModelConfig c = base("OPT-6.7B", 0x067);
+    c.weightOutlierRate = 0.05;
+    c.weightOutlierAmp = 8.0;
+    c.embedOutlierRate = 0.07;
+    c.embedOutlierAmp = 9.0;
+    c.normGainOutlierRate = 0.02;
+    c.normGainOutlierAmp = 4.0;
+    c.actTailDof = 3.2;
+    c.fp16Perplexity = 10.86;
+    c.klToLogPpl = 0.0997;
+    return c;
+}
+
+ModelConfig
+mistral_7b()
+{
+    ModelConfig c = base("Mistral-7B", 0x715);
+    c.weightOutlierRate = 0.025;
+    c.weightOutlierAmp = 5.0;
+    c.embedOutlierRate = 0.03;
+    c.embedOutlierAmp = 5.0;
+    c.normGainOutlierRate = 0.008;
+    c.normGainOutlierAmp = 2.5;
+    c.actTailDof = 5.0;
+    c.fp16Perplexity = 5.32;
+    c.klToLogPpl = 0.1464;
+    return c;
+}
+
+ModelConfig
+falcon_7b()
+{
+    ModelConfig c = base("Falcon-7B", 0xfa1);
+    c.weightOutlierRate = 0.03;
+    c.weightOutlierAmp = 5.0;
+    c.embedOutlierRate = 0.035;
+    c.embedOutlierAmp = 5.5;
+    c.normGainOutlierRate = 0.01;
+    c.normGainOutlierAmp = 3.0;
+    c.actTailDof = 4.8;
+    c.fp16Perplexity = 6.59;
+    c.klToLogPpl = 0.0746;
+    return c;
+}
+
+ModelConfig
+llama1_7b()
+{
+    ModelConfig c = base("LLaMA-7B", 0x117);
+    c.weightOutlierRate = 0.03;
+    c.weightOutlierAmp = 6.0;
+    c.embedOutlierRate = 0.04;
+    c.embedOutlierAmp = 6.0;
+    c.normGainOutlierRate = 0.01;
+    c.normGainOutlierAmp = 3.0;
+    c.actTailDof = 4.5;
+    c.fp16Perplexity = 5.68;
+    c.klToLogPpl = 0.0197;
+    return c;
+}
+
+ModelConfig
+r1_qwen_1_5b()
+{
+    // Reasoning-distilled models: long chains compound quantization
+    // error; small models are the most fragile (Tbl. 4).
+    ModelConfig c = base("DeepSeek-R1-Distill-Qwen-1.5B", 0xd15);
+    c.dModel = 160;
+    c.nHeads = 4;
+    c.nLayers = 3;
+    c.dFf = 432;
+    c.weightOutlierRate = 0.05;
+    c.weightOutlierAmp = 7.0;
+    c.embedOutlierRate = 0.06;
+    c.embedOutlierAmp = 8.0;
+    c.normGainOutlierRate = 0.015;
+    c.normGainOutlierAmp = 3.5;
+    c.actTailDof = 3.5;
+    c.fp16Perplexity = 8.0;
+    c.klToLogPpl = 0.1;
+    return c;
+}
+
+ModelConfig
+r1_qwen_7b()
+{
+    ModelConfig c = base("DeepSeek-R1-Distill-Qwen-7B", 0xd70);
+    c.weightOutlierRate = 0.04;
+    c.weightOutlierAmp = 6.0;
+    c.embedOutlierRate = 0.05;
+    c.embedOutlierAmp = 7.0;
+    c.normGainOutlierRate = 0.012;
+    c.normGainOutlierAmp = 3.0;
+    c.actTailDof = 4.0;
+    c.fp16Perplexity = 6.5;
+    c.klToLogPpl = 0.1;
+    return c;
+}
+
+std::vector<ModelConfig>
+table3Models()
+{
+    return {llama2_7b(), llama3_8b(), llama3_70b(),
+            opt_6_7b(),  mistral_7b(), falcon_7b()};
+}
+
+} // namespace model
+} // namespace m2x

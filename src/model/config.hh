@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Model configurations for the synthetic transformer substrate.
+ *
+ * Substitution note (DESIGN.md §3): the paper evaluates on public
+ * pretrained LLMs we cannot load offline. Each paper model maps to a
+ * scaled-down transformer whose *statistics* — per-channel weight
+ * outliers, heavy-tailed activations, block-max misalignment — drive
+ * the same quantization-error mechanisms. The family-specific knobs
+ * (outlier rate/amplitude, activation tail weight) are set so that
+ * the relative difficulty ordering across models mirrors the paper
+ * (OPT's notorious activation outliers, LLaMA-3 harder to quantize
+ * than LLaMA-2, Mistral/Falcon milder). The FP16 anchors reproduce
+ * the paper's FP16 rows exactly; quantized deltas are *measured*.
+ */
+
+#ifndef M2X_MODEL_CONFIG_HH__
+#define M2X_MODEL_CONFIG_HH__
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m2x {
+namespace model {
+
+/** Architecture + distribution parameters for one synthetic model. */
+struct ModelConfig
+{
+    std::string name;      //!< paper model this stands in for
+    unsigned dModel = 192; //!< hidden width
+    unsigned nHeads = 4;
+    unsigned nLayers = 3;
+    unsigned dFf = 512;    //!< SwiGLU inner width
+    unsigned vocab = 512;
+    uint64_t seed = 1;     //!< weight-generation seed
+
+    /** @{ Outlier-structure knobs (see tensor_gen.hh). */
+    double weightOutlierRate = 0.01; //!< fraction of outlier channels
+    double weightOutlierAmp = 4.0;   //!< their amplification
+    double actTailDof = 5.0;  //!< Student-t dof of embeddings (lower
+                              //!< = heavier activation tails)
+    double normGainOutlierRate = 0.02; //!< RMSNorm-gain spike rate
+    double normGainOutlierAmp = 6.0;   //!< RMSNorm-gain spike size
+    double embedOutlierRate = 0.03; //!< hot residual-channel rate
+    double embedOutlierAmp = 6.0;   //!< hot-channel amplification
+    /** @} */
+
+    /** FP16 Wikitext perplexity anchor (paper Tbl. 3 FP16 row). */
+    double fp16Perplexity = 0.0;
+
+    /**
+     * How strongly measured logit KL maps to perplexity degradation
+     * (models differ in how much one layer's error compounds).
+     */
+    double klToLogPpl = 1.0;
+};
+
+/** @{ The paper's evaluation models (Tbl. 2/3/4, Figs. 3/4/6/7/13). */
+ModelConfig llama2_7b();
+ModelConfig llama3_8b();
+ModelConfig llama3_70b();
+ModelConfig opt_6_7b();
+ModelConfig mistral_7b();
+ModelConfig falcon_7b();
+ModelConfig llama1_7b();        //!< Fig. 4 (LLaMA-7B v1)
+ModelConfig r1_qwen_1_5b();     //!< Tbl. 4 reasoning models
+ModelConfig r1_qwen_7b();
+/** @} */
+
+/** All six Tbl. 3 models in paper order. */
+std::vector<ModelConfig> table3Models();
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_CONFIG_HH__

@@ -1,0 +1,134 @@
+#include "model/eval.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/tensor_gen.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace model {
+
+Evaluator::Evaluator(const ModelConfig &cfg, size_t eval_tokens,
+                     size_t seq_len)
+    : cfg_(cfg), model_(cfg), seqLen_(seq_len)
+{
+    m2x_assert(seq_len >= 8, "window too short");
+    Rng rng(cfg.seed ^ 0xeba1eba1eba1ull);
+    tokens_ = genTokens(rng, eval_tokens, cfg.vocab);
+
+    // Calibration stream for GPTQ-style factories (distinct from the
+    // eval stream, as in real calibration practice). More rows than
+    // one window so the Hessian estimate is usable.
+    std::vector<int> calib = genTokens(rng, 4 * seq_len, cfg.vocab);
+    model_.collectCalibration(calib);
+
+    // FP32 reference logits per window (model_ is FP32 after
+    // construction).
+    for (size_t off = 0; off + seqLen_ <= tokens_.size();
+         off += seqLen_) {
+        std::span<const int> window(tokens_.data() + off, seqLen_);
+        refLogits_.push_back(model_.forwardLogits(window));
+    }
+    m2x_assert(!refLogits_.empty(),
+               "eval_tokens must cover at least one window");
+}
+
+EvalRun
+Evaluator::run() const
+{
+    EvalRun out;
+    RunningMean kl, mse_acc;
+    size_t w = 0;
+    for (size_t off = 0; off + seqLen_ <= tokens_.size();
+         off += seqLen_, ++w) {
+        std::span<const int> window(tokens_.data() + off, seqLen_);
+        Matrix logits = model_.forwardLogits(window);
+        const Matrix &ref = refLogits_[w];
+        for (size_t t = 0; t < logits.rows(); ++t) {
+            kl.add(klDivergenceLogits(ref.row(t), logits.row(t)));
+            mse_acc.add(mse(ref.row(t), logits.row(t)));
+        }
+        out.logits.push_back(std::move(logits));
+    }
+    out.meanKl = kl.value();
+    out.logitMse = mse_acc.value();
+    return out;
+}
+
+double
+Evaluator::perplexityFrom(const EvalRun &run) const
+{
+    return cfg_.fp16Perplexity *
+           std::exp(cfg_.klToLogPpl * run.meanKl);
+}
+
+double
+Evaluator::accuracyFrom(const EvalRun &run, double fp16_accuracy,
+                        unsigned n_choices, uint64_t task_seed) const
+{
+    m2x_assert(n_choices >= 2 && n_choices <= 16, "bad n_choices");
+    m2x_assert(run.logits.size() == refLogits_.size(),
+               "run does not match this evaluator");
+    double p_keep = fp16_accuracy / 100.0;
+    Rng rng(task_seed ^ (cfg_.seed << 17) ^ 0x7a5c7a5cull);
+
+    size_t correct = 0, total = 0;
+    for (size_t w = 0; w < refLogits_.size(); ++w) {
+        const Matrix &ref = refLogits_[w];
+        const Matrix &cur = run.logits[w];
+        for (size_t t = 0; t < ref.rows(); ++t) {
+            std::span<const float> rrow = ref.row(t);
+            // Candidates: the reference argmax plus distractors at
+            // geometrically spaced ranks of the reference ordering.
+            // Adjacent-rank candidates would be near-ties that any
+            // quantization noise flips; spaced ranks make an item
+            // fail only when the logit perturbation overcomes a real
+            // margin — mirroring how multiple-choice endings differ
+            // by meaningful likelihood gaps.
+            std::vector<int> order(rrow.size());
+            for (size_t i = 0; i < order.size(); ++i)
+                order[i] = static_cast<int>(i);
+            std::sort(order.begin(), order.end(),
+                      [&](int a, int b) { return rrow[a] > rrow[b]; });
+            std::vector<int> cand(n_choices);
+            cand[0] = order[0];
+            double span = static_cast<double>(order.size() - 1);
+            for (size_t i = 1; i < n_choices; ++i) {
+                double frac = static_cast<double>(i) /
+                              static_cast<double>(n_choices - 1);
+                size_t rank = 1 + static_cast<size_t>(
+                    std::pow(frac, 2.5) * (span - 1.0));
+                cand[i] = order[std::min<size_t>(
+                    rank, order.size() - 1)];
+            }
+
+            // Reference choice is candidate 0 by construction; the
+            // label adds benchmark noise.
+            size_t label = 0;
+            if (rng.uniform() > p_keep)
+                label = 1 + rng.uniformInt(n_choices - 1);
+
+            // The model under test picks its own argmax among the
+            // candidates.
+            std::span<const float> crow = cur.row(t);
+            size_t pick = 0;
+            float best = crow[static_cast<size_t>(cand[0])];
+            for (size_t i = 1; i < n_choices; ++i) {
+                float v = crow[static_cast<size_t>(cand[i])];
+                if (v > best) {
+                    best = v;
+                    pick = i;
+                }
+            }
+            correct += (pick == label);
+            ++total;
+        }
+    }
+    return 100.0 * static_cast<double>(correct) /
+           static_cast<double>(total);
+}
+
+} // namespace model
+} // namespace m2x

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Evaluation harness: proxy perplexity and synthetic task accuracy.
+ *
+ * Substitution note (DESIGN.md §3): absolute Wikitext perplexity and
+ * lm-eval accuracies require the real pretrained models. We measure
+ * the *degradation* a quantization configuration causes — the KL
+ * divergence between the quantized and FP32 logit distributions over
+ * the same token stream, propagated through a real transformer
+ * forward pass — and anchor the FP16 row to the paper:
+ *
+ *     ppl_quant = ppl_fp16 * exp(klToLogPpl * mean KL)
+ *
+ * Task accuracy: each evaluated position becomes a multiple-choice
+ * item whose candidates are the reference model's top-K tokens; the
+ * label is the reference argmax with label noise tuned so the FP16
+ * row matches the paper's anchor. A quantized model loses accuracy
+ * exactly when its logit perturbation flips the argmax among
+ * plausible candidates — the same mechanism that drives real
+ * zero-shot degradation.
+ *
+ * Everything derives from one forward sweep per configuration
+ * (EvalRun), so perplexity and all six task accuracies share the
+ * compute.
+ */
+
+#ifndef M2X_MODEL_EVAL_HH__
+#define M2X_MODEL_EVAL_HH__
+
+#include <memory>
+#include <vector>
+
+#include "model/transformer.hh"
+
+namespace m2x {
+namespace model {
+
+/** Metrics + logits from one forward sweep of the current build. */
+struct EvalRun
+{
+    double meanKl = 0.0;
+    double logitMse = 0.0;
+    std::vector<Matrix> logits; //!< per evaluation window
+};
+
+/** A reusable evaluation context for one model. */
+class Evaluator
+{
+  public:
+    /**
+     * @param cfg model configuration
+     * @param eval_tokens total held-out token positions
+     * @param seq_len forward-pass window length
+     */
+    explicit Evaluator(const ModelConfig &cfg,
+                       size_t eval_tokens = 256, size_t seq_len = 64);
+
+    /** The configurable model (rebuild() per quantization config). */
+    TinyTransformer &model() { return model_; }
+    const ModelConfig &config() const { return cfg_; }
+
+    /** Forward sweep of the current build over the eval stream. */
+    EvalRun run() const;
+
+    /** Proxy perplexity from a run's mean KL. */
+    double perplexityFrom(const EvalRun &run) const;
+
+    /** Convenience: run() + perplexityFrom(). */
+    double proxyPerplexity() const { return perplexityFrom(run()); }
+
+    /**
+     * Task accuracy (percent) from a run.
+     * @param fp16_accuracy paper anchor for the FP16 row (percent)
+     * @param n_choices candidates per item (4 zero-shot, 8 reasoning)
+     * @param task_seed distinguishes benchmarks (distractor draw +
+     *        label noise)
+     */
+    double accuracyFrom(const EvalRun &run, double fp16_accuracy,
+                        unsigned n_choices, uint64_t task_seed) const;
+
+  private:
+    ModelConfig cfg_;
+    TinyTransformer model_;
+    size_t seqLen_;
+    std::vector<int> tokens_;
+    std::vector<Matrix> refLogits_; //!< FP32 reference, per window
+};
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_EVAL_HH__

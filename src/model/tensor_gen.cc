@@ -1,0 +1,114 @@
+#include "model/tensor_gen.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m2x {
+namespace model {
+
+Matrix
+genWeight(Rng &rng, size_t out_features, size_t in_features,
+          const ModelConfig &cfg, double scale)
+{
+    Matrix w(out_features, in_features);
+    // Per-input-channel scales: lognormal body + rare outliers. The
+    // *input* dimension is the MX grouping axis, so this is what
+    // block maxima see.
+    std::vector<double> ch(in_features);
+    for (auto &c : ch) {
+        c = rng.logNormal(0.0, 0.35);
+        if (rng.uniform() < cfg.weightOutlierRate)
+            c *= cfg.weightOutlierAmp *
+                 (1.0 + rng.uniform());
+    }
+    double norm = scale / std::sqrt(static_cast<double>(in_features));
+    for (size_t o = 0; o < out_features; ++o) {
+        double row_scale = rng.logNormal(0.0, 0.15);
+        for (size_t i = 0; i < in_features; ++i) {
+            w(o, i) = static_cast<float>(rng.normal() * ch[i] *
+                                         row_scale * norm);
+        }
+    }
+    return w;
+}
+
+std::vector<float>
+genNormGain(Rng &rng, size_t n, const ModelConfig &cfg)
+{
+    std::vector<float> g(n);
+    for (auto &v : g) {
+        v = static_cast<float>(1.0 + 0.15 * rng.normal());
+        if (rng.uniform() < cfg.normGainOutlierRate)
+            v *= static_cast<float>(
+                cfg.normGainOutlierAmp * (0.5 + rng.uniform()));
+    }
+    return g;
+}
+
+std::vector<float>
+hotChannelGains(Rng &rng, const ModelConfig &cfg)
+{
+    // Persistent outlier channels in the residual stream — the
+    // mechanism behind the paper's block-max misalignment error.
+    std::vector<float> g(cfg.dModel, 1.0f);
+    for (auto &v : g) {
+        if (rng.uniform() < cfg.embedOutlierRate)
+            v = static_cast<float>(cfg.embedOutlierAmp *
+                                   (0.5 + rng.uniform()));
+    }
+    return g;
+}
+
+Matrix
+genEmbedding(Rng &rng, const ModelConfig &cfg,
+             const std::vector<float> &gains)
+{
+    Matrix e(cfg.vocab, cfg.dModel);
+    for (auto &v : e.flat())
+        v = static_cast<float>(0.02 * rng.studentT(cfg.actTailDof));
+    for (size_t c = 0; c < cfg.dModel; ++c)
+        for (size_t v = 0; v < cfg.vocab; ++v)
+            e(v, c) *= gains[c];
+    return e;
+}
+
+Matrix
+genActivations(Rng &rng, size_t rows, size_t cols,
+               const ModelConfig &cfg)
+{
+    Matrix x(rows, cols);
+    // Channel scale vector with outliers (the RMSNorm-gain effect).
+    std::vector<float> gain = genNormGain(rng, cols, cfg);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            x(r, c) = static_cast<float>(
+                rng.studentT(cfg.actTailDof) * gain[c]);
+    return x;
+}
+
+std::vector<int>
+genTokens(Rng &rng, size_t n, unsigned vocab)
+{
+    m2x_assert(vocab >= 4, "vocabulary too small");
+    std::vector<int> toks(n);
+    // Order-1 Markov chain: each state prefers a small successor set,
+    // giving the logit distribution genuine low-entropy structure.
+    int state = static_cast<int>(rng.uniformInt(vocab));
+    for (size_t i = 0; i < n; ++i) {
+        toks[i] = state;
+        if (rng.uniform() < 0.7) {
+            // Likely transitions: a deterministic successor window.
+            state = static_cast<int>(
+                (static_cast<unsigned>(state) * 7 + 1 +
+                 rng.uniformInt(4)) %
+                vocab);
+        } else {
+            state = static_cast<int>(rng.uniformInt(vocab));
+        }
+    }
+    return toks;
+}
+
+} // namespace model
+} // namespace m2x

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic synthetic tensor generation with LLM-like outlier
+ * structure.
+ *
+ * What matters for MX-format fidelity is the *within-block* dynamic
+ * range: how often a block maximum towers over its neighbours. Real
+ * LLM weights have per-channel scale variation plus a sparse set of
+ * outlier channels; activations have heavy tails concentrated in a
+ * few channels (amplified by LayerNorm/RMSNorm gains). The
+ * generators reproduce exactly those mechanisms:
+ *   - weights: elementwise Gaussian x lognormal channel scale, with
+ *     a Bernoulli set of outlier channels amplified by a factor;
+ *   - norm gains: ~1 with rare large spikes (the classic outlier
+ *     channel mechanism);
+ *   - embeddings: Student-t rows (heavy tails).
+ */
+
+#ifndef M2X_MODEL_TENSOR_GEN_HH__
+#define M2X_MODEL_TENSOR_GEN_HH__
+
+#include <vector>
+
+#include "model/config.hh"
+#include "quant/matrix.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace model {
+
+/** Weight matrix [out, in] with outlier channel structure. */
+Matrix genWeight(Rng &rng, size_t out_features, size_t in_features,
+                 const ModelConfig &cfg, double scale);
+
+/** RMSNorm gain vector: ones with rare outlier spikes. */
+std::vector<float> genNormGain(Rng &rng, size_t n,
+                               const ModelConfig &cfg);
+
+/**
+ * Per-channel hot-channel gains for the residual stream: mostly 1,
+ * with cfg.embedOutlierRate of channels amplified by roughly
+ * cfg.embedOutlierAmp. Drawn deterministically from @p rng.
+ */
+std::vector<float> hotChannelGains(Rng &rng, const ModelConfig &cfg);
+
+/**
+ * Embedding table [vocab, d] with Student-t heavy tails; columns are
+ * scaled by @p gains (the persistent outlier channels).
+ */
+Matrix genEmbedding(Rng &rng, const ModelConfig &cfg,
+                    const std::vector<float> &gains);
+
+/**
+ * Synthetic activation matrix with channel-outlier structure (used
+ * by benches that exercise quantizers outside a full forward pass).
+ */
+Matrix genActivations(Rng &rng, size_t rows, size_t cols,
+                      const ModelConfig &cfg);
+
+/**
+ * Synthetic token stream: an order-1 Markov chain over the model's
+ * vocabulary so logits carry real structure (not uniform noise).
+ */
+std::vector<int> genTokens(Rng &rng, size_t n, unsigned vocab);
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_TENSOR_GEN_HH__

@@ -1,0 +1,317 @@
+#include "model/transformer.hh"
+
+#include <cmath>
+
+#include "model/tensor_gen.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace model {
+
+LinearFactory
+fp32LinearFactory()
+{
+    return [](const Matrix &w, const std::string &,
+              const Matrix *) -> std::unique_ptr<LinearOp> {
+        return std::make_unique<QuantizedLinear>(w, nullptr, nullptr);
+    };
+}
+
+LinearFactory
+quantizedLinearFactory(
+    std::function<std::shared_ptr<GroupQuantizer>()> weight_q,
+    std::function<std::shared_ptr<GroupQuantizer>()> act_q)
+{
+    return [weight_q, act_q](const Matrix &w, const std::string &,
+                             const Matrix *)
+               -> std::unique_ptr<LinearOp> {
+        return std::make_unique<QuantizedLinear>(
+            w, weight_q ? weight_q() : nullptr,
+            act_q ? act_q() : nullptr);
+    };
+}
+
+TinyTransformer::TinyTransformer(const ModelConfig &cfg) : cfg_(cfg)
+{
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 0x1234567);
+    std::vector<float> hot = hotChannelGains(rng, cfg);
+    embedding_ = genEmbedding(rng, cfg, hot);
+    lmHead_ = genWeight(rng, cfg.vocab, cfg.dModel, cfg, 1.0);
+    finalNormGain_ = genNormGain(rng, cfg.dModel, cfg);
+
+    double resid_scale = 1.0 / std::sqrt(2.0 * cfg.nLayers);
+    blocks_.resize(cfg.nLayers);
+    for (auto &b : blocks_) {
+        b.attnNormGain = genNormGain(rng, cfg.dModel, cfg);
+        b.mlpNormGain = genNormGain(rng, cfg.dModel, cfg);
+        b.wq = genWeight(rng, cfg.dModel, cfg.dModel, cfg, 1.0);
+        b.wk = genWeight(rng, cfg.dModel, cfg.dModel, cfg, 1.0);
+        b.wv = genWeight(rng, cfg.dModel, cfg.dModel, cfg, 1.0);
+        b.wo = genWeight(rng, cfg.dModel, cfg.dModel, cfg,
+                         resid_scale);
+        b.wGate = genWeight(rng, cfg.dFf, cfg.dModel, cfg, 1.0);
+        b.wUp = genWeight(rng, cfg.dFf, cfg.dModel, cfg, 1.0);
+        b.wDown = genWeight(rng, cfg.dModel, cfg.dFf, cfg,
+                            resid_scale);
+    }
+    rebuild(fp32LinearFactory());
+}
+
+std::vector<TinyTransformer::LinearSlot>
+TinyTransformer::linearSlots()
+{
+    std::vector<LinearSlot> slots;
+    for (size_t l = 0; l < blocks_.size(); ++l) {
+        Block &b = blocks_[l];
+        std::string p = "layer" + std::to_string(l) + ".";
+        slots.push_back({p + "q", &b.wq, &b.q});
+        slots.push_back({p + "k", &b.wk, &b.k});
+        slots.push_back({p + "v", &b.wv, &b.v});
+        slots.push_back({p + "o", &b.wo, &b.o});
+        slots.push_back({p + "gate", &b.wGate, &b.gate});
+        slots.push_back({p + "up", &b.wUp, &b.up});
+        slots.push_back({p + "down", &b.wDown, &b.down});
+    }
+    slots.push_back({"head", &lmHead_, &head_});
+    return slots;
+}
+
+void
+TinyTransformer::rebuild(const LinearFactory &factory)
+{
+    for (auto &slot : linearSlots()) {
+        auto it = calib_.find(slot.name);
+        const Matrix *calib =
+            it == calib_.end() ? nullptr : &it->second;
+        *slot.op = factory(*slot.weight, slot.name, calib);
+    }
+}
+
+std::vector<std::string>
+TinyTransformer::linearNames() const
+{
+    std::vector<std::string> names;
+    for (auto &slot : const_cast<TinyTransformer *>(this)
+                          ->linearSlots())
+        names.push_back(slot.name);
+    return names;
+}
+
+const Matrix &
+TinyTransformer::rawWeight(const std::string &name) const
+{
+    for (auto &slot :
+         const_cast<TinyTransformer *>(this)->linearSlots()) {
+        if (slot.name == name)
+            return *slot.weight;
+    }
+    m2x_fatal("unknown linear '%s'", name.c_str());
+}
+
+void
+TinyTransformer::setKvQuantizers(
+    std::function<std::shared_ptr<GroupQuantizer>()> kv_q,
+    std::function<std::shared_ptr<GroupQuantizer>()> qp_q)
+{
+    kvQ_ = std::move(kv_q);
+    qpQ_ = std::move(qp_q);
+}
+
+Matrix
+TinyTransformer::rmsNorm(const Matrix &x,
+                         const std::vector<float> &gain) const
+{
+    Matrix out(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        double ss = 0.0;
+        for (float v : x.row(r))
+            ss += static_cast<double>(v) * v;
+        float inv = static_cast<float>(
+            1.0 / std::sqrt(ss / static_cast<double>(x.cols()) +
+                            1e-6));
+        for (size_t c = 0; c < x.cols(); ++c)
+            out(r, c) = x(r, c) * inv * gain[c];
+    }
+    return out;
+}
+
+namespace {
+
+/** Rotary position embedding applied in place per head. */
+void
+applyRope(Matrix &x, unsigned n_heads)
+{
+    size_t t_len = x.rows();
+    size_t d = x.cols();
+    size_t hd = d / n_heads;
+    for (size_t t = 0; t < t_len; ++t) {
+        for (unsigned h = 0; h < n_heads; ++h) {
+            float *base = x.data() + t * d + h * hd;
+            for (size_t i = 0; i + 1 < hd; i += 2) {
+                double theta =
+                    static_cast<double>(t) /
+                    std::pow(10000.0,
+                             static_cast<double>(i) /
+                                 static_cast<double>(hd));
+                float c = static_cast<float>(std::cos(theta));
+                float s = static_cast<float>(std::sin(theta));
+                float a = base[i], b = base[i + 1];
+                base[i] = a * c - b * s;
+                base[i + 1] = a * s + b * c;
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+Matrix
+TinyTransformer::attention(const Block &b, const Matrix &x_normed,
+                           const std::string &prefix,
+                           std::map<std::string, Matrix> *collect) const
+{
+    size_t t_len = x_normed.rows();
+    size_t d = cfg_.dModel;
+    size_t hd = d / cfg_.nHeads;
+
+    Matrix q = b.q->forward(x_normed);
+    Matrix k = b.k->forward(x_normed);
+    Matrix v = b.v->forward(x_normed);
+    applyRope(q, cfg_.nHeads);
+    applyRope(k, cfg_.nHeads);
+
+    // §6.4 extension: K/V are right-hand GEMM operands and may be
+    // quantized with the static-side codec; Q with the dynamic one.
+    if (kvQ_) {
+        auto kq = kvQ_();
+        k = quantizeRowsGrouped(k, *kq);
+        auto vq = kvQ_();
+        v = quantizeRowsGrouped(v, *vq);
+    }
+    if (qpQ_) {
+        auto qq = qpQ_();
+        q = quantizeRowsGrouped(q, *qq);
+    }
+
+    float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+    Matrix out(t_len, d);
+    std::vector<float> scores(t_len);
+    for (unsigned h = 0; h < cfg_.nHeads; ++h) {
+        size_t off = h * hd;
+        for (size_t i = 0; i < t_len; ++i) {
+            // Causal scores for row i.
+            size_t valid = i + 1;
+            for (size_t j = 0; j < valid; ++j) {
+                double dot = 0.0;
+                for (size_t c = 0; c < hd; ++c)
+                    dot += static_cast<double>(q(i, off + c)) *
+                           k(j, off + c);
+                scores[j] = static_cast<float>(dot) * inv_sqrt;
+            }
+            // Softmax over the causal prefix.
+            float mx = scores[0];
+            for (size_t j = 1; j < valid; ++j)
+                mx = std::max(mx, scores[j]);
+            double z = 0.0;
+            for (size_t j = 0; j < valid; ++j) {
+                scores[j] = std::exp(scores[j] - mx);
+                z += scores[j];
+            }
+            float inv_z = static_cast<float>(1.0 / z);
+            for (size_t j = 0; j < valid; ++j)
+                scores[j] *= inv_z;
+            // §6.4: optionally quantize the probability row (P).
+            if (qpQ_) {
+                auto pq = qpQ_();
+                std::vector<float> p_out(valid);
+                quantizeSpanGrouped({scores.data(), valid},
+                                    {p_out.data(), valid}, *pq);
+                std::copy(p_out.begin(), p_out.end(),
+                          scores.begin());
+            }
+            // O_i = sum_j P_ij V_j.
+            for (size_t c = 0; c < hd; ++c) {
+                double acc = 0.0;
+                for (size_t j = 0; j < valid; ++j)
+                    acc += static_cast<double>(scores[j]) *
+                           v(j, off + c);
+                out(i, off + c) = static_cast<float>(acc);
+            }
+        }
+    }
+    if (collect)
+        (*collect)[prefix + "o"] = out;
+    return b.o->forward(out);
+}
+
+Matrix
+TinyTransformer::forwardInner(
+    std::span<const int> tokens,
+    std::map<std::string, Matrix> *collect) const
+{
+    size_t t_len = tokens.size();
+    Matrix x(t_len, cfg_.dModel);
+    for (size_t t = 0; t < t_len; ++t) {
+        int tok = tokens[t];
+        m2x_assert(tok >= 0 &&
+                   static_cast<unsigned>(tok) < cfg_.vocab,
+                   "token %d out of vocab %u", tok, cfg_.vocab);
+        for (size_t c = 0; c < cfg_.dModel; ++c)
+            x(t, c) = embedding_(static_cast<size_t>(tok), c);
+    }
+
+    auto record = [&](const std::string &name, const Matrix &input) {
+        if (collect)
+            (*collect)[name] = input;
+    };
+
+    for (size_t l = 0; l < blocks_.size(); ++l) {
+        const Block &b = blocks_[l];
+        std::string p = "layer" + std::to_string(l) + ".";
+
+        Matrix xn = rmsNorm(x, b.attnNormGain);
+        record(p + "q", xn);
+        record(p + "k", xn);
+        record(p + "v", xn);
+        Matrix attn = attention(b, xn, p, collect);
+        for (size_t i = 0; i < x.size(); ++i)
+            x.flat()[i] += attn.flat()[i];
+
+        Matrix mn = rmsNorm(x, b.mlpNormGain);
+        record(p + "gate", mn);
+        record(p + "up", mn);
+        Matrix g = b.gate->forward(mn);
+        Matrix u = b.up->forward(mn);
+        // SwiGLU: silu(g) * u
+        Matrix act(g.rows(), g.cols());
+        for (size_t i = 0; i < g.size(); ++i) {
+            float gv = g.flat()[i];
+            float silu = gv / (1.0f + std::exp(-gv));
+            act.flat()[i] = silu * u.flat()[i];
+        }
+        record(p + "down", act);
+        Matrix mlp = b.down->forward(act);
+        for (size_t i = 0; i < x.size(); ++i)
+            x.flat()[i] += mlp.flat()[i];
+    }
+
+    Matrix xf = rmsNorm(x, finalNormGain_);
+    record("head", xf);
+    return head_->forward(xf);
+}
+
+void
+TinyTransformer::collectCalibration(std::span<const int> tokens)
+{
+    calib_.clear();
+    forwardInner(tokens, &calib_);
+}
+
+Matrix
+TinyTransformer::forwardLogits(std::span<const int> tokens) const
+{
+    return forwardInner(tokens, nullptr);
+}
+
+} // namespace model
+} // namespace m2x

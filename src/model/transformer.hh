@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A small but complete decoder-only transformer: RMSNorm, RoPE
+ * multi-head causal attention, SwiGLU MLP, tied token embedding and
+ * LM head. Every linear layer is a pluggable LinearOp, so the same
+ * network runs in FP32 reference mode, W4A4 quantized mode for any
+ * format pair, or wrapped by algorithm schemes (QuaRot/GPTQ).
+ *
+ * The §6.4 extension — quantizing the attention KV cache (Sg-EM for
+ * K/V as static-side operands, Elem-EM for Q and the probability
+ * matrix P) — is available via setKvQuantizers().
+ */
+
+#ifndef M2X_MODEL_TRANSFORMER_HH__
+#define M2X_MODEL_TRANSFORMER_HH__
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gemm/gemm.hh"
+#include "model/config.hh"
+#include "quant/matrix.hh"
+
+namespace m2x {
+namespace model {
+
+/**
+ * Builds the LinearOp for one weight matrix. @p calib_input is the
+ * layer's FP input sample (rows of X) when calibration data has been
+ * collected, else nullptr; GPTQ-style factories need it.
+ */
+using LinearFactory = std::function<std::unique_ptr<LinearOp>(
+    const Matrix &weight, const std::string &layer_name,
+    const Matrix *calib_input)>;
+
+/** The plain FP32 factory (reference model). */
+LinearFactory fp32LinearFactory();
+
+/**
+ * A factory applying independent W/A group quantizers. The functors
+ * create fresh quantizer instances per layer (they carry per-tensor
+ * calibration state).
+ */
+LinearFactory quantizedLinearFactory(
+    std::function<std::shared_ptr<GroupQuantizer>()> weight_q,
+    std::function<std::shared_ptr<GroupQuantizer>()> act_q);
+
+/** The synthetic decoder-only transformer. */
+class TinyTransformer
+{
+  public:
+    explicit TinyTransformer(const ModelConfig &cfg);
+
+    /**
+     * (Re)build all linear operators with @p factory. Call once for
+     * the FP reference and once per quantization configuration.
+     */
+    void rebuild(const LinearFactory &factory);
+
+    /**
+     * Run an FP32 forward over @p tokens, capturing every linear
+     * layer's input rows for later GPTQ-style calibration.
+     */
+    void collectCalibration(std::span<const int> tokens);
+
+    /** Logits [T, vocab] for a causal forward pass over tokens. */
+    Matrix forwardLogits(std::span<const int> tokens) const;
+
+    /**
+     * §6.4 extension: quantize the attention operands. K and V use
+     * the static-side quantizer, Q and the post-softmax P use the
+     * dynamic-side quantizer. Pass nullptr factories to disable.
+     */
+    void setKvQuantizers(
+        std::function<std::shared_ptr<GroupQuantizer>()> kv_q,
+        std::function<std::shared_ptr<GroupQuantizer>()> qp_q);
+
+    const ModelConfig &config() const { return cfg_; }
+
+    /** Names of all linear layers (layer order is deterministic). */
+    std::vector<std::string> linearNames() const;
+
+    /** Raw (unquantized) weight of a linear by name. */
+    const Matrix &rawWeight(const std::string &name) const;
+
+  private:
+    struct Block
+    {
+        std::vector<float> attnNormGain;
+        std::vector<float> mlpNormGain;
+        Matrix wq, wk, wv, wo;       // raw weights
+        Matrix wGate, wUp, wDown;
+        std::unique_ptr<LinearOp> q, k, v, o;
+        std::unique_ptr<LinearOp> gate, up, down;
+    };
+
+    ModelConfig cfg_;
+    Matrix embedding_;    // [vocab, d]
+    Matrix lmHead_;       // [vocab, d]
+    std::vector<float> finalNormGain_;
+    std::vector<Block> blocks_;
+    std::unique_ptr<LinearOp> head_;
+    std::map<std::string, Matrix> calib_;
+
+    std::function<std::shared_ptr<GroupQuantizer>()> kvQ_;
+    std::function<std::shared_ptr<GroupQuantizer>()> qpQ_;
+
+    Matrix rmsNorm(const Matrix &x,
+                   const std::vector<float> &gain) const;
+    Matrix attention(const Block &b, const Matrix &x_normed,
+                     const std::string &prefix,
+                     std::map<std::string, Matrix> *collect) const;
+    Matrix forwardInner(std::span<const int> tokens,
+                        std::map<std::string, Matrix> *collect) const;
+
+    /** Ordered (name, raw weight, op slot) tuples. */
+    struct LinearSlot
+    {
+        std::string name;
+        const Matrix *weight;
+        std::unique_ptr<LinearOp> *op;
+    };
+    std::vector<LinearSlot> linearSlots();
+};
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_TRANSFORMER_HH__

@@ -1,0 +1,309 @@
+#include "model/zoo.hh"
+
+#include <memory>
+
+#include "core/elem_em.hh"
+#include "core/m2_nvfp4.hh"
+#include "core/m2xfp.hh"
+#include "core/sg_em.hh"
+#include "model/algorithms.hh"
+#include "model/baselines.hh"
+#include "mx/fp16_scale.hh"
+#include "mx/max_preserve.hh"
+#include "mx/mxfp.hh"
+#include "mx/nvfp4.hh"
+#include "mx/smx.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace model {
+
+namespace {
+
+using QFn = std::function<std::shared_ptr<GroupQuantizer>()>;
+
+QFn
+mxfp4Q(ScaleRule rule = ScaleRule::Floor)
+{
+    return [rule]() {
+        return std::make_shared<MxfpQuantizer>(
+            MxfpQuantizer::mxfp4(rule));
+    };
+}
+
+QFn
+nvfp4Q()
+{
+    return []() { return std::make_shared<Nvfp4Quantizer>(); };
+}
+
+QFn
+smx4Q()
+{
+    return []() {
+        return std::make_shared<SmxQuantizer>(SmxQuantizer::smx4());
+    };
+}
+
+QFn
+fp4Fp16Q()
+{
+    return []() {
+        return std::make_shared<Fp16ScaleQuantizer>(
+            Fp16ScaleQuantizer::fp4());
+    };
+}
+
+QFn
+m2xfpWeightQ(ScaleRule rule = ScaleRule::Floor)
+{
+    return [rule]() {
+        M2xfpConfig cfg;
+        cfg.rule = rule;
+        return std::make_shared<SgEmQuantizer>(
+            makeM2xfpWeightQuantizer(cfg));
+    };
+}
+
+QFn
+m2xfpActQ(ScaleRule rule = ScaleRule::Floor)
+{
+    return [rule]() {
+        M2xfpConfig cfg;
+        cfg.rule = rule;
+        return std::make_shared<ElemEmQuantizer>(
+            makeM2xfpActivationQuantizer(cfg));
+    };
+}
+
+QFn
+maxPreserveQ(const QFn &inner)
+{
+    return [inner]() -> std::shared_ptr<GroupQuantizer> {
+        auto q = inner();
+        // Wrap a fresh inner instance.
+        struct Shim : GroupQuantizer
+        {
+            explicit Shim(std::shared_ptr<GroupQuantizer> q)
+                : inner(std::move(q))
+            {}
+            std::shared_ptr<GroupQuantizer> inner;
+            void
+            calibrate(std::span<const float> f) override
+            {
+                inner->calibrate(f);
+            }
+            void
+            quantizeGroup(std::span<const float> in,
+                          std::span<float> out) const override
+            {
+                inner->quantizeGroup(in, out);
+            }
+            unsigned groupSize() const override
+            {
+                return inner->groupSize();
+            }
+            BitBudget bitBudget() const override
+            {
+                return inner->bitBudget();
+            }
+            std::string name() const override { return inner->name(); }
+        };
+        return std::make_shared<MaxPreserveQuantizer>(
+            std::make_unique<Shim>(q));
+    };
+}
+
+ScaleRule
+ruleFromSuffix(const std::string &s)
+{
+    if (s == "floor")
+        return ScaleRule::Floor;
+    if (s == "ceil")
+        return ScaleRule::Ceil;
+    if (s == "rtn1")
+        return ScaleRule::Rtn1;
+    if (s == "rtn2")
+        return ScaleRule::Rtn2;
+    if (s == "rtne")
+        return ScaleRule::Rtne;
+    m2x_fatal("unknown scale rule '%s'", s.c_str());
+}
+
+QuantScheme
+make(const std::string &name, QFn wq, QFn aq, double w_ebw,
+     double a_ebw)
+{
+    QuantScheme s;
+    s.name = name;
+    s.factory = quantizedLinearFactory(std::move(wq), std::move(aq));
+    s.weightEbw = w_ebw;
+    s.actEbw = a_ebw;
+    return s;
+}
+
+} // anonymous namespace
+
+QuantScheme
+scheme(const std::string &name)
+{
+    // Tbl. 8 rule variants: "<method>-<rule>".
+    auto dash = name.rfind('-');
+    if (dash != std::string::npos) {
+        std::string suffix = name.substr(dash + 1);
+        if (suffix == "floor" || suffix == "ceil" || suffix == "rtn1" ||
+            suffix == "rtn2" || suffix == "rtne") {
+            ScaleRule rule = ruleFromSuffix(suffix);
+            std::string base = name.substr(0, dash);
+            if (base == "MXFP4")
+                return make(name, mxfp4Q(rule), mxfp4Q(rule), 4.25,
+                            4.25);
+            if (base == "M2XFP")
+                return make(name, m2xfpWeightQ(rule),
+                            m2xfpActQ(rule), 4.5, 4.5);
+            m2x_fatal("no rule variants for '%s'", base.c_str());
+        }
+    }
+
+    if (name == "FP16") {
+        QuantScheme s;
+        s.name = name;
+        s.factory = fp32LinearFactory();
+        return s;
+    }
+    if (name == "MXFP4")
+        return make(name, mxfp4Q(), mxfp4Q(), 4.25, 4.25);
+    if (name == "NVFP4")
+        return make(name, nvfp4Q(), nvfp4Q(), 4.5, 4.5);
+    if (name == "SMX4")
+        return make(name, smx4Q(), smx4Q(), 4.0, 4.0);
+    if (name == "FP4")
+        return make(name, fp4Fp16Q(), fp4Fp16Q(), 4.5, 4.5);
+    if (name == "M2XFP")
+        return make(name, m2xfpWeightQ(), m2xfpActQ(), 4.5, 4.5);
+    if (name == "M2-NVFP4") {
+        return make(
+            name,
+            []() { return std::make_shared<M2Nvfp4Quantizer>(true); },
+            []() {
+                return std::make_shared<M2Nvfp4Quantizer>(false);
+            },
+            5.0, 5.0);
+    }
+    if (name == "MX-ANT") {
+        // Adaptive types for static weights; online search is too
+        // costly for activations, which stay MXFP4 (§6.2).
+        return make(
+            name,
+            []() {
+                return std::make_shared<GridSelectQuantizer>(
+                    GridSelectQuantizer::mxAnt());
+            },
+            mxfp4Q(), 4.3125, 4.25);
+    }
+    if (name == "MX-M-ANT") {
+        return make(
+            name,
+            []() {
+                return std::make_shared<GridSelectQuantizer>(
+                    GridSelectQuantizer::mxMAnt());
+            },
+            mxfp4Q(), 4.25, 4.25);
+    }
+    if (name == "MX-OliVe") {
+        return make(
+            name,
+            []() { return std::make_shared<OliveQuantizer>(); },
+            []() { return std::make_shared<OliveQuantizer>(); },
+            4.40625, 4.40625);
+    }
+    if (name == "MicroScopiQ") {
+        return make(
+            name,
+            []() {
+                return std::make_shared<MicroScopiQWeightQuantizer>();
+            },
+            []() { return std::make_shared<MxIntQuantizer>(4, 32); },
+            4.625, 4.25);
+    }
+    if (name == "BlockDialect") {
+        return make(
+            name,
+            []() {
+                return std::make_shared<GridSelectQuantizer>(
+                    GridSelectQuantizer::blockDialect());
+            },
+            []() {
+                return std::make_shared<GridSelectQuantizer>(
+                    GridSelectQuantizer::blockDialect());
+            },
+            4.375, 4.375);
+    }
+    if (name == "QuaRot") {
+        QuantScheme s;
+        s.name = name;
+        auto int4 = []() {
+            return std::make_shared<IntFp16ScaleQuantizer>(
+                IntFp16ScaleQuantizer::int4());
+        };
+        s.factory = quarotFactory(int4, int4, 0xabc1);
+        s.weightEbw = s.actEbw = 4.5;
+        return s;
+    }
+    if (name == "DuQuant") {
+        QuantScheme s;
+        s.name = name;
+        auto int4 = []() {
+            return std::make_shared<IntFp16ScaleQuantizer>(
+                IntFp16ScaleQuantizer::int4());
+        };
+        s.factory = duquantFactory(int4, int4, 0xabc2);
+        s.weightEbw = s.actEbw = 4.5;
+        return s;
+    }
+    if (name == "MR-GPTQ") {
+        QuantScheme s;
+        s.name = name;
+        s.factory = gptqFactory(GptqGrid::Mxfp4, mxfp4Q());
+        s.weightEbw = s.actEbw = 4.25;
+        return s;
+    }
+    if (name == "MR-GPTQ-M2XFP") {
+        QuantScheme s;
+        s.name = name;
+        s.factory = gptqFactory(GptqGrid::M2xfpSgEm, m2xfpActQ());
+        s.weightEbw = s.actEbw = 4.5;
+        return s;
+    }
+    if (name == "MXFP4-maxpreserve")
+        return make(name, maxPreserveQ(mxfp4Q()),
+                    maxPreserveQ(mxfp4Q()), 4.9, 4.9);
+    if (name == "NVFP4-maxpreserve")
+        return make(name, maxPreserveQ(nvfp4Q()),
+                    maxPreserveQ(nvfp4Q()), 5.8, 5.8);
+    if (name == "FP4-maxpreserve")
+        return make(name, maxPreserveQ(fp4Fp16Q()),
+                    maxPreserveQ(fp4Fp16Q()), 5.2, 5.2);
+    if (name == "SMX4-maxpreserve")
+        return make(name, maxPreserveQ(smx4Q()),
+                    maxPreserveQ(smx4Q()), 5.3, 5.3);
+
+    m2x_fatal("unknown quantization scheme '%s'", name.c_str());
+}
+
+std::vector<std::string>
+table3Methods()
+{
+    return {"FP16",      "MXFP4",       "MX-ANT",
+            "MX-M-ANT",  "MX-OliVe",    "MicroScopiQ",
+            "BlockDialect", "M2XFP"};
+}
+
+std::vector<std::string>
+table2Methods()
+{
+    return {"FP16", "SMX4", "MXFP4", "NVFP4", "M2XFP"};
+}
+
+} // namespace model
+} // namespace m2x

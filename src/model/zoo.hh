@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The quantization-scheme registry: maps the method names used in
+ * the paper's tables to LinearFactory builders, so every bench can
+ * evaluate "MXFP4" / "M2XFP" / "MicroScopiQ" / "QuaRot" / ... through
+ * one interface.
+ */
+
+#ifndef M2X_MODEL_ZOO_HH__
+#define M2X_MODEL_ZOO_HH__
+
+#include <string>
+#include <vector>
+
+#include "model/transformer.hh"
+
+namespace m2x {
+namespace model {
+
+/** One named W/A quantization scheme. */
+struct QuantScheme
+{
+    std::string name;
+    LinearFactory factory;
+    double weightEbw = 16.0; //!< effective bits, weight operand
+    double actEbw = 16.0;    //!< effective bits, activation operand
+};
+
+/**
+ * Look up a scheme by table name. Known names:
+ *   FP16, FP4, MXFP4, NVFP4, SMX4, M2XFP, M2-NVFP4,
+ *   MX-ANT, MX-M-ANT, MX-OliVe, MicroScopiQ, BlockDialect,
+ *   QuaRot, DuQuant, MR-GPTQ, MR-GPTQ-M2XFP,
+ *   MXFP4-maxpreserve, NVFP4-maxpreserve, FP4-maxpreserve,
+ *   SMX4-maxpreserve, and MXFP4-<rule> / M2XFP-<rule> for the Tbl. 8
+ *   scale rules (rule in floor/ceil/rtn1/rtn2/rtne).
+ */
+QuantScheme scheme(const std::string &name);
+
+/** Names in Tbl. 3 row order. */
+std::vector<std::string> table3Methods();
+
+/** Names in Tbl. 2 row order. */
+std::vector<std::string> table2Methods();
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_ZOO_HH__

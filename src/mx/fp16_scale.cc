@@ -1,0 +1,100 @@
+#include "mx/fp16_scale.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "formats/half.hh"
+#include "formats/intcodec.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+Fp16ScaleQuantizer::Fp16ScaleQuantizer(const Minifloat &elem,
+                                       unsigned group_size)
+    : elem_(elem), groupSize_(group_size)
+{
+    m2x_assert(group_size >= 1, "group size must be positive");
+}
+
+void
+Fp16ScaleQuantizer::quantizeGroup(std::span<const float> in,
+                                  std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    // FP16 scale maps the block max onto the format max exactly
+    // (up to FP16 rounding of the scale itself) — Fig. 2 top.
+    float s = quantizeToHalf(amax / elem_.maxValue());
+    if (s <= 0.0f)
+        s = halfBitsToFloat(0x0001); // smallest positive half
+    float inv = 1.0f / s;
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = elem_.quantize(in[i] * inv) * s;
+}
+
+BitBudget
+Fp16ScaleQuantizer::bitBudget() const
+{
+    return {static_cast<double>(elem_.bits()), 16.0, 0.0, groupSize_};
+}
+
+std::string
+Fp16ScaleQuantizer::name() const
+{
+    return elem_.name() + "-fp16s-g" + std::to_string(groupSize_);
+}
+
+Fp16ScaleQuantizer
+Fp16ScaleQuantizer::fp4(unsigned group_size)
+{
+    return {Minifloat::fp4e2m1(), group_size};
+}
+
+IntFp16ScaleQuantizer::IntFp16ScaleQuantizer(unsigned bits,
+                                             unsigned group_size)
+    : bits_(bits), groupSize_(group_size)
+{
+    m2x_assert(bits >= 2 && bits <= 8, "bad int width %u", bits);
+    maxCode_ = (1 << (bits - 1)) - 1;
+}
+
+void
+IntFp16ScaleQuantizer::quantizeGroup(std::span<const float> in,
+                                     std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    float s = quantizeToHalf(amax / static_cast<float>(maxCode_));
+    if (s <= 0.0f)
+        s = halfBitsToFloat(0x0001);
+    float inv = 1.0f / s;
+    for (size_t i = 0; i < in.size(); ++i) {
+        int64_t q = roundNearestEven(static_cast<double>(in[i] * inv));
+        q = std::clamp<int64_t>(q, -maxCode_, maxCode_);
+        out[i] = static_cast<float>(q) * s;
+    }
+}
+
+BitBudget
+IntFp16ScaleQuantizer::bitBudget() const
+{
+    return {static_cast<double>(bits_), 16.0, 0.0, groupSize_};
+}
+
+std::string
+IntFp16ScaleQuantizer::name() const
+{
+    return "INT" + std::to_string(bits_) + "-fp16s-g" +
+           std::to_string(groupSize_);
+}
+
+} // namespace m2x

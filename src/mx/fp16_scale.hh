@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pre-MX "conventional group-wise quantization": an FP16 scale per
+ * group instead of E8M0. Covers the paper's "FP4" baseline (Fig. 3),
+ * the Fig. 4 granularity sweep, and the INT4 grids used by the
+ * QuaRot / DuQuant algorithm baselines (Tbl. 7).
+ */
+
+#ifndef M2X_MX_FP16_SCALE_HH__
+#define M2X_MX_FP16_SCALE_HH__
+
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+
+namespace m2x {
+
+/** Minifloat elements with a per-group FP16 scale (amax -> M). */
+class Fp16ScaleQuantizer : public GroupQuantizer
+{
+  public:
+    Fp16ScaleQuantizer(const Minifloat &elem, unsigned group_size);
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    /** The paper's "FP4" baseline: E2M1 + FP16 scale, group 32. */
+    static Fp16ScaleQuantizer fp4(unsigned group_size = 32);
+
+  private:
+    const Minifloat &elem_;
+    unsigned groupSize_;
+};
+
+/** Symmetric INT elements with a per-group FP16 scale. */
+class IntFp16ScaleQuantizer : public GroupQuantizer
+{
+  public:
+    IntFp16ScaleQuantizer(unsigned bits, unsigned group_size);
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    static IntFp16ScaleQuantizer int4(unsigned group_size = 32)
+    {
+        return {4, group_size};
+    }
+
+  private:
+    unsigned bits_;
+    unsigned groupSize_;
+    int32_t maxCode_;
+};
+
+} // namespace m2x
+
+#endif // M2X_MX_FP16_SCALE_HH__

@@ -1,0 +1,67 @@
+#include "mx/max_preserve.hh"
+
+#include <cmath>
+
+#include "formats/half.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+
+MaxPreserveQuantizer::MaxPreserveQuantizer(
+    std::unique_ptr<GroupQuantizer> inner)
+    : inner_(std::move(inner))
+{
+    m2x_assert(inner_ != nullptr, "inner quantizer required");
+}
+
+void
+MaxPreserveQuantizer::calibrate(std::span<const float> full)
+{
+    inner_->calibrate(full);
+}
+
+void
+MaxPreserveQuantizer::quantizeGroup(std::span<const float> in,
+                                    std::span<float> out) const
+{
+    if (in.empty())
+        return;
+    size_t idx = 0;
+    float amax = -1.0f;
+    for (size_t i = 0; i < in.size(); ++i) {
+        float a = std::fabs(in[i]);
+        if (a > amax) {
+            amax = a;
+            idx = i;
+        }
+    }
+    // The preserved maximum is out-of-band, so it must not determine
+    // the inner shared scale either: quantize the group with the max
+    // slot neutralized (second-max drives the scale), then restore
+    // the max in FP16. This is what lets max-preservation "nearly
+    // match FP4" in Fig. 3.
+    std::vector<float> rest(in.begin(), in.end());
+    rest[idx] = 0.0f;
+    inner_->quantizeGroup(rest, out);
+    out[idx] = quantizeToHalf(in[idx]);
+}
+
+BitBudget
+MaxPreserveQuantizer::bitBudget() const
+{
+    BitBudget b = inner_->bitBudget();
+    // One FP16 value plus a log2(k)-bit index per group of extra
+    // metadata (the experiment is about accuracy, not bit efficiency,
+    // but we account for it honestly).
+    b.metaBits += 16.0 + std::ceil(std::log2(
+        static_cast<double>(b.groupSize)));
+    return b;
+}
+
+std::string
+MaxPreserveQuantizer::name() const
+{
+    return inner_->name() + "+maxfp16";
+}
+
+} // namespace m2x

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Max-value-preservation wrapper (the Fig. 3 motivation experiment):
+ * quantize a group with an inner quantizer, but keep the group's
+ * maximum-magnitude element in FP16. The paper uses this to show that
+ * mishandling the block maximum is MXFP4's dominant error source.
+ */
+
+#ifndef M2X_MX_MAX_PRESERVE_HH__
+#define M2X_MX_MAX_PRESERVE_HH__
+
+#include <memory>
+
+#include "quant/group_quantizer.hh"
+
+namespace m2x {
+
+/** Wraps an inner quantizer; group max bypasses it in FP16. */
+class MaxPreserveQuantizer : public GroupQuantizer
+{
+  public:
+    explicit MaxPreserveQuantizer(std::unique_ptr<GroupQuantizer> inner);
+
+    void calibrate(std::span<const float> full) override;
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return inner_->groupSize(); }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+  private:
+    std::unique_ptr<GroupQuantizer> inner_;
+};
+
+} // namespace m2x
+
+#endif // M2X_MX_MAX_PRESERVE_HH__

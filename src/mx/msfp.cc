@@ -1,0 +1,57 @@
+#include "mx/msfp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "formats/intcodec.hh"
+#include "quant/scale_rules.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+MsfpQuantizer::MsfpQuantizer(unsigned total_bits, unsigned group_size)
+    : totalBits_(total_bits), groupSize_(group_size)
+{
+    m2x_assert(total_bits >= 10 && total_bits <= 24,
+               "MSFP width %u out of range", total_bits);
+    mantBits_ = total_bits - 9; // minus sign and shared 8-bit exponent
+}
+
+void
+MsfpQuantizer::quantizeGroup(std::span<const float> in,
+                             std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    int e = floorLog2Exact(amax) + 1; // amax / 2^e in [0.5, 1)
+    float scale = std::exp2(static_cast<float>(e));
+    float inv = 1.0f / scale;
+    float grid = std::exp2(static_cast<float>(mantBits_));
+    int32_t max_code = static_cast<int32_t>(grid) - 1;
+    for (size_t i = 0; i < in.size(); ++i) {
+        int64_t q = roundNearestEven(
+            static_cast<double>(in[i] * inv) * grid);
+        q = std::clamp<int64_t>(q, -max_code, max_code);
+        out[i] = static_cast<float>(q) / grid * scale;
+    }
+}
+
+BitBudget
+MsfpQuantizer::bitBudget() const
+{
+    return {static_cast<double>(1 + mantBits_), 8.0, 0.0, groupSize_};
+}
+
+std::string
+MsfpQuantizer::name() const
+{
+    return "MSFP-" + std::to_string(totalBits_) + "-g" +
+           std::to_string(groupSize_);
+}
+
+} // namespace m2x

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * MSFP — Microsoft Floating Point (Brainwave-style block floating
+ * point). A block of k sign-magnitude fixed-point mantissas sharing
+ * one 8-bit exponent; MSFP-12 and MSFP-16 name the combined width of
+ * one element plus the shared scale (so 3 and 7 mantissa bits).
+ */
+
+#ifndef M2X_MX_MSFP_HH__
+#define M2X_MX_MSFP_HH__
+
+#include "quant/group_quantizer.hh"
+
+namespace m2x {
+
+/** Block-floating-point quantizer in the MSFP tradition. */
+class MsfpQuantizer : public GroupQuantizer
+{
+  public:
+    /**
+     * @param total_bits  the MSFP-N designation (12 or 16): one sign
+     *        bit + (N - 9) mantissa bits + the amortized 8-bit scale
+     * @param group_size  bounding-box size (16 in the MSFP paper)
+     */
+    MsfpQuantizer(unsigned total_bits, unsigned group_size);
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    static MsfpQuantizer msfp12() { return {12, 16}; }
+    static MsfpQuantizer msfp16() { return {16, 16}; }
+
+  private:
+    unsigned totalBits_;
+    unsigned mantBits_;
+    unsigned groupSize_;
+};
+
+} // namespace m2x
+
+#endif // M2X_MX_MSFP_HH__

@@ -1,0 +1,127 @@
+#include "mx/mxfp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+MxfpQuantizer::MxfpQuantizer(const Minifloat &elem, unsigned group_size,
+                             ScaleRule rule)
+    : elem_(elem), groupSize_(group_size), rule_(rule)
+{
+    m2x_assert(group_size >= 1, "group size must be positive");
+}
+
+ScaleE8m0
+MxfpQuantizer::sharedScale(std::span<const float> in) const
+{
+    return computeSharedScale(absMax(in), elem_, rule_);
+}
+
+void
+MxfpQuantizer::quantizeGroup(std::span<const float> in,
+                             std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    ScaleE8m0 s = sharedScale(in);
+    float inv = s.inverse();
+    float val = s.value();
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = elem_.quantize(in[i] * inv) * val;
+}
+
+BitBudget
+MxfpQuantizer::bitBudget() const
+{
+    return {static_cast<double>(elem_.bits()), 8.0, 0.0, groupSize_};
+}
+
+std::string
+MxfpQuantizer::name() const
+{
+    std::string n = "MX" + elem_.name() + "-g" +
+                    std::to_string(groupSize_);
+    if (rule_ != ScaleRule::Floor)
+        n += std::string("-") + scaleRuleName(rule_);
+    return n;
+}
+
+MxfpQuantizer
+MxfpQuantizer::mxfp4(ScaleRule rule)
+{
+    return {Minifloat::fp4e2m1(), 32, rule};
+}
+
+MxfpQuantizer
+MxfpQuantizer::mxfp6e2m3()
+{
+    return {Minifloat::fp6e2m3(), 32, ScaleRule::Floor};
+}
+
+MxfpQuantizer
+MxfpQuantizer::mxfp6e3m2()
+{
+    return {Minifloat::fp6e3m2(), 32, ScaleRule::Floor};
+}
+
+MxfpQuantizer
+MxfpQuantizer::mxfp8e4m3()
+{
+    return {Minifloat::fp8e4m3(), 32, ScaleRule::Floor};
+}
+
+MxfpQuantizer
+MxfpQuantizer::mxfp8e5m2()
+{
+    return {Minifloat::fp8e5m2(), 32, ScaleRule::Floor};
+}
+
+MxIntQuantizer::MxIntQuantizer(unsigned bits, unsigned group_size)
+    : bits_(bits), groupSize_(group_size)
+{
+    m2x_assert(bits >= 2 && bits <= 16, "bad MXINT width %u", bits);
+    maxCode_ = (1 << (bits - 1)) - 1;
+    fracBits_ = static_cast<int>(bits) - 2; // OCP: magnitudes < 2
+}
+
+void
+MxIntQuantizer::quantizeGroup(std::span<const float> in,
+                              std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    // Shared exponent chosen so amax / 2^E lands in [1, 2) — the OCP
+    // MXINT convention where mantissas span (-2, 2).
+    int e = floorLog2Exact(amax);
+    float scale = std::exp2(static_cast<float>(e));
+    float inv = 1.0f / scale;
+    float grid = std::exp2(static_cast<float>(fracBits_));
+    for (size_t i = 0; i < in.size(); ++i) {
+        double m = static_cast<double>(in[i] * inv) * grid;
+        int64_t q = roundNearestEven(m);
+        q = std::clamp<int64_t>(q, -maxCode_, maxCode_);
+        out[i] = static_cast<float>(q) / grid * scale;
+    }
+}
+
+BitBudget
+MxIntQuantizer::bitBudget() const
+{
+    return {static_cast<double>(bits_), 8.0, 0.0, groupSize_};
+}
+
+std::string
+MxIntQuantizer::name() const
+{
+    return "MXINT" + std::to_string(bits_) + "-g" +
+           std::to_string(groupSize_);
+}
+
+} // namespace m2x

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The OCP Microscaling (MX) family: a block of k minifloat elements
+ * sharing one E8M0 (power-of-two) scale. MXFP4 / MXFP6 / MXFP8 are
+ * instances of MxfpQuantizer; MXINT8 uses an integer mantissa grid.
+ *
+ * Quantization follows §2.2 of the paper: the shared scale is derived
+ * from the block maximum via a ScaleRule (OCP floor by default), each
+ * element is divided by the scale and rounded (RNE) onto the element
+ * grid, and dequantization multiplies back.
+ */
+
+#ifndef M2X_MX_MXFP_HH__
+#define M2X_MX_MXFP_HH__
+
+#include <string>
+
+#include "formats/intcodec.hh"
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+#include "quant/scale_rules.hh"
+
+namespace m2x {
+
+/** MXFP: k minifloat elements + one E8M0 shared scale. */
+class MxfpQuantizer : public GroupQuantizer
+{
+  public:
+    /**
+     * @param elem  element format (e.g. Minifloat::fp4e2m1())
+     * @param group_size block size k (OCP default 32)
+     * @param rule  shared-scale rule (OCP floor by default)
+     */
+    MxfpQuantizer(const Minifloat &elem, unsigned group_size,
+                  ScaleRule rule = ScaleRule::Floor);
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    const Minifloat &elem() const { return elem_; }
+    ScaleRule rule() const { return rule_; }
+
+    /** The shared scale this quantizer would pick for a group. */
+    ScaleE8m0 sharedScale(std::span<const float> in) const;
+
+    /** Canonical MXFP4: FP4 E2M1, group 32, floor rule. */
+    static MxfpQuantizer mxfp4(ScaleRule rule = ScaleRule::Floor);
+    /** MXFP6 (E2M3), group 32. */
+    static MxfpQuantizer mxfp6e2m3();
+    /** MXFP6 (E3M2), group 32. */
+    static MxfpQuantizer mxfp6e3m2();
+    /** MXFP8 (E4M3), group 32. */
+    static MxfpQuantizer mxfp8e4m3();
+    /** MXFP8 (E5M2), group 32. */
+    static MxfpQuantizer mxfp8e5m2();
+
+  private:
+    const Minifloat &elem_;
+    unsigned groupSize_;
+    ScaleRule rule_;
+};
+
+/**
+ * MXINT8: 8-bit signed fixed-point mantissas (6 fraction bits, OCP
+ * convention: representable magnitudes < 2) sharing an E8M0 scale.
+ */
+class MxIntQuantizer : public GroupQuantizer
+{
+  public:
+    MxIntQuantizer(unsigned bits, unsigned group_size);
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    static MxIntQuantizer mxint8() { return {8, 32}; }
+
+  private:
+    unsigned bits_;
+    unsigned groupSize_;
+    int32_t maxCode_;
+    int fracBits_;
+};
+
+} // namespace m2x
+
+#endif // M2X_MX_MXFP_HH__

@@ -1,0 +1,64 @@
+#include "mx/nvfp4.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+Nvfp4Quantizer::Nvfp4Quantizer(unsigned group_size)
+    : groupSize_(group_size)
+{
+    m2x_assert(group_size >= 1, "group size must be positive");
+}
+
+void
+Nvfp4Quantizer::calibrate(std::span<const float> full)
+{
+    float amax = absMax(full);
+    // 448 = E4M3 max, 6 = FP4 max: block scales then use E4M3's full
+    // range without overflow.
+    tensorScale_ = amax > 0.0f
+        ? amax / (448.0f * 6.0f)
+        : 1.0f;
+}
+
+void
+Nvfp4Quantizer::quantizeGroup(std::span<const float> in,
+                              std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp8 = Minifloat::fp8e4m3();
+
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    float want = amax / (6.0f * tensorScale_);
+    float block_scale = fp8.quantize(want);
+    if (block_scale <= 0.0f)
+        block_scale = fp8.minSubnormal();
+    float s = block_scale * tensorScale_;
+    float inv = 1.0f / s;
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] = fp4.quantize(in[i] * inv) * s;
+}
+
+BitBudget
+Nvfp4Quantizer::bitBudget() const
+{
+    // FP32 tensor scale amortizes to ~0 bits per element.
+    return {4.0, 8.0, 0.0, groupSize_};
+}
+
+std::string
+Nvfp4Quantizer::name() const
+{
+    return "NVFP4-g" + std::to_string(groupSize_);
+}
+
+} // namespace m2x

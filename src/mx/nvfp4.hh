@@ -1,0 +1,47 @@
+/**
+ * @file
+ * NVFP4: NVIDIA's 4-bit microscaling variant (Blackwell). FP4 E2M1
+ * elements in groups of 16, with an FP8 (E4M3) block scale and an
+ * FP32 tensor-level scale that re-centres the distribution so block
+ * scales stay inside E4M3's limited range (§2.2 of the paper).
+ *
+ * Recipe (matching the public NVFP4 description):
+ *   tensor_scale = tensor_amax / (448 * 6)
+ *   block_scale  = cast_fp8_e4m3(block_amax / (6 * tensor_scale))
+ *   element      = cast_fp4(x / (block_scale * tensor_scale))
+ */
+
+#ifndef M2X_MX_NVFP4_HH__
+#define M2X_MX_NVFP4_HH__
+
+#include "formats/minifloat.hh"
+#include "quant/group_quantizer.hh"
+
+namespace m2x {
+
+/** NVFP4 quantizer (group 16, FP8 block scale, FP32 tensor scale). */
+class Nvfp4Quantizer : public GroupQuantizer
+{
+  public:
+    explicit Nvfp4Quantizer(unsigned group_size = 16);
+
+    /** Computes the tensor-level scale from the full tensor. */
+    void calibrate(std::span<const float> full) override;
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return groupSize_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    float tensorScale() const { return tensorScale_; }
+
+  private:
+    unsigned groupSize_;
+    float tensorScale_ = 1.0f;
+};
+
+} // namespace m2x
+
+#endif // M2X_MX_NVFP4_HH__

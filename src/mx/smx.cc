@@ -1,0 +1,90 @@
+#include "mx/smx.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "formats/intcodec.hh"
+#include "quant/scale_rules.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+
+SmxQuantizer::SmxQuantizer(unsigned mant_bits, unsigned k1, unsigned k2)
+    : mantBits_(mant_bits), k1_(k1), k2_(k2)
+{
+    m2x_assert(mant_bits >= 1 && mant_bits <= 8, "bad mantissa width");
+    m2x_assert(k2 >= 1 && k1 >= k2, "bad k1/k2 (%u/%u)", k1, k2);
+    m2x_assert(k2 <= 64, "micro-exponent subgroup too large (%u)", k2);
+}
+
+void
+SmxQuantizer::quantizeGroup(std::span<const float> in,
+                            std::span<float> out) const
+{
+    m2x_assert(in.size() == out.size(), "group size mismatch");
+    float amax = absMax(in);
+    if (amax == 0.0f) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+
+    // Block scale: amax / S in [0.5, 1) so the top mantissa code is
+    // reachable at micro-exponent 0.
+    int e = floorLog2Exact(amax) + 1;
+    float scale = std::exp2(static_cast<float>(e));
+    float inv = 1.0f / scale;
+
+    float grid = std::exp2(static_cast<float>(mantBits_));
+    int32_t max_code = static_cast<int32_t>(grid) - 1;
+
+    for (size_t base = 0; base < in.size(); base += k2_) {
+        size_t len = std::min<size_t>(k2_, in.size() - base);
+        // Choose the pair micro-exponent d in {0, 1} (value scaled by
+        // 2^-d) minimizing the subgroup squared error.
+        double best_err = -1.0;
+        unsigned best_d = 0;
+        float best_vals[64];
+        for (unsigned d = 0; d <= 1; ++d) {
+            float sub_scale = std::exp2(-static_cast<float>(d));
+            double err = 0.0;
+            float vals[64];
+            for (size_t i = 0; i < len; ++i) {
+                float x = in[base + i] * inv / sub_scale;
+                int64_t q = roundNearestEven(
+                    static_cast<double>(x) * grid);
+                q = std::clamp<int64_t>(q, -max_code, max_code);
+                float v = static_cast<float>(q) / grid * sub_scale *
+                          scale;
+                vals[i] = v;
+                double delta = static_cast<double>(v) - in[base + i];
+                err += delta * delta;
+            }
+            if (best_err < 0.0 || err < best_err) {
+                best_err = err;
+                best_d = d;
+                std::copy(vals, vals + len, best_vals);
+            }
+        }
+        (void)best_d;
+        std::copy(best_vals, best_vals + len, out.begin() + base);
+    }
+}
+
+BitBudget
+SmxQuantizer::bitBudget() const
+{
+    // sign + mantissa per element, 1-bit micro-exponent per k2, 8-bit
+    // scale per k1. Fold the micro-exponents into metaBits.
+    double meta = static_cast<double>(k1_) / k2_;
+    return {static_cast<double>(1 + mantBits_), 8.0, meta, k1_};
+}
+
+std::string
+SmxQuantizer::name() const
+{
+    return "SMX" + std::to_string(1 + mantBits_ + 1) + "-k" +
+           std::to_string(k1_) + "/" + std::to_string(k2_);
+}
+
+} // namespace m2x

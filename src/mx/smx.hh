@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SMX — Shared Microexponents (Rouhani et al., ISCA'23), the two-level
+ * shared-scale format the paper evaluates as SMX4.
+ *
+ * Structure: k1 elements (16) share an 8-bit E8M0 scale; within the
+ * block, each k2-sized subgroup (2) shares a 1-bit micro-exponent
+ * that optionally shifts the subgroup down by one binade. Elements
+ * are sign-magnitude fixed-point mantissas ("INT3" for SMX4: sign +
+ * 2 mantissa bits).
+ *
+ * The paper's Fig. 3 observation — SMX4 collapses when the two paired
+ * elements differ in magnitude — falls out of this construction: one
+ * large element forces the pair's micro-exponent high, crushing its
+ * small neighbour's resolution.
+ */
+
+#ifndef M2X_MX_SMX_HH__
+#define M2X_MX_SMX_HH__
+
+#include "quant/group_quantizer.hh"
+
+namespace m2x {
+
+/** SMX quantizer with configurable mantissa width and k1/k2. */
+class SmxQuantizer : public GroupQuantizer
+{
+  public:
+    /**
+     * @param mant_bits  element mantissa bits (2 for SMX4)
+     * @param k1  block size sharing the 8-bit scale (16)
+     * @param k2  subgroup size sharing the 1-bit micro-exponent (2)
+     */
+    SmxQuantizer(unsigned mant_bits, unsigned k1, unsigned k2);
+
+    void quantizeGroup(std::span<const float> in,
+                       std::span<float> out) const override;
+
+    unsigned groupSize() const override { return k1_; }
+    BitBudget bitBudget() const override;
+    std::string name() const override;
+
+    /** SMX4: sign + 2-bit mantissa, k1=16, k2=2 (paper's config). */
+    static SmxQuantizer smx4() { return {2, 16, 2}; }
+
+  private:
+    unsigned mantBits_;
+    unsigned k1_;
+    unsigned k2_;
+};
+
+} // namespace m2x
+
+#endif // M2X_MX_SMX_HH__

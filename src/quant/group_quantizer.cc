@@ -1,0 +1,47 @@
+#include "quant/group_quantizer.hh"
+
+#include <algorithm>
+
+namespace m2x {
+
+void
+quantizeSpanGrouped(std::span<const float> in, std::span<float> out,
+                    const GroupQuantizer &q)
+{
+    m2x_assert(in.size() == out.size(), "span size mismatch");
+    size_t k = q.groupSize();
+    for (size_t off = 0; off < in.size(); off += k) {
+        size_t len = std::min(k, in.size() - off);
+        q.quantizeGroup(in.subspan(off, len), out.subspan(off, len));
+    }
+}
+
+Matrix
+quantizeRowsGrouped(const Matrix &in, GroupQuantizer &q)
+{
+    q.calibrate(in.flat());
+    Matrix out(in.rows(), in.cols());
+    for (size_t r = 0; r < in.rows(); ++r)
+        quantizeSpanGrouped(in.row(r), out.row(r), q);
+    return out;
+}
+
+Matrix
+quantizeColsGrouped(const Matrix &in, GroupQuantizer &q)
+{
+    Matrix t = in.transposed();
+    Matrix qt = quantizeRowsGrouped(t, q);
+    return qt.transposed();
+}
+
+Matrix
+quantizeRowsWholeChannel(const Matrix &in, GroupQuantizer &q)
+{
+    q.calibrate(in.flat());
+    Matrix out(in.rows(), in.cols());
+    for (size_t r = 0; r < in.rows(); ++r)
+        q.quantizeGroup(in.row(r), out.row(r));
+    return out;
+}
+
+} // namespace m2x

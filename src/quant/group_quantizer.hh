@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The common interface all block/group quantizers implement, plus the
+ * equivalent-bit-width (EBW, Eq. 2) accounting and helpers that apply
+ * a group quantizer over whole matrices.
+ *
+ * A quantizer here is a *simulated* codec: quantizeGroup() consumes k
+ * high-precision values and produces the k dequantized values the
+ * format would reconstruct. Bit-level packing is provided separately
+ * (core/m2xfp_packed.hh) and is verified to reconstruct the same
+ * values.
+ */
+
+#ifndef M2X_QUANT_GROUP_QUANTIZER_HH__
+#define M2X_QUANT_GROUP_QUANTIZER_HH__
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "quant/matrix.hh"
+
+namespace m2x {
+
+/** Eq. 2: EBW = B_elem + (B_meta + B_scale) / k. */
+struct BitBudget
+{
+    double elemBits = 0.0;  //!< bits per element
+    double scaleBits = 0.0; //!< shared-scale bits per group
+    double metaBits = 0.0;  //!< metadata bits per group
+    unsigned groupSize = 1; //!< k
+
+    double
+    ebw() const
+    {
+        return elemBits + (metaBits + scaleBits) /
+               static_cast<double>(groupSize);
+    }
+};
+
+/**
+ * Abstract group quantizer: maps one group of values to the values a
+ * decoder would reconstruct.
+ */
+class GroupQuantizer
+{
+  public:
+    virtual ~GroupQuantizer() = default;
+
+    /**
+     * Observe the full tensor before group quantization begins.
+     * Formats with tensor-level state (NVFP4's tensor scale) override
+     * this; the default is a no-op. The matrix helpers below call it
+     * once per tensor.
+     */
+    virtual void calibrate(std::span<const float> full) { (void)full; }
+
+    /**
+     * Quantize one group.
+     * @param in   up to groupSize() source values
+     * @param out  same length; receives dequantized values
+     */
+    virtual void quantizeGroup(std::span<const float> in,
+                               std::span<float> out) const = 0;
+
+    /** Nominal group size k (callers may pass shorter tail groups). */
+    virtual unsigned groupSize() const = 0;
+
+    /** Storage accounting for Eq. 2. */
+    virtual BitBudget bitBudget() const = 0;
+
+    /** Display name used in bench tables. */
+    virtual std::string name() const = 0;
+
+    double ebw() const { return bitBudget().ebw(); }
+};
+
+/**
+ * Apply @p q independently to consecutive groups of each row of @p in
+ * (after a calibrate() pass over the whole tensor). Tail groups are
+ * simply shorter.
+ */
+Matrix quantizeRowsGrouped(const Matrix &in, GroupQuantizer &q);
+
+/** Same, grouping down the columns (per-column groups along rows). */
+Matrix quantizeColsGrouped(const Matrix &in, GroupQuantizer &q);
+
+/** Quantize a flat span group-by-group (no calibrate() call). */
+void quantizeSpanGrouped(std::span<const float> in, std::span<float> out,
+                         const GroupQuantizer &q);
+
+/**
+ * Per-(whole-)channel quantization helper: treats each full row as a
+ * single group regardless of the quantizer's nominal k. Used for the
+ * "channel" point of Fig. 4.
+ */
+Matrix quantizeRowsWholeChannel(const Matrix &in, GroupQuantizer &q);
+
+} // namespace m2x
+
+#endif // M2X_QUANT_GROUP_QUANTIZER_HH__

@@ -1,0 +1,15 @@
+#include "quant/matrix.hh"
+
+namespace m2x {
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+} // namespace m2x

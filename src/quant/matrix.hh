@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Row-major float matrix used across the quantizers, GEMM kernels and
+ * the transformer substrate. Deliberately minimal: contiguous storage,
+ * span-based row access, no expression templates.
+ */
+
+#ifndef M2X_QUANT_MATRIX_HH__
+#define M2X_QUANT_MATRIX_HH__
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+/** Dense row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    Matrix(size_t rows, size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    float &operator()(size_t r, size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    float operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    std::span<float> row(size_t r)
+    {
+        m2x_assert(r < rows_, "row %zu out of %zu", r, rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+    std::span<const float> row(size_t r) const
+    {
+        m2x_assert(r < rows_, "row %zu out of %zu", r, rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    std::span<float> flat() { return {data_.data(), data_.size()}; }
+    std::span<const float> flat() const
+    {
+        return {data_.data(), data_.size()};
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Elementwise check for identical shape. */
+    bool sameShape(const Matrix &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_;
+    }
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<float> data_;
+};
+
+} // namespace m2x
+
+#endif // M2X_QUANT_MATRIX_HH__

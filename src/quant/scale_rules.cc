@@ -1,0 +1,104 @@
+#include "quant/scale_rules.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+const char *
+scaleRuleName(ScaleRule rule)
+{
+    switch (rule) {
+      case ScaleRule::Floor: return "floor";
+      case ScaleRule::Ceil: return "ceil";
+      case ScaleRule::Rtn1: return "RTN1";
+      case ScaleRule::Rtn2: return "RTN2";
+      case ScaleRule::Rtne: return "RTNE";
+    }
+    return "?";
+}
+
+int
+floorLog2Exact(float x)
+{
+    m2x_assert(x > 0.0f && std::isfinite(x), "floorLog2 of %g",
+               static_cast<double>(x));
+    int e;
+    float m = std::frexp(x, &e); // x = m * 2^e, m in [0.5, 1)
+    (void)m;
+    // log2(x) in [e-1, e); floor is e-1 (m == 0.5 gives exactly e-1).
+    return e - 1;
+}
+
+int
+ceilLog2Exact(float x)
+{
+    m2x_assert(x > 0.0f && std::isfinite(x), "ceilLog2 of %g",
+               static_cast<double>(x));
+    int e;
+    float m = std::frexp(x, &e);
+    return (m == 0.5f) ? e - 1 : e;
+}
+
+int
+roundLog2Exact(float x)
+{
+    m2x_assert(x > 0.0f && std::isfinite(x), "roundLog2 of %g",
+               static_cast<double>(x));
+    int e;
+    float m = std::frexp(x, &e); // 2m in [1, 2)
+    // round(log2(x)) = e-1 if 2m < sqrt(2) else e. sqrt(2) is not
+    // exactly representable, so no ties occur.
+    return (2.0f * m < std::sqrt(2.0f)) ? e - 1 : e;
+}
+
+namespace {
+
+/**
+ * Round to the nearest power of two in value space; the linear
+ * midpoint between 2^k and 2^(k+1) is 1.5 * 2^k and ties go to the
+ * smaller power (matches the RTNE <-> ceil equivalence for FP4).
+ * Returns the exponent k of the chosen power 2^k.
+ */
+int
+roundToPow2Exponent(float x)
+{
+    int e;
+    float m = std::frexp(x, &e); // x = m * 2^e, m in [0.5, 1)
+    // Powers bracketing x: 2^(e-1) and 2^e; midpoint 1.5 * 2^(e-1)
+    // corresponds to m == 0.75.
+    return (m <= 0.75f) ? e - 1 : e;
+}
+
+} // anonymous namespace
+
+ScaleE8m0
+computeSharedScale(float amax, const Minifloat &elem, ScaleRule rule)
+{
+    if (amax <= 0.0f || !std::isfinite(amax))
+        return ScaleE8m0::fromExponent(0);
+
+    int p_log2 = floorLog2Exact(elem.maxPow2());
+    int e = 0;
+    switch (rule) {
+      case ScaleRule::Floor:
+        e = floorLog2Exact(amax) - p_log2;
+        break;
+      case ScaleRule::Ceil:
+        e = ceilLog2Exact(amax / elem.maxValue());
+        break;
+      case ScaleRule::Rtn1:
+        e = roundLog2Exact(amax / elem.maxValue());
+        break;
+      case ScaleRule::Rtn2:
+        e = roundLog2Exact(amax) - p_log2;
+        break;
+      case ScaleRule::Rtne:
+        e = roundToPow2Exponent(amax) - p_log2;
+        break;
+    }
+    return ScaleE8m0::fromExponent(e);
+}
+
+} // namespace m2x

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The five shared-scale computation rules evaluated in Tbl. 8 of the
+ * paper. All derive an E8M0 exponent E (scale S = 2^E) from a block's
+ * maximum absolute value amax and the element format's
+ *   P = largest representable power of two (4 for FP4 E2M1), and
+ *   M = largest representable magnitude (6 for FP4 E2M1).
+ *
+ *  floor : E = floor(log2(amax / P))        (OCP default)
+ *  ceil  : E = ceil (log2(amax / M))
+ *  rtn1  : E = round(log2(amax / M))
+ *  rtn2  : E = round(log2(amax / P))
+ *  rtne  : E = floor(log2(round2(amax) / P)) where round2() rounds
+ *          amax to the nearest power of two in value space (linear
+ *          midpoint 1.5 * 2^k, ties toward the smaller power).
+ *
+ * For FP4 (M = 1.5 P) rtne and ceil coincide, as the paper notes.
+ * All log/floor/ceil arithmetic is done on exact exponent/mantissa
+ * decompositions (frexp) so power-of-two boundaries are never subject
+ * to floating-point log error.
+ */
+
+#ifndef M2X_QUANT_SCALE_RULES_HH__
+#define M2X_QUANT_SCALE_RULES_HH__
+
+#include <string>
+
+#include "formats/e8m0.hh"
+#include "formats/minifloat.hh"
+
+namespace m2x {
+
+enum class ScaleRule
+{
+    Floor,
+    Ceil,
+    Rtn1,
+    Rtn2,
+    Rtne,
+};
+
+/** Human-readable rule name (matches the paper's Tbl. 8 rows). */
+const char *scaleRuleName(ScaleRule rule);
+
+/** Exact floor(log2(x)) for finite positive x. */
+int floorLog2Exact(float x);
+
+/** Exact ceil(log2(x)) for finite positive x. */
+int ceilLog2Exact(float x);
+
+/** round(log2(x)) with the geometric threshold sqrt(2). */
+int roundLog2Exact(float x);
+
+/**
+ * Shared-scale exponent for a block.
+ *
+ * @param amax block maximum absolute value (>= 0)
+ * @param elem the element minifloat (provides P and M)
+ * @param rule which of the five rules to apply
+ * @return the E8M0 scale (2^E), clamped to the representable range.
+ *         amax == 0 yields the identity scale 2^0.
+ */
+ScaleE8m0 computeSharedScale(float amax, const Minifloat &elem,
+                             ScaleRule rule);
+
+} // namespace m2x
+
+#endif // M2X_QUANT_SCALE_RULES_HH__

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tile-level cycle/energy simulator for MX-format systolic
+ * accelerators (Fig. 13).
+ *
+ * Substitution note (DESIGN.md §3): the paper extends DNNWeaver and
+ * synthesizes units at 28 nm; we model the same 32x32 weight-
+ * stationary array analytically per GEMM — tile counts give compute
+ * cycles, a two-strategy reuse model gives DRAM traffic, and latency
+ * is max(compute, memory) under double buffering. What differs
+ * between accelerators (and is what Fig. 13 measures) is captured in
+ * AcceleratorConfig: how many tensors must fall back to 8-bit to
+ * hold accuracy, the decode/requantization energy of their metadata
+ * machinery, and per-MAC energy multipliers for exotic datapaths.
+ * 8-bit operands on the common 4-bit PE array take 4 passes
+ * (2 nibbles x 2 nibbles), exactly like the paper's iso-PE setup.
+ */
+
+#ifndef M2X_SIM_ACCELERATOR_HH__
+#define M2X_SIM_ACCELERATOR_HH__
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hh"
+
+namespace m2x {
+namespace sim {
+
+/** Architecture + format parameters of one accelerator. */
+struct AcceleratorConfig
+{
+    std::string name;
+
+    /** @{ Common iso-hardware parameters (§6.1). */
+    unsigned peRows = 32;
+    unsigned peCols = 32;
+    double freqGhz = 0.5;
+    double dramGBs = 128.0;
+    double bufWeightKb = 144.0;
+    double bufActKb = 144.0;
+    double bufOutKb = 36.0;
+    /** @} */
+
+    /** Effective storage bits per element (incl. scale+metadata). */
+    double weightBits = 4.5;
+    double actBits = 4.5;
+
+    /**
+     * Fraction of tensors kept at 8 bits to preserve accuracy (the
+     * paper's observation that baselines must fall back; >0.5 for
+     * MX-OliVe). An 8-bit tensor costs 4 compute passes and 8.25
+     * storage bits.
+     */
+    double fallback8b = 0.0;
+
+    /** Extra decode energy per operand element fed to the array, pJ
+     *  (metadata decoders, type converters, ReCoN-style reorder). */
+    double decodeEnergyPj = 0.0;
+
+    /** Online activation quantization energy per element, pJ. */
+    double quantEnergyPj = 0.0;
+
+    /** Core MAC energy multiplier vs the plain FP4 PE. */
+    double macEnergyMult = 1.0;
+
+    /** Fractional latency overhead of the decode/reorder pipeline. */
+    double pipelineOverhead = 0.0;
+};
+
+/** Per-GEMM / per-workload simulation results. */
+struct SimStats
+{
+    double cycles = 0.0;
+    double seconds = 0.0;
+    double coreEnergyJ = 0.0;
+    double bufferEnergyJ = 0.0;
+    double dramEnergyJ = 0.0;
+    double staticEnergyJ = 0.0;
+
+    double
+    totalEnergyJ() const
+    {
+        return coreEnergyJ + bufferEnergyJ + dramEnergyJ +
+               staticEnergyJ;
+    }
+
+    SimStats &operator+=(const SimStats &o);
+};
+
+/** The analytic tile-level simulator. */
+class TileSimulator
+{
+  public:
+    explicit TileSimulator(AcceleratorConfig cfg);
+
+    /** Simulate one GEMM (repeat included). */
+    SimStats simulateGemm(const GemmShape &g) const;
+
+    /** Simulate a whole workload. */
+    SimStats simulateWorkload(const std::vector<GemmShape> &ws) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    AcceleratorConfig cfg_;
+
+    /** Stats for a GEMM executed entirely at the given bit widths
+     *  and pass count. */
+    SimStats simulateAtBits(const GemmShape &g, double w_bits,
+                            double a_bits, double passes) const;
+};
+
+/** @{ Fig. 13 accelerator configurations. */
+AcceleratorConfig m2xfpAccel();
+AcceleratorConfig mxOliveAccel();
+AcceleratorConfig mxAntAccel();
+AcceleratorConfig mxMAntAccel();
+AcceleratorConfig microScopiqAccel();
+/** The W8A8 MXINT8 reference everything is normalized to. */
+AcceleratorConfig mxint8Reference();
+std::vector<AcceleratorConfig> fig13Accelerators();
+/** @} */
+
+} // namespace sim
+} // namespace m2x
+
+#endif // M2X_SIM_ACCELERATOR_HH__

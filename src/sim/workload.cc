@@ -1,0 +1,81 @@
+#include "sim/workload.hh"
+
+namespace m2x {
+namespace sim {
+
+LlmDims
+llama2_7bDims()
+{
+    return {"LLaMA2-7B", 4096, 11008, 32, 4096, true, 32000};
+}
+
+LlmDims
+llama3_8bDims()
+{
+    return {"LLaMA3-8B", 4096, 14336, 32, 1024, true, 128256};
+}
+
+LlmDims
+llama3_70bDims()
+{
+    return {"LLaMA3-70B", 8192, 28672, 80, 1024, true, 128256};
+}
+
+LlmDims
+opt_6_7bDims()
+{
+    return {"OPT-6.7B", 4096, 16384, 32, 4096, false, 50272};
+}
+
+LlmDims
+mistral_7bDims()
+{
+    return {"Mistral-7B", 4096, 14336, 32, 1024, true, 32000};
+}
+
+LlmDims
+falcon_7bDims()
+{
+    return {"Falcon-7B", 4544, 18176, 32, 4544, false, 65024};
+}
+
+std::vector<LlmDims>
+fig13Models()
+{
+    return {llama2_7bDims(), llama3_8bDims(), llama3_70bDims(),
+            opt_6_7bDims(),  mistral_7bDims(), falcon_7bDims()};
+}
+
+std::vector<GemmShape>
+linearLayerGemms(const LlmDims &d, uint64_t seq_len)
+{
+    std::vector<GemmShape> w;
+    w.push_back({"q_proj", seq_len, d.dModel, d.dModel, d.nLayers});
+    w.push_back({"k_proj", seq_len, d.dModel, d.kvDim, d.nLayers});
+    w.push_back({"v_proj", seq_len, d.dModel, d.kvDim, d.nLayers});
+    w.push_back({"o_proj", seq_len, d.dModel, d.dModel, d.nLayers});
+    if (d.gatedMlp) {
+        w.push_back({"gate_proj", seq_len, d.dModel, d.dFf,
+                     d.nLayers});
+        w.push_back({"up_proj", seq_len, d.dModel, d.dFf, d.nLayers});
+        w.push_back({"down_proj", seq_len, d.dFf, d.dModel,
+                     d.nLayers});
+    } else {
+        w.push_back({"fc1", seq_len, d.dModel, d.dFf, d.nLayers});
+        w.push_back({"fc2", seq_len, d.dFf, d.dModel, d.nLayers});
+    }
+    w.push_back({"lm_head", seq_len, d.dModel, d.vocab, 1});
+    return w;
+}
+
+double
+workloadMacs(const std::vector<GemmShape> &ws)
+{
+    double total = 0.0;
+    for (const auto &g : ws)
+        total += g.macs();
+    return total;
+}
+
+} // namespace sim
+} // namespace m2x

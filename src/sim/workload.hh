@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LLM linear-layer GEMM workloads for the accelerator simulator
+ * (Fig. 13). Shapes use the *real* model dimensions (the simulator
+ * is analytic over tile counts, so full-size shapes cost nothing),
+ * at the paper's sequence length of 4096.
+ */
+
+#ifndef M2X_SIM_WORKLOAD_HH__
+#define M2X_SIM_WORKLOAD_HH__
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace m2x {
+namespace sim {
+
+/** One GEMM: [m, k] x [k, n] with m the token dimension. */
+struct GemmShape
+{
+    std::string name;
+    uint64_t m;
+    uint64_t k;
+    uint64_t n;
+    uint64_t repeat = 1; //!< identical layers
+
+    double
+    macs() const
+    {
+        return static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n) * static_cast<double>(repeat);
+    }
+};
+
+/** Architecture parameters of a real LLM (full size). */
+struct LlmDims
+{
+    std::string name;
+    uint64_t dModel;
+    uint64_t dFf;
+    uint64_t nLayers;
+    uint64_t kvDim;      //!< K/V projection width (GQA-aware)
+    bool gatedMlp;       //!< SwiGLU (3 matrices) vs classic (2)
+    uint64_t vocab;
+};
+
+/** @{ The six Fig. 13 evaluation models. */
+LlmDims llama2_7bDims();
+LlmDims llama3_8bDims();
+LlmDims llama3_70bDims();
+LlmDims opt_6_7bDims();
+LlmDims mistral_7bDims();
+LlmDims falcon_7bDims();
+std::vector<LlmDims> fig13Models();
+/** @} */
+
+/** All linear-layer GEMMs of a prefill pass at @p seq_len tokens. */
+std::vector<GemmShape> linearLayerGemms(const LlmDims &dims,
+                                        uint64_t seq_len = 4096);
+
+/** Total MAC count of a workload. */
+double workloadMacs(const std::vector<GemmShape> &ws);
+
+} // namespace sim
+} // namespace m2x
+
+#endif // M2X_SIM_WORKLOAD_HH__

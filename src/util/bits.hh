@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the format codecs and the
+ * bit-exact hardware models.
+ */
+
+#ifndef M2X_UTIL_BITS_HH__
+#define M2X_UTIL_BITS_HH__
+
+#include <cstdint>
+
+namespace m2x {
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr uint32_t
+bitsField(uint32_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((len >= 32 ? 0u : (1u << len)) - 1u);
+}
+
+/** Insert @p field into bits [lo, lo+len) of @p v. */
+constexpr uint32_t
+bitsInsert(uint32_t v, unsigned lo, unsigned len, uint32_t field)
+{
+    uint32_t mask = ((len >= 32 ? 0u : (1u << len)) - 1u) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Floor of log2 for a positive integer. */
+constexpr int
+floorLog2(uint64_t v)
+{
+    int r = -1;
+    while (v) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Integer ceil division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to a multiple of @p b. */
+constexpr uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+} // namespace m2x
+
+#endif // M2X_UTIL_BITS_HH__

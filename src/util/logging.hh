@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a library bug.
+ *            Aborts (so a debugger/core dump sees the failure point).
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            inconsistent shapes, ...). Exits with status 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef M2X_UTIL_LOGGING_HH__
+#define M2X_UTIL_LOGGING_HH__
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace m2x {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace m2x
+
+#define m2x_panic(...) \
+    ::m2x::panicImpl(__FILE__, __LINE__, ::m2x::strFormat(__VA_ARGS__))
+#define m2x_fatal(...) \
+    ::m2x::fatalImpl(__FILE__, __LINE__, ::m2x::strFormat(__VA_ARGS__))
+#define m2x_warn(...) \
+    ::m2x::warnImpl(__FILE__, __LINE__, ::m2x::strFormat(__VA_ARGS__))
+#define m2x_inform(...) \
+    ::m2x::informImpl(::m2x::strFormat(__VA_ARGS__))
+
+/** Assert that must also hold in release builds (used for invariants). */
+#define m2x_assert(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::m2x::panicImpl(__FILE__, __LINE__,                         \
+                             ::m2x::strFormat(__VA_ARGS__));             \
+        }                                                                \
+    } while (0)
+
+#endif // M2X_UTIL_LOGGING_HH__

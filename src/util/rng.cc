@@ -1,0 +1,151 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+    haveCached_ = false;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    m2x_assert(n > 0, "uniformInt needs n > 0");
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (haveCached_) {
+        haveCached_ = false;
+        return cached_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double a = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(a);
+    haveCached_ = true;
+    return r * std::cos(a);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::studentT(double dof)
+{
+    m2x_assert(dof > 0.0, "studentT needs dof > 0");
+    // t = N / sqrt(ChiSq(dof) / dof); ChiSq built from dof normals is
+    // slow for large dof, so use the gamma-free approximation via
+    // Bailey's polar method: t = sqrt(dof (u^{-2/dof} - 1)) * cos(2 pi v)
+    double u, v;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    v = uniform();
+    double w = std::sqrt(dof * (std::pow(u, -2.0 / dof) - 1.0));
+    return w * std::cos(2.0 * M_PI * v);
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+void
+Rng::fillNormal(std::vector<float> &out, float mean, float stddev)
+{
+    for (auto &x : out)
+        x = static_cast<float>(normal(mean, stddev));
+}
+
+std::vector<uint32_t>
+Rng::permutation(uint32_t n)
+{
+    std::vector<uint32_t> p(n);
+    for (uint32_t i = 0; i < n; ++i)
+        p[i] = i;
+    for (uint32_t i = n; i > 1; --i) {
+        uint32_t j = static_cast<uint32_t>(uniformInt(i));
+        std::swap(p[i - 1], p[j]);
+    }
+    return p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa5a5a5a55a5a5a5aull);
+}
+
+} // namespace m2x

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every experiment in this repository must be bit-reproducible across
+ * runs and platforms, so we ship our own xoshiro256** generator instead
+ * of relying on std::mt19937 + libstdc++ distribution internals (the
+ * standard distributions are not bit-portable across library versions).
+ */
+
+#ifndef M2X_UTIL_RNG_HH__
+#define M2X_UTIL_RNG_HH__
+
+#include <cstdint>
+#include <vector>
+
+namespace m2x {
+
+/**
+ * xoshiro256** 1.0 with splitmix64 seeding. Passes BigCrush; tiny state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller (deterministic, cached pair). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Student-t sample with @p dof degrees of freedom. Heavy-tailed;
+     * used to mimic LLM activation outliers.
+     */
+    double studentT(double dof);
+
+    /** Log-normal: exp(normal(mu, sigma)). */
+    double logNormal(double mu, double sigma);
+
+    /** Fill @p out with standard normal samples. */
+    void fillNormal(std::vector<float> &out, float mean, float stddev);
+
+    /** Fisher-Yates shuffle of indices [0, n). */
+    std::vector<uint32_t> permutation(uint32_t n);
+
+    /** Derive an independent child generator (stable across versions). */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+    bool haveCached_ = false;
+    double cached_ = 0.0;
+};
+
+} // namespace m2x
+
+#endif // M2X_UTIL_RNG_HH__

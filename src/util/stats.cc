@@ -1,0 +1,126 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+double
+mean(std::span<const float> x)
+{
+    m2x_assert(!x.empty(), "mean of empty span");
+    double s = 0.0;
+    for (float v : x)
+        s += v;
+    return s / static_cast<double>(x.size());
+}
+
+double
+variance(std::span<const float> x)
+{
+    double m = mean(x);
+    double s = 0.0;
+    for (float v : x)
+        s += (v - m) * (v - m);
+    return s / static_cast<double>(x.size());
+}
+
+float
+absMax(std::span<const float> x)
+{
+    float m = 0.0f;
+    for (float v : x)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+double
+mse(std::span<const float> a, std::span<const float> b)
+{
+    m2x_assert(a.size() == b.size(), "mse size mismatch: %zu vs %zu",
+               a.size(), b.size());
+    m2x_assert(!a.empty(), "mse of empty span");
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        s += d * d;
+    }
+    return s / static_cast<double>(a.size());
+}
+
+double
+nmse(std::span<const float> ref, std::span<const float> approx)
+{
+    double num = mse(ref, approx);
+    double den = 0.0;
+    for (float v : ref)
+        den += static_cast<double>(v) * static_cast<double>(v);
+    den /= static_cast<double>(ref.size());
+    if (den == 0.0)
+        return num == 0.0 ? 0.0 : 1e30;
+    return num / den;
+}
+
+double
+sqnrDb(std::span<const float> ref, std::span<const float> approx)
+{
+    double e = nmse(ref, approx);
+    if (e <= 0.0)
+        return 300.0; // effectively lossless
+    return -10.0 * std::log10(e);
+}
+
+double
+cosineSimilarity(std::span<const float> a, std::span<const float> b)
+{
+    m2x_assert(a.size() == b.size(), "cosine size mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na == 0.0 && nb == 0.0)
+        return 1.0;
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void
+softmax(std::span<const float> logits, std::span<float> out)
+{
+    m2x_assert(logits.size() == out.size(), "softmax size mismatch");
+    float mx = -std::numeric_limits<float>::infinity();
+    for (float v : logits)
+        mx = std::max(mx, v);
+    double z = 0.0;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - mx);
+        z += out[i];
+    }
+    for (auto &v : out)
+        v = static_cast<float>(v / z);
+}
+
+double
+klDivergenceLogits(std::span<const float> p_logits,
+                   std::span<const float> q_logits)
+{
+    m2x_assert(p_logits.size() == q_logits.size(), "kl size mismatch");
+    size_t n = p_logits.size();
+    std::vector<float> p(n), q(n);
+    softmax(p_logits, p);
+    softmax(q_logits, q);
+    double kl = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double pi = std::max<double>(p[i], 1e-12);
+        double qi = std::max<double>(q[i], 1e-12);
+        kl += pi * std::log(pi / qi);
+    }
+    return std::max(kl, 0.0);
+}
+
+} // namespace m2x

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error metrics used throughout the evaluation: MSE / NMSE / SQNR /
+ * cosine similarity on tensors, and KL divergence between logit rows.
+ */
+
+#ifndef M2X_UTIL_STATS_HH__
+#define M2X_UTIL_STATS_HH__
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace m2x {
+
+/** Arithmetic mean. @pre non-empty */
+double mean(std::span<const float> x);
+
+/** Population variance. @pre non-empty */
+double variance(std::span<const float> x);
+
+/** Largest absolute value (0 for empty input). */
+float absMax(std::span<const float> x);
+
+/** Mean squared error between two equally sized spans. */
+double mse(std::span<const float> a, std::span<const float> b);
+
+/** MSE normalized by the reference energy: mse(a, ref) / mean(ref^2). */
+double nmse(std::span<const float> ref, std::span<const float> approx);
+
+/** Signal-to-quantization-noise ratio in dB (10 log10 (1 / nmse)). */
+double sqnrDb(std::span<const float> ref, std::span<const float> approx);
+
+/** Cosine similarity; returns 1 when both inputs are all-zero. */
+double cosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+/**
+ * Softmax of @p logits into @p out (numerically stabilized).
+ * @pre out.size() == logits.size()
+ */
+void softmax(std::span<const float> logits, std::span<float> out);
+
+/**
+ * KL(softmax(p_logits) || softmax(q_logits)) in nats.
+ * Used by the proxy-perplexity evaluator (DESIGN.md §3).
+ */
+double klDivergenceLogits(std::span<const float> p_logits,
+                          std::span<const float> q_logits);
+
+/** Simple accumulating mean helper. */
+class RunningMean
+{
+  public:
+    void add(double v) { sum_ += v; ++n_; }
+    double value() const { return n_ ? sum_ / static_cast<double>(n_) : 0; }
+    size_t count() const { return n_; }
+
+  private:
+    double sum_ = 0.0;
+    size_t n_ = 0;
+};
+
+} // namespace m2x
+
+#endif // M2X_UTIL_STATS_HH__

@@ -1,0 +1,106 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+std::string
+fmtNum(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    m2x_assert(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    m2x_assert(row.size() == header_.size(),
+               "row has %zu cells, header has %zu", row.size(),
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::beginRow()
+{
+    m2x_assert(!inRow_, "beginRow while a row is open");
+    pending_.clear();
+    inRow_ = true;
+}
+
+void
+TextTable::cell(const std::string &s)
+{
+    m2x_assert(inRow_, "cell outside beginRow/endRow");
+    pending_.push_back(s);
+}
+
+void
+TextTable::cell(double v, int digits)
+{
+    cell(fmtNum(v, digits));
+}
+
+void
+TextTable::endRow()
+{
+    m2x_assert(inRow_, "endRow without beginRow");
+    inRow_ = false;
+    addRow(pending_);
+    pending_.clear();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::string &out) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out.append(width[c] - row[c].size(), ' ');
+            if (c + 1 != row.size())
+                out += "  ";
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(header_, out);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 != width.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        emit_row(row, out);
+    return out;
+}
+
+void
+TextTable::print(const std::string &caption) const
+{
+    if (!caption.empty())
+        std::printf("%s\n", caption.c_str());
+    std::fputs(render().c_str(), stdout);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+} // namespace m2x

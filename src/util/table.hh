@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal ASCII table printer so every bench binary can emit the same
+ * rows/columns the paper's tables and figures report.
+ */
+
+#ifndef M2X_UTIL_TABLE_HH__
+#define M2X_UTIL_TABLE_HH__
+
+#include <string>
+#include <vector>
+
+namespace m2x {
+
+/**
+ * Column-aligned text table. Cells are strings; helpers format numbers.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a fully formed row. @pre row.size() == header.size() */
+    void addRow(std::vector<std::string> row);
+
+    /** Begin an incremental row. */
+    void beginRow();
+    /** Append one cell to the row under construction. */
+    void cell(const std::string &s);
+    /** Append a numeric cell with @p digits decimals. */
+    void cell(double v, int digits = 2);
+    /** Finish the row under construction. */
+    void endRow();
+
+    /** Render with column alignment and a header rule. */
+    std::string render() const;
+
+    /** Render straight to stdout with an optional caption line. */
+    void print(const std::string &caption = "") const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool inRow_ = false;
+};
+
+/** Format a double with fixed decimals (helper for bench output). */
+std::string fmtNum(double v, int digits = 2);
+
+} // namespace m2x
+
+#endif // M2X_UTIL_TABLE_HH__

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tensor-level invariants behind the Fig. 6 / Fig. 7 design-space
+ * conclusions, checked over many random heavy-tailed groups:
+ *   - top-1 ~ top-2 Elem-EM (capturing the max suffices),
+ *   - smaller subgroups monotonically reduce error per strategy,
+ *   - adaptive scale helps Sg-EM more than it helps Elem-EM (the
+ *     asymmetry motivating the hybrid),
+ *   - Sg-EE is the weakest strategy at equal budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/elem_em.hh"
+#include "core/sg_em.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+/** Mean group MSE of a quantizer over heavy-tailed random groups. */
+double
+avgError(GroupQuantizer &q, uint64_t seed, int trials = 300)
+{
+    Rng rng(seed);
+    std::vector<float> in(32), out(32);
+    double total = 0;
+    for (int t = 0; t < trials; ++t) {
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(4.0) *
+                                   std::exp(rng.uniform(-2, 2)));
+        q.quantizeGroup(in, out);
+        total += mse(in, out);
+    }
+    return total / trials;
+}
+
+ElemEmQuantizer
+em(unsigned sub, unsigned topk, bool adaptive)
+{
+    ElemEmConfig c;
+    c.subgroupSize = sub;
+    c.topK = topk;
+    c.adaptiveScale = adaptive;
+    return ElemEmQuantizer(c);
+}
+
+SgEmQuantizer
+sg(unsigned sub, bool ee, bool adaptive)
+{
+    SgEmConfig c;
+    c.subgroupSize = sub;
+    c.metaBits = 2;
+    c.extraExponent = ee;
+    c.adaptiveScale = adaptive;
+    return SgEmQuantizer(c);
+}
+
+TEST(DseInvariants, Top1NearlyMatchesTop2)
+{
+    // Fig. 6: top-1 and top-2 curves coincide — the subgroup max is
+    // what matters.
+    auto q1 = em(8, 1, false);
+    auto q2 = em(8, 2, false);
+    double e1 = avgError(q1, 101);
+    double e2 = avgError(q2, 101);
+    EXPECT_LE(e2, e1 + 1e-12);          // top2 can only help...
+    EXPECT_LT((e1 - e2) / e1, 0.25);    // ...but only marginally
+}
+
+TEST(DseInvariants, SmallerSubgroupsMonotonicallyHelp)
+{
+    double prev = 1e30;
+    for (unsigned sub : {32u, 16u, 8u, 4u, 2u}) {
+        auto q = em(sub, 1, false);
+        double e = avgError(q, 102);
+        EXPECT_LE(e, prev + 1e-12) << sub;
+        prev = e;
+    }
+    prev = 1e30;
+    for (unsigned sub : {32u, 16u, 8u, 4u}) {
+        auto q = sg(sub, false, false);
+        double e = avgError(q, 103);
+        EXPECT_LE(e, prev + 1e-12) << sub;
+        prev = e;
+    }
+}
+
+TEST(DseInvariants, AdaptiveScaleHelpsSgEmMoreThanElemEm)
+{
+    // The Fig. 6 -> Fig. 7 shift: adaptation rebalances the whole
+    // block, which benefits subgroup-scale refinement the most.
+    auto em_f = em(8, 1, false);
+    auto em_a = em(8, 1, true);
+    auto sg_f = sg(8, false, false);
+    auto sg_a = sg(8, false, true);
+    double gain_em =
+        (avgError(em_f, 104) - avgError(em_a, 104));
+    double gain_sg =
+        (avgError(sg_f, 104) - avgError(sg_a, 104));
+    EXPECT_GT(gain_sg, gain_em);
+}
+
+TEST(DseInvariants, AdaptiveSgEmBeatsFixedElemEmAtEqualBudget)
+{
+    // Fig. 7's headline: Sg-EM-2bit-adaptive overtakes Elem-EM at
+    // the same 4.5-bit budget — the reason weights use Sg-EM.
+    auto em_f = em(8, 1, false);
+    auto sg_a = sg(8, false, true);
+    EXPECT_LT(avgError(sg_a, 105), avgError(em_f, 105));
+}
+
+TEST(DseInvariants, SgEeIsTheWeakestStrategy)
+{
+    // Fig. 6/7: subgroup range extension cannot address block-max
+    // rounding; Sg-EE trails both mantissa strategies.
+    auto sgee_f = sg(8, true, false);
+    auto sgem_f = sg(8, false, false);
+    auto elem_f = em(8, 1, false);
+    double e_sgee = avgError(sgee_f, 106);
+    EXPECT_GT(e_sgee, avgError(sgem_f, 106));
+    EXPECT_GT(e_sgee, avgError(elem_f, 106));
+}
+
+TEST(DseInvariants, AdaptiveHelpsSgEeTooButNotEnough)
+{
+    auto sgee_f = sg(8, true, false);
+    auto sgee_a = sg(8, true, true);
+    auto sgem_a = sg(8, false, true);
+    double e_f = avgError(sgee_f, 107);
+    double e_a = avgError(sgee_a, 107);
+    EXPECT_LE(e_a, e_f + 1e-12);
+    EXPECT_GT(e_a, avgError(sgem_a, 107)); // still behind Sg-EM
+}
+
+} // anonymous namespace
+} // namespace m2x

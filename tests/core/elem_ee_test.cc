@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the Elem-EE strategy (element-level extra exponent) and
+ * the paper's claim for omitting it: exponent offsets cannot fix the
+ * block-maximum rounding error, so Elem-EE trails Elem-EM at equal
+ * metadata budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/elem_ee.hh"
+#include "core/elem_em.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+TEST(ElemEe, EncodeDecodeRoundTripMatchesQuantize)
+{
+    Rng rng(61);
+    ElemEeQuantizer q;
+    for (int t = 0; t < 100; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(4.0));
+        ElemEeGroup g = q.encodeGroup(in);
+        std::vector<float> dec(32), direct(32);
+        q.decodeGroup(g, dec);
+        q.quantizeGroup(in, direct);
+        for (size_t i = 0; i < 32; ++i)
+            ASSERT_FLOAT_EQ(dec[i], direct[i]) << t << ":" << i;
+    }
+}
+
+TEST(ElemEe, OffsetCannotRescueTheClippedMax)
+{
+    // The §4.2.1 rationale for omitting Elem-EE, demonstrated: under
+    // floor scaling amax/S < 8 while FP4 reaches 6, so the only
+    // upward offset doubles 6 to 12 — overshooting every clipped
+    // value (all < 8). The encoder therefore keeps offset 0 and the
+    // max stays at the clipped 6.0: extra exponent bits cannot
+    // address block-max rounding error.
+    ElemEeQuantizer q(ElemEeConfig{8, 8, 2, 2, ScaleRule::Floor});
+    std::vector<float> in(8, 0.1f);
+    in[0] = 7.9f; // scale 1: target 7.9, FP4 clips to 6
+    std::vector<float> out(8);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], 6.0f);
+}
+
+TEST(ElemEe, MetaWithinWidth)
+{
+    Rng rng(62);
+    ElemEeQuantizer q;
+    std::vector<float> in(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.normal(0, 2));
+    ElemEeGroup g = q.encodeGroup(in);
+    EXPECT_EQ(g.meta.size(), 4u);
+    for (uint8_t m : g.meta)
+        EXPECT_LE(m, 3);
+}
+
+TEST(ElemEe, EbwMatchesElemEmAtSameBudget)
+{
+    ElemEeQuantizer ee;                      // 2 bits / subgroup 8
+    ElemEmQuantizer em(ElemEmConfig{});      // 2 bits / subgroup 8
+    EXPECT_DOUBLE_EQ(ee.ebw(), em.ebw());    // both 4.5
+}
+
+class ElemEeVsEm : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ElemEeVsEm, ExtraMantissaBeatsExtraExponentOnAverage)
+{
+    // The §4.2.1 argument, measured: over heavy-tailed groups the
+    // mantissa refinement wins at equal EBW. (Per-group EE can win
+    // occasionally when the max clips; the average must favour EM.)
+    Rng rng(9000 + GetParam());
+    ElemEeQuantizer ee;
+    ElemEmQuantizer em{ElemEmConfig{}};
+    double e_ee = 0, e_em = 0;
+    std::vector<float> out(32);
+    for (int t = 0; t < 200; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(4.0) *
+                                   std::exp(rng.uniform(-2, 2)));
+        ee.quantizeGroup(in, out);
+        e_ee += mse(in, out);
+        em.quantizeGroup(in, out);
+        e_em += mse(in, out);
+    }
+    EXPECT_LT(e_em, e_ee);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElemEeVsEm, ::testing::Range(0, 10));
+
+TEST(ElemEe, NeverWorseThanMxfp4)
+{
+    // Offset 0 reproduces plain FP4, so the searched offset can only
+    // help the top-1 element.
+    Rng rng(63);
+    ElemEeQuantizer ee;
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    std::vector<float> a(32), b(32);
+    for (int t = 0; t < 200; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(3.0));
+        ee.quantizeGroup(in, a);
+        mx.quantizeGroup(in, b);
+        EXPECT_LE(mse(in, a), mse(in, b) + 1e-12) << t;
+    }
+}
+
+TEST(ElemEe, ZeroGroup)
+{
+    ElemEeQuantizer q;
+    std::vector<float> in(32, 0.0f), out(32, 1.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit + property tests for the Elem-EM activation codec (Alg. 1),
+ * pinning the paper's worked examples: the bias-clamp encoding, the
+ * §4.4.1 "bad case" (3.578 -> 3.75 instead of 3.5), tie resolution by
+ * lowest index, and the guarantee that metadata never hurts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/elem_em.hh"
+#include "core/m2xfp.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+ElemEmQuantizer
+paperCodec()
+{
+    return makeM2xfpActivationQuantizer();
+}
+
+TEST(ElemEmMeta, EncodeDecodeBiasWindow)
+{
+    // decode(fp4_mag, meta) = fp4_mag*4 + meta - 1: offsets -1..+2.
+    for (uint32_t fp4 = 1; fp4 <= 7; ++fp4) {
+        for (uint8_t meta = 0; meta <= 3; ++meta) {
+            uint32_t fp6 = ElemEmQuantizer::decodeFp6Mag(fp4, meta);
+            EXPECT_EQ(static_cast<int>(fp6),
+                      static_cast<int>(fp4 * 4) + meta - 1);
+        }
+    }
+}
+
+TEST(ElemEmMeta, EncodeMetaIdentityWhenFp6MatchesFp4)
+{
+    // FP6 code fp4*4 has the same value as the FP4 code; encoded =
+    // fp6+1 lands at meta=1 and decodes back to fp4*4.
+    for (uint32_t fp4 = 0; fp4 <= 7; ++fp4) {
+        uint8_t meta = ElemEmQuantizer::encodeMeta(fp4 * 4, fp4);
+        EXPECT_EQ(meta, 1);
+        EXPECT_EQ(ElemEmQuantizer::decodeFp6Mag(fp4, meta), fp4 * 4);
+    }
+}
+
+TEST(ElemEmMeta, ClampKeepsHighBitsEqualToFp4)
+{
+    // Whatever the FP6 code, the decoded code's high 3 bits equal the
+    // FP4 magnitude (the Step-7 alignment invariant).
+    for (uint32_t fp4 = 1; fp4 <= 7; ++fp4) {
+        for (uint32_t fp6 = 0; fp6 < 32; ++fp6) {
+            uint8_t meta = ElemEmQuantizer::encodeMeta(fp6, fp4);
+            uint32_t dec = ElemEmQuantizer::decodeFp6Mag(fp4, meta);
+            // dec in [fp4*4 - 1, fp4*4 + 2].
+            EXPECT_GE(static_cast<int>(dec),
+                      static_cast<int>(fp4 * 4) - 1);
+            EXPECT_LE(dec, fp4 * 4 + 2);
+        }
+    }
+}
+
+TEST(ElemEm, PaperBadCase3p578)
+{
+    // §4.4.1/Fig. 8: FP16 3.578 quantizes to FP4 4.0; ideal FP6 is
+    // 3.5 (error 0.078) but the clamped encoding reconstructs 3.75
+    // (error 0.172).
+    ElemEmQuantizer q(ElemEmConfig{8, 4, 1, ScaleRule::Floor, false,
+                                   true});
+    // Group max 4.2 puts the shared scale at 2^0 = 1.
+    std::vector<float> in{3.578f, 0.5f, 0.25f, 0.1f,
+                          4.2f,   1.0f, 0.5f,  0.1f};
+    std::vector<float> out(8);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], 3.75f);
+    EXPECT_NEAR(std::fabs(out[0] - in[0]), 0.172f, 1e-5f);
+}
+
+TEST(ElemEm, WideBiasVariantRecovers3p5)
+{
+    // The unclamped 3-bit ablation reaches the fifth candidate 3.5.
+    ElemEmQuantizer q(ElemEmConfig{8, 4, 1, ScaleRule::Floor, false,
+                                   false});
+    std::vector<float> in{3.578f, 0.5f, 0.25f, 0.1f,
+                          4.2f,   1.0f, 0.5f,  0.1f};
+    std::vector<float> out(8);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], 3.5f);
+}
+
+TEST(ElemEm, Top1GainsFp6Precision)
+{
+    ElemEmQuantizer q(ElemEmConfig{8, 4, 1, ScaleRule::Floor, false,
+                                   true});
+    // 4.3 -> FP4 4.0, FP6 4.5 (meta +1): reconstruction 4.5.
+    std::vector<float> in{4.3f, 0.5f, 0.25f, 0.1f,
+                          1.0f, 0.5f, 0.25f, 0.1f};
+    std::vector<float> out(8);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], 4.5f);
+    // The second subgroup's max 1.0 is exactly on the FP4 grid.
+    EXPECT_FLOAT_EQ(out[4], 1.0f);
+}
+
+TEST(ElemEm, TieResolvesToLowestIndex)
+{
+    // Two elements with the same FP4 code: the lower address gets
+    // the metadata (Alg. 1 step 4).
+    std::vector<uint8_t> codes{0x5, 0x6, 0x6, 0x1};
+    EXPECT_EQ(ElemEmQuantizer::top1Index(codes), 1u);
+    // Sign must not affect the comparison: -4.0 (0xe) vs +4.0 (0x6).
+    std::vector<uint8_t> signed_codes{0xe, 0x6, 0x1, 0x0};
+    EXPECT_EQ(ElemEmQuantizer::top1Index(signed_codes), 0u);
+}
+
+TEST(ElemEm, TieBreakEndToEnd)
+{
+    ElemEmQuantizer q(ElemEmConfig{4, 4, 1, ScaleRule::Floor, false,
+                                   true});
+    // 4.6 and 4.4 both quantize to FP4 4.0 (scale 1); index 0 gets
+    // the FP6 refinement (4.5), index 1 stays at 4.0.
+    std::vector<float> in{4.6f, 4.4f, 0.5f, 0.1f};
+    std::vector<float> out(4);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], 4.5f);
+    EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(ElemEm, AllZeroGroup)
+{
+    ElemEmQuantizer q = paperCodec();
+    std::vector<float> in(32, 0.0f), out(32, 5.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(ElemEm, NegativeTopElementKeepsSign)
+{
+    ElemEmQuantizer q(ElemEmConfig{4, 4, 1, ScaleRule::Floor, false,
+                                   true});
+    std::vector<float> in{-4.3f, 0.5f, 0.25f, 0.1f};
+    std::vector<float> out(4);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], -4.5f);
+}
+
+TEST(ElemEm, EncodeDecodeRoundTripMatchesQuantize)
+{
+    Rng rng(3);
+    ElemEmQuantizer q = paperCodec();
+    for (int t = 0; t < 200; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(4.0));
+        ElemEmGroup g = q.encodeGroup(in);
+        std::vector<float> dec(32), direct(32);
+        q.decodeGroup(g, dec);
+        q.quantizeGroup(in, direct);
+        for (size_t i = 0; i < in.size(); ++i)
+            ASSERT_FLOAT_EQ(dec[i], direct[i]) << t << ":" << i;
+    }
+}
+
+TEST(ElemEm, MetadataBitsStayTwoBits)
+{
+    Rng rng(4);
+    ElemEmQuantizer q = paperCodec();
+    for (int t = 0; t < 100; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.normal(0, 3));
+        ElemEmGroup g = q.encodeGroup(in);
+        EXPECT_EQ(g.meta.size(), 4u); // 32/8 subgroups
+        for (uint8_t m : g.meta)
+            EXPECT_LE(m, 3);
+    }
+}
+
+TEST(ElemEm, EbwIsFourPointFive)
+{
+    EXPECT_DOUBLE_EQ(paperCodec().ebw(), 4.5);
+}
+
+TEST(ElemEm, Top2EbwIsFourPointSevenFive)
+{
+    ElemEmQuantizer q(ElemEmConfig{32, 8, 2, ScaleRule::Floor, false,
+                                   true});
+    EXPECT_DOUBLE_EQ(q.ebw(), 4.75);
+}
+
+class ElemEmProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ElemEmProperty, NeverWorseThanMxfp4)
+{
+    // The metadata only ever moves top-1 elements toward their true
+    // value, so group MSE must be <= MXFP4's for any input.
+    Rng rng(1000 + GetParam());
+    ElemEmQuantizer em = paperCodec();
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    std::vector<float> in(32), a(32), b(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.studentT(3.0) *
+                               std::exp(rng.uniform(-3, 3)));
+    em.quantizeGroup(in, a);
+    mx.quantizeGroup(in, b);
+    EXPECT_LE(mse(in, a), mse(in, b) + 1e-12);
+}
+
+TEST_P(ElemEmProperty, TopElementErrorNeverIncreases)
+{
+    Rng rng(2000 + GetParam());
+    ElemEmQuantizer em = paperCodec();
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    std::vector<float> in(32), a(32), b(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.normal(0, 2));
+    em.quantizeGroup(in, a);
+    mx.quantizeGroup(in, b);
+    for (size_t i = 0; i < 32; ++i) {
+        EXPECT_LE(std::fabs(a[i] - in[i]),
+                  std::fabs(b[i] - in[i]) + 1e-6f)
+            << i;
+    }
+}
+
+TEST_P(ElemEmProperty, AdaptiveScaleNeverWorseThanFixed)
+{
+    Rng rng(3000 + GetParam());
+    ElemEmConfig fixed_cfg{32, 8, 1, ScaleRule::Floor, false, true};
+    ElemEmConfig adapt_cfg{32, 8, 1, ScaleRule::Floor, true, true};
+    ElemEmQuantizer fixed_q(fixed_cfg), adapt_q(adapt_cfg);
+    std::vector<float> in(32), a(32), b(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.studentT(3.0));
+    fixed_q.quantizeGroup(in, a);
+    adapt_q.quantizeGroup(in, b);
+    EXPECT_LE(mse(in, b), mse(in, a) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElemEmProperty,
+                         ::testing::Range(0, 25));
+
+} // anonymous namespace
+} // namespace m2x

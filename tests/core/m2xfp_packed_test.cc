@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the §5.2 packed memory layout: stream sizes, bit
+ * accounting, and exact agreement with the functional codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/m2xfp.hh"
+#include "core/m2xfp_packed.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.studentT(4.0));
+    return m;
+}
+
+TEST(Packed, StreamSizesMatchLayout)
+{
+    Matrix m = randomMatrix(4, 64, 1);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    // 4 rows x 2 groups: 16B elements, 1B scale, 1B meta per group.
+    EXPECT_EQ(t.elementStream().size(), 4u * 2 * 16);
+    EXPECT_EQ(t.scaleStream().size(), 8u);
+    EXPECT_EQ(t.metadataStream().size(), 8u);
+    EXPECT_EQ(t.totalBytes(), 4u * 2 * 18);
+}
+
+TEST(Packed, BitsPerElementIsFourPointFive)
+{
+    Matrix m = randomMatrix(8, 128, 2);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    EXPECT_DOUBLE_EQ(t.bitsPerElement(), 4.5);
+}
+
+TEST(Packed, ActivationsRoundTripMatchesFunctionalCodec)
+{
+    Matrix m = randomMatrix(5, 96, 3);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    Matrix unpacked = t.unpackActivations(q);
+    Matrix direct = quantizeRowsGrouped(m, q);
+    ASSERT_TRUE(unpacked.sameShape(direct));
+    for (size_t i = 0; i < direct.size(); ++i)
+        ASSERT_FLOAT_EQ(unpacked.flat()[i], direct.flat()[i]) << i;
+}
+
+TEST(Packed, WeightsRoundTripMatchesFunctionalCodec)
+{
+    Matrix m = randomMatrix(6, 64, 4);
+    SgEmQuantizer q = makeM2xfpWeightQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packWeights(m, q);
+    Matrix unpacked = t.unpackWeights(q);
+    Matrix direct = quantizeRowsGrouped(m, q);
+    for (size_t i = 0; i < direct.size(); ++i)
+        ASSERT_FLOAT_EQ(unpacked.flat()[i], direct.flat()[i]) << i;
+}
+
+TEST(Packed, RaggedColumnsArePadded)
+{
+    // 40 columns -> 2 groups per row, second group half-padded.
+    Matrix m = randomMatrix(2, 40, 5);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    EXPECT_EQ(t.groupsPerRow(), 2u);
+    Matrix unpacked = t.unpackActivations(q);
+    EXPECT_EQ(unpacked.cols(), 40u);
+    Matrix direct = quantizeRowsGrouped(m, q);
+    for (size_t i = 0; i < direct.size(); ++i)
+        ASSERT_FLOAT_EQ(unpacked.flat()[i], direct.flat()[i]) << i;
+}
+
+TEST(Packed, ElementCodeAccessorsConsistent)
+{
+    Matrix m = randomMatrix(3, 32, 6);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    // Re-encode row 1 directly and compare codes.
+    ElemEmGroup g = q.encodeGroup(m.row(1));
+    for (size_t c = 0; c < 32; ++c)
+        EXPECT_EQ(t.elementCode(1, c), g.fp4Codes[c]) << c;
+    EXPECT_EQ(t.scaleCode(1, 0), g.scale.code());
+    for (size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(t.subgroupMeta(1, 0, s), g.meta[s]) << s;
+}
+
+} // anonymous namespace
+} // namespace m2x

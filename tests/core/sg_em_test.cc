@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit + property tests for the Sg-EM weight codec (Eq. 3/4):
+ * multiplier grid, adaptive exponent bias absorption, hierarchical
+ * MSE optimality, and the Sg-EE variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "core/sg_em.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+TEST(SgEm, MultiplierGridMatchesEq3)
+{
+    SgEmQuantizer q = SgEmQuantizer::paperWeights();
+    ScaleE8m0 s = ScaleE8m0::fromExponent(2); // S = 4
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 0), 4.0f);
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 1), 5.0f);
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 2), 6.0f);
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 3), 7.0f);
+}
+
+TEST(SgEm, SgEeGridIsBinadeShifts)
+{
+    SgEmConfig cfg;
+    cfg.extraExponent = true;
+    cfg.metaBits = 2;
+    SgEmQuantizer q(cfg);
+    ScaleE8m0 s = ScaleE8m0::fromExponent(3); // S = 8
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 0), 8.0f);
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 1), 4.0f);
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 2), 2.0f);
+    EXPECT_FLOAT_EQ(q.subgroupScale(s, 3), 1.0f);
+}
+
+TEST(SgEm, RecoversExactMultiplierGrid)
+{
+    // Data sitting exactly on the 1.25x grid quantizes losslessly.
+    SgEmConfig cfg;
+    cfg.groupSize = 8;
+    cfg.subgroupSize = 8;
+    cfg.adaptiveScale = false;
+    SgEmQuantizer q(cfg);
+    // amax=5 -> E0=0, S=1; multiplier 1.25 makes {5, 2.5, 1.25}
+    // exactly representable (4, 2, 1 in FP4).
+    std::vector<float> in{5.0f, 2.5f, 1.25f, 0.625f,
+                          -5.0f, -2.5f, 0.0f, 1.875f};
+    std::vector<float> out(8);
+    q.quantizeGroup(in, out);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], in[i]) << i;
+    SgEmGroup g = q.encodeGroup(in);
+    ASSERT_EQ(g.sgMeta.size(), 1u);
+    EXPECT_EQ(g.sgMeta[0], 1); // multiplier code 01 -> 1.25
+}
+
+TEST(SgEm, EncodeDecodeRoundTripMatchesQuantize)
+{
+    Rng rng(5);
+    SgEmQuantizer q = SgEmQuantizer::paperWeights();
+    for (int t = 0; t < 200; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.normal(0, 1));
+        SgEmGroup g = q.encodeGroup(in);
+        std::vector<float> dec(32), direct(32);
+        q.decodeGroup(g, dec);
+        q.quantizeGroup(in, direct);
+        for (size_t i = 0; i < in.size(); ++i)
+            ASSERT_FLOAT_EQ(dec[i], direct[i]) << t << ":" << i;
+    }
+}
+
+TEST(SgEm, AllZeroGroup)
+{
+    SgEmQuantizer q = SgEmQuantizer::paperWeights();
+    std::vector<float> in(32, 0.0f), out(32, 9.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(SgEm, EbwIsFourPointFive)
+{
+    EXPECT_DOUBLE_EQ(SgEmQuantizer::paperWeights().ebw(), 4.5);
+}
+
+TEST(SgEm, MetaCodesWithinWidth)
+{
+    Rng rng(6);
+    SgEmQuantizer q = SgEmQuantizer::paperWeights();
+    for (int t = 0; t < 50; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(5.0));
+        SgEmGroup g = q.encodeGroup(in);
+        EXPECT_EQ(g.sgMeta.size(), 4u);
+        for (uint8_t m : g.sgMeta)
+            EXPECT_LE(m, 3);
+    }
+}
+
+class SgEmProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SgEmProperty, NeverWorseThanMxfp4)
+{
+    // Multiplier code 0 with bias 0 reproduces plain MXFP4, so the
+    // hierarchical search can never do worse.
+    Rng rng(4000 + GetParam());
+    SgEmQuantizer sg = SgEmQuantizer::paperWeights();
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    std::vector<float> in(32), a(32), b(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.studentT(4.0) *
+                               std::exp(rng.uniform(-2, 2)));
+    sg.quantizeGroup(in, a);
+    mx.quantizeGroup(in, b);
+    EXPECT_LE(mse(in, a), mse(in, b) + 1e-12);
+}
+
+TEST_P(SgEmProperty, AdaptiveNeverWorseThanFixed)
+{
+    Rng rng(5000 + GetParam());
+    SgEmConfig fixed_cfg;
+    fixed_cfg.adaptiveScale = false;
+    SgEmConfig adapt_cfg;
+    adapt_cfg.adaptiveScale = true;
+    SgEmQuantizer fixed_q(fixed_cfg), adapt_q(adapt_cfg);
+    std::vector<float> in(32), a(32), b(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.normal(0, 1));
+    fixed_q.quantizeGroup(in, a);
+    adapt_q.quantizeGroup(in, b);
+    EXPECT_LE(mse(in, b), mse(in, a) + 1e-12);
+}
+
+TEST_P(SgEmProperty, ChosenMultiplierIsArgmin)
+{
+    // Re-check the hierarchical optimality: no other (bias, k) pair
+    // for the winning subgroup beats the chosen one at its bias.
+    Rng rng(6000 + GetParam());
+    SgEmQuantizer q = SgEmQuantizer::paperWeights();
+    std::vector<float> in(8);
+    for (auto &v : in)
+        v = static_cast<float>(rng.normal(0, 1));
+    SgEmConfig cfg;
+    cfg.groupSize = 8;
+    cfg.subgroupSize = 8;
+    SgEmQuantizer q8(cfg);
+    SgEmGroup g = q8.encodeGroup(in);
+    std::vector<float> chosen_dec(8);
+    q8.decodeGroup(g, chosen_dec);
+    double chosen_err = mse(in, chosen_dec) * 8;
+
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    for (unsigned m = 0; m < 4; ++m) {
+        float s = q8.subgroupScale(g.scale, static_cast<uint8_t>(m));
+        double err = 0;
+        for (float x : in) {
+            float v = fp4.quantize(x / s) * s;
+            err += (v - x) * (v - x);
+        }
+        // Small slack: the two error sums accumulate in different
+        // orders (float vs double), so exact ties can differ in the
+        // last ulp.
+        EXPECT_GE(err + 1e-6, chosen_err) << "m=" << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SgEmProperty,
+                         ::testing::Range(0, 25));
+
+TEST(SgEe, ShiftsSmallSubgroupDown)
+{
+    // A subgroup far below the block max should use a nonzero
+    // exponent offset to regain resolution.
+    SgEmConfig cfg;
+    cfg.extraExponent = true;
+    cfg.metaBits = 2;
+    cfg.adaptiveScale = false;
+    SgEmQuantizer q(cfg);
+    std::vector<float> in(32);
+    for (size_t i = 0; i < 8; ++i)
+        in[i] = (i % 2) ? 4.0f : -4.0f; // big subgroup
+    for (size_t i = 8; i < 16; ++i)
+        in[i] = (i % 2) ? 0.4f : -0.4f; // small subgroup
+    for (size_t i = 16; i < 32; ++i)
+        in[i] = 0.9f;
+    SgEmGroup g = q.encodeGroup(in);
+    EXPECT_EQ(g.sgMeta[0], 0);
+    EXPECT_GT(g.sgMeta[1], 0);
+}
+
+} // anonymous namespace
+} // namespace m2x

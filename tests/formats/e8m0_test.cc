@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the E8M0 power-of-two scale type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "formats/e8m0.hh"
+
+namespace m2x {
+namespace {
+
+TEST(E8m0, ValueIsPowerOfTwo)
+{
+    for (int e = -20; e <= 20; ++e) {
+        ScaleE8m0 s = ScaleE8m0::fromExponent(e);
+        EXPECT_FLOAT_EQ(s.value(), std::exp2(static_cast<float>(e)));
+        EXPECT_FLOAT_EQ(s.inverse() * s.value(), 1.0f);
+    }
+}
+
+TEST(E8m0, CodeRoundTrip)
+{
+    for (int e = ScaleE8m0::minExp; e <= ScaleE8m0::maxExp; ++e) {
+        ScaleE8m0 s = ScaleE8m0::fromExponent(e);
+        ScaleE8m0 back = ScaleE8m0::fromCode(s.code());
+        EXPECT_EQ(back.exponent(), e);
+    }
+}
+
+TEST(E8m0, ClampsAtRangeLimits)
+{
+    EXPECT_EQ(ScaleE8m0::fromExponent(1000).exponent(), 127);
+    EXPECT_EQ(ScaleE8m0::fromExponent(-1000).exponent(), -127);
+}
+
+TEST(E8m0, ShiftedSaturates)
+{
+    ScaleE8m0 top = ScaleE8m0::fromExponent(127);
+    EXPECT_EQ(top.shifted(1).exponent(), 127);
+    EXPECT_EQ(top.shifted(-1).exponent(), 126);
+}
+
+TEST(E8m0, DefaultIsIdentity)
+{
+    ScaleE8m0 s;
+    EXPECT_FLOAT_EQ(s.value(), 1.0f);
+    EXPECT_EQ(s.code(), 127);
+}
+
+TEST(E8m0, EqualityByExponent)
+{
+    EXPECT_TRUE(ScaleE8m0::fromExponent(3) == ScaleE8m0::fromExponent(3));
+    EXPECT_FALSE(ScaleE8m0::fromExponent(3) ==
+                 ScaleE8m0::fromExponent(4));
+}
+
+} // anonymous namespace
+} // namespace m2x

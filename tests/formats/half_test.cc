@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the software FP16/BF16 conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "formats/half.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Half, ExactSmallValuesRoundTrip)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 1.5f, 2.0f, 100.0f,
+                    -0.25f, 6.0f, 448.0f, 0.0009765625f}) {
+        EXPECT_FLOAT_EQ(quantizeToHalf(v), v) << v;
+    }
+}
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3c00);
+    EXPECT_EQ(floatToHalfBits(-2.0f), 0xc000);
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7bff); // max half
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x3c00), 1.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x7bff), 65504.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x0001), std::exp2(-24.0f));
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly midway between 1.0 and the next half
+    // (1 + 2^-10): RNE keeps 1.0 (even mantissa).
+    float mid = 1.0f + std::exp2(-11.0f);
+    EXPECT_FLOAT_EQ(quantizeToHalf(mid), 1.0f);
+    // 1 + 3*2^-11 is midway to the next pair: rounds up to 1 + 2^-9
+    // ... actually to 1 + 2*2^-10 (even).
+    float mid2 = 1.0f + 3.0f * std::exp2(-11.0f);
+    EXPECT_FLOAT_EQ(quantizeToHalf(mid2), 1.0f + 2.0f * std::exp2(-10.0f));
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_TRUE(std::isinf(quantizeToHalf(1e6f)));
+    EXPECT_TRUE(std::isinf(quantizeToHalf(-1e6f)));
+}
+
+TEST(Half, SubnormalsRepresentable)
+{
+    float sub = std::exp2(-24.0f); // smallest positive half
+    EXPECT_FLOAT_EQ(quantizeToHalf(sub), sub);
+    float below = sub * 0.25f;
+    EXPECT_FLOAT_EQ(quantizeToHalf(below), 0.0f);
+}
+
+TEST(Half, NanPropagates)
+{
+    EXPECT_TRUE(std::isnan(quantizeToHalf(std::nanf(""))));
+}
+
+TEST(Half, MonotonicOverSweep)
+{
+    float prev = -70000.0f;
+    for (int i = -1000; i <= 1000; ++i) {
+        float x = static_cast<float>(i) * 7.3f;
+        float q = quantizeToHalf(x);
+        EXPECT_GE(q, quantizeToHalf(prev) - 1e-3f);
+        prev = x;
+    }
+}
+
+TEST(Bf16, RoundTripExactValues)
+{
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 128.0f})
+        EXPECT_FLOAT_EQ(quantizeToBf16(v), v) << v;
+}
+
+TEST(Bf16, TruncatesMantissaWithRounding)
+{
+    // bf16 has 8 v bits: 1 + 2^-9 rounds to 1.0.
+    EXPECT_FLOAT_EQ(quantizeToBf16(1.0f + std::exp2(-9.0f)), 1.0f);
+    EXPECT_FLOAT_EQ(quantizeToBf16(1.0f + 3.0f * std::exp2(-9.0f)),
+                    1.0f + std::exp2(-7.0f));
+}
+
+TEST(Bf16, NanPreserved)
+{
+    EXPECT_TRUE(std::isnan(quantizeToBf16(std::nanf(""))));
+}
+
+TEST(Bf16, LargeRangePreserved)
+{
+    // bf16 keeps float's exponent range: huge values survive with
+    // <= 0.4% relative rounding error instead of overflowing.
+    float q = quantizeToBf16(1e30f);
+    EXPECT_FALSE(std::isinf(q));
+    EXPECT_NEAR(q / 1e30f, 1.0f, 0.004f);
+    EXPECT_FALSE(std::isinf(quantizeToBf16(1e38f)));
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the symmetric integer codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "formats/intcodec.hh"
+
+namespace m2x {
+namespace {
+
+TEST(RoundNearestEven, HalfwayCases)
+{
+    EXPECT_EQ(roundNearestEven(0.5), 0);
+    EXPECT_EQ(roundNearestEven(1.5), 2);
+    EXPECT_EQ(roundNearestEven(2.5), 2);
+    EXPECT_EQ(roundNearestEven(3.5), 4);
+    EXPECT_EQ(roundNearestEven(-0.5), 0);
+    EXPECT_EQ(roundNearestEven(-1.5), -2);
+    EXPECT_EQ(roundNearestEven(-2.5), -2);
+}
+
+TEST(RoundNearestEven, NonHalfway)
+{
+    EXPECT_EQ(roundNearestEven(1.49), 1);
+    EXPECT_EQ(roundNearestEven(1.51), 2);
+    EXPECT_EQ(roundNearestEven(-1.49), -1);
+    EXPECT_EQ(roundNearestEven(-1.51), -2);
+    EXPECT_EQ(roundNearestEven(0.0), 0);
+}
+
+TEST(IntSym, Int4Range)
+{
+    IntSym q(4);
+    EXPECT_EQ(q.maxCode(), 7);
+    EXPECT_EQ(q.encode(100.0f), 7);
+    EXPECT_EQ(q.encode(-100.0f), -7);
+    EXPECT_EQ(q.encode(-8.0f), -7); // symmetric: -8 unused
+}
+
+TEST(IntSym, Int8Range)
+{
+    IntSym q(8);
+    EXPECT_EQ(q.maxCode(), 127);
+    EXPECT_EQ(q.encode(127.4f), 127);
+    EXPECT_EQ(q.encode(-127.6f), -127);
+}
+
+TEST(IntSym, QuantizeGridValues)
+{
+    IntSym q(4);
+    for (int i = -7; i <= 7; ++i)
+        EXPECT_FLOAT_EQ(q.quantize(static_cast<float>(i)),
+                        static_cast<float>(i));
+}
+
+TEST(IntSym, TiesToEven)
+{
+    IntSym q(4);
+    EXPECT_FLOAT_EQ(q.quantize(2.5f), 2.0f);
+    EXPECT_FLOAT_EQ(q.quantize(3.5f), 4.0f);
+}
+
+} // anonymous namespace
+} // namespace m2x

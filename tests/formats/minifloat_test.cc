@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Exhaustive and value-table tests for the minifloat codec. FP4 E2M1
+ * and FP6 E2M3 grids are the numeric foundation of M2XFP (Alg. 1),
+ * so their value tables are pinned here explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "formats/minifloat.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Fp4E2m1, ValueTable)
+{
+    const Minifloat &f = Minifloat::fp4e2m1();
+    // Magnitude codes 0..7 -> 0, .5, 1, 1.5, 2, 3, 4, 6.
+    std::vector<float> expect{0.0f, 0.5f, 1.0f, 1.5f,
+                              2.0f, 3.0f, 4.0f, 6.0f};
+    ASSERT_EQ(f.positiveValues().size(), 8u);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_FLOAT_EQ(f.positiveValues()[i], expect[i]) << i;
+    EXPECT_FLOAT_EQ(f.maxValue(), 6.0f);  // paper's M
+    EXPECT_FLOAT_EQ(f.maxPow2(), 4.0f);   // paper's P
+    EXPECT_FLOAT_EQ(f.minSubnormal(), 0.5f);
+}
+
+TEST(Fp6E2m3, ValueTableSpotChecks)
+{
+    const Minifloat &f = Minifloat::fp6e2m3();
+    ASSERT_EQ(f.positiveValues().size(), 32u);
+    // Subnormals: 0.125 steps.
+    EXPECT_FLOAT_EQ(f.positiveValues()[1], 0.125f);
+    EXPECT_FLOAT_EQ(f.positiveValues()[7], 0.875f);
+    // Normals at each binade.
+    EXPECT_FLOAT_EQ(f.positiveValues()[8], 1.0f);
+    EXPECT_FLOAT_EQ(f.positiveValues()[16], 2.0f);
+    EXPECT_FLOAT_EQ(f.positiveValues()[22], 3.5f);  // Fig. 8 candidates
+    EXPECT_FLOAT_EQ(f.positiveValues()[23], 3.75f);
+    EXPECT_FLOAT_EQ(f.positiveValues()[24], 4.0f);
+    EXPECT_FLOAT_EQ(f.positiveValues()[25], 4.5f);
+    EXPECT_FLOAT_EQ(f.positiveValues()[26], 5.0f);
+    EXPECT_FLOAT_EQ(f.maxValue(), 7.5f);
+    EXPECT_FLOAT_EQ(f.maxPow2(), 4.0f);
+}
+
+TEST(Fp6E2m3, SharesExponentRangeWithFp4)
+{
+    // Same P means the same shared scale works for FP4 and the FP6
+    // re-rounding in Alg. 1.
+    EXPECT_FLOAT_EQ(Minifloat::fp6e2m3().maxPow2(),
+                    Minifloat::fp4e2m1().maxPow2());
+}
+
+TEST(Fp8E4m3, KnownLimits)
+{
+    const Minifloat &f = Minifloat::fp8e4m3();
+    EXPECT_FLOAT_EQ(f.maxValue(), 448.0f);
+    EXPECT_FLOAT_EQ(f.maxPow2(), 256.0f);
+    // Smallest subnormal 2^-9.
+    EXPECT_FLOAT_EQ(f.minSubnormal(), std::exp2(-9.0f));
+}
+
+TEST(Fp8E5m2, KnownLimits)
+{
+    const Minifloat &f = Minifloat::fp8e5m2();
+    EXPECT_FLOAT_EQ(f.maxValue(), 57344.0f);
+    EXPECT_FLOAT_EQ(f.minSubnormal(), std::exp2(-16.0f));
+}
+
+class MinifloatRoundTrip
+    : public ::testing::TestWithParam<const Minifloat *>
+{};
+
+TEST_P(MinifloatRoundTrip, AllCodesRoundTrip)
+{
+    const Minifloat &f = *GetParam();
+    for (uint32_t code = 0; code < f.codeCount(); ++code) {
+        float v = f.decode(code);
+        if (!std::isfinite(v))
+            continue;
+        uint32_t back = f.encode(v);
+        EXPECT_FLOAT_EQ(f.decode(back), v)
+            << f.name() << " code " << code;
+    }
+}
+
+TEST_P(MinifloatRoundTrip, MagnitudeTableNondecreasing)
+{
+    const Minifloat &f = *GetParam();
+    const auto &vals = f.positiveValues();
+    for (size_t i = 1; i < vals.size(); ++i) {
+        if (!std::isfinite(vals[i]) || !std::isfinite(vals[i - 1]))
+            continue;
+        EXPECT_LE(vals[i - 1], vals[i]) << f.name() << " @ " << i;
+    }
+}
+
+TEST_P(MinifloatRoundTrip, EncodeIsNearest)
+{
+    const Minifloat &f = *GetParam();
+    // Probe a dense sweep; the encoded value must never be farther
+    // than any other representable value.
+    for (int i = -300; i <= 300; ++i) {
+        float x = static_cast<float>(i) * 0.021f * f.maxValue() / 6.0f;
+        float q = f.quantize(x);
+        float err = std::fabs(q - x);
+        for (float v : f.positiveValues()) {
+            if (!std::isfinite(v))
+                continue;
+            EXPECT_LE(err, std::fabs(v - x) + 1e-6f)
+                << f.name() << " x=" << x;
+            EXPECT_LE(err, std::fabs(-v - x) + 1e-6f)
+                << f.name() << " x=" << x;
+        }
+    }
+}
+
+TEST_P(MinifloatRoundTrip, SaturatesAtMax)
+{
+    const Minifloat &f = *GetParam();
+    EXPECT_FLOAT_EQ(f.quantize(f.maxValue() * 100.0f), f.maxValue());
+    EXPECT_FLOAT_EQ(f.quantize(-f.maxValue() * 100.0f), -f.maxValue());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, MinifloatRoundTrip,
+    ::testing::Values(&Minifloat::fp4e2m1(), &Minifloat::fp6e2m3(),
+                      &Minifloat::fp6e3m2(), &Minifloat::fp8e4m3(),
+                      &Minifloat::fp8e5m2()),
+    [](const ::testing::TestParamInfo<const Minifloat *> &info) {
+        return info.param->name();
+    });
+
+TEST(Fp4E2m1, RoundToNearestEvenTies)
+{
+    const Minifloat &f = Minifloat::fp4e2m1();
+    // 2.5 is midway between 2 (mantissa 0) and 3 (mantissa 1): even
+    // mantissa wins.
+    EXPECT_FLOAT_EQ(f.quantize(2.5f), 2.0f);
+    // 5.0 is midway between 4 (m=0) and 6 (m=1): 4 wins.
+    EXPECT_FLOAT_EQ(f.quantize(5.0f), 4.0f);
+    // 3.5 is midway between 3 (m=1) and 4 (m=0): 4 wins — this makes
+    // the FP4-quantizes-to-4 interval [3.5, 5] (§4.4.1).
+    EXPECT_FLOAT_EQ(f.quantize(3.5f), 4.0f);
+    // 0.25 is midway between 0 and 0.5: 0 wins (even code).
+    EXPECT_FLOAT_EQ(f.quantize(0.25f), 0.0f);
+    // 1.25 midway between 1 (m=0) and 1.5 (m=1): 1 wins.
+    EXPECT_FLOAT_EQ(f.quantize(1.25f), 1.0f);
+}
+
+TEST(Fp4E2m1, NonTieRounding)
+{
+    const Minifloat &f = Minifloat::fp4e2m1();
+    EXPECT_FLOAT_EQ(f.quantize(2.4f), 2.0f);
+    EXPECT_FLOAT_EQ(f.quantize(2.6f), 3.0f);
+    EXPECT_FLOAT_EQ(f.quantize(4.9f), 4.0f);
+    EXPECT_FLOAT_EQ(f.quantize(5.1f), 6.0f);
+    EXPECT_FLOAT_EQ(f.quantize(-2.6f), -3.0f);
+}
+
+TEST(Fp4E2m1, SignHandling)
+{
+    const Minifloat &f = Minifloat::fp4e2m1();
+    for (float v : {0.5f, 1.0f, 3.0f, 6.0f})
+        EXPECT_FLOAT_EQ(f.quantize(-v), -f.quantize(v));
+    // Negative zero keeps its sign bit but compares equal to zero.
+    uint32_t nz = f.encode(-0.0f);
+    EXPECT_EQ(nz >> 3, 1u);
+    EXPECT_FLOAT_EQ(f.decode(nz), -0.0f);
+}
+
+TEST(Minifloat, NanEncodesToMax)
+{
+    const Minifloat &f = Minifloat::fp4e2m1();
+    EXPECT_FLOAT_EQ(f.quantize(std::nanf("")), 6.0f);
+}
+
+TEST(Minifloat, QuantizeIdempotent)
+{
+    for (const Minifloat *f :
+         {&Minifloat::fp4e2m1(), &Minifloat::fp6e2m3(),
+          &Minifloat::fp8e4m3()}) {
+        for (int i = -50; i < 50; ++i) {
+            float x = static_cast<float>(i) * 0.13f;
+            float q1 = f->quantize(x);
+            EXPECT_FLOAT_EQ(f->quantize(q1), q1) << f->name();
+        }
+    }
+}
+
+TEST(Fp6E3m2, ValueSpotChecks)
+{
+    const Minifloat &f = Minifloat::fp6e3m2();
+    // bias 3: subnormal step 2^-2 * 2^-2 = 2^-4.
+    EXPECT_FLOAT_EQ(f.minSubnormal(), 0.0625f);
+    EXPECT_FLOAT_EQ(f.maxValue(), 28.0f);
+    EXPECT_FLOAT_EQ(f.maxPow2(), 16.0f);
+}
+
+} // anonymous namespace
+} // namespace m2x

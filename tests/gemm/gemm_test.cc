@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the GEMM kernels and the quantized linear layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/m2xfp.hh"
+#include "gemm/gemm.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, double scale = 1.0)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.normal(0.0, scale));
+    return m;
+}
+
+TEST(Gemm, IdentityMultiply)
+{
+    Matrix a = randomMatrix(4, 4, 1);
+    Matrix eye(4, 4);
+    for (size_t i = 0; i < 4; ++i)
+        eye(i, i) = 1.0f;
+    Matrix c = matmulNt(a, eye); // a * I^T = a
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(c.flat()[i], a.flat()[i]);
+}
+
+TEST(Gemm, KnownSmallProduct)
+{
+    Matrix a(2, 3);
+    float av = 1;
+    for (auto &v : a.flat())
+        v = av++;
+    // b_nk rows are output channels: y[i][j] = dot(a_i, b_j)
+    Matrix b(2, 3);
+    b(0, 0) = 1;
+    b(0, 1) = 0;
+    b(0, 2) = 0;
+    b(1, 0) = 1;
+    b(1, 1) = 1;
+    b(1, 2) = 1;
+    Matrix c = matmulNt(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 6.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 4.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 15.0f);
+}
+
+TEST(Gemm, MatmulAgreesWithMatmulNt)
+{
+    Matrix a = randomMatrix(5, 7, 2);
+    Matrix b = randomMatrix(7, 3, 3);
+    Matrix c1 = matmul(a, b);
+    Matrix c2 = matmulNt(a, b.transposed());
+    ASSERT_TRUE(c1.sameShape(c2));
+    for (size_t i = 0; i < c1.size(); ++i)
+        EXPECT_NEAR(c1.flat()[i], c2.flat()[i], 1e-4f);
+}
+
+TEST(QuantizedLinear, NullQuantizersAreExact)
+{
+    Matrix w = randomMatrix(8, 16, 4);
+    Matrix x = randomMatrix(3, 16, 5);
+    QuantizedLinear lin(w, nullptr, nullptr);
+    Matrix y = lin.forward(x);
+    Matrix ref = matmulNt(x, w);
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_FLOAT_EQ(y.flat()[i], ref.flat()[i]);
+}
+
+TEST(QuantizedLinear, W4A4CloseToReference)
+{
+    Matrix w = randomMatrix(32, 128, 6, 0.05);
+    Matrix x = randomMatrix(4, 128, 7);
+    auto wq = std::make_shared<SgEmQuantizer>(
+        makeM2xfpWeightQuantizer());
+    auto aq = std::make_shared<ElemEmQuantizer>(
+        makeM2xfpActivationQuantizer());
+    QuantizedLinear lin(w, wq, aq);
+    Matrix y = lin.forward(x);
+    Matrix ref = matmulNt(x, w);
+    EXPECT_LT(nmse(ref.flat(), y.flat()), 0.05);
+}
+
+TEST(QuantizedLinear, M2xfpBeatsMxfp4EndToEnd)
+{
+    // The product-level payoff: W4A4 GEMM error with M2XFP vs MXFP4.
+    Matrix w = randomMatrix(64, 256, 8, 0.05);
+    Matrix x(16, 256);
+    Rng rng(9);
+    for (auto &v : x.flat())
+        v = static_cast<float>(rng.studentT(4.0));
+    Matrix ref = matmulNt(x, w);
+
+    auto m2_w = std::make_shared<SgEmQuantizer>(
+        makeM2xfpWeightQuantizer());
+    auto m2_a = std::make_shared<ElemEmQuantizer>(
+        makeM2xfpActivationQuantizer());
+    QuantizedLinear lin_m2(w, m2_w, m2_a);
+
+    auto mx_w = std::make_shared<MxfpQuantizer>(MxfpQuantizer::mxfp4());
+    auto mx_a = std::make_shared<MxfpQuantizer>(MxfpQuantizer::mxfp4());
+    QuantizedLinear lin_mx(w, mx_w, mx_a);
+
+    double e_m2 = nmse(ref.flat(), lin_m2.forward(x).flat());
+    double e_mx = nmse(ref.flat(), lin_mx.forward(x).flat());
+    EXPECT_LT(e_m2, e_mx);
+}
+
+TEST(QuantizedLinear, SetWeightRequantizes)
+{
+    Matrix w1 = randomMatrix(8, 32, 10);
+    auto wq = std::make_shared<MxfpQuantizer>(MxfpQuantizer::mxfp4());
+    QuantizedLinear lin(w1, wq, nullptr);
+    Matrix w2 = randomMatrix(8, 32, 11);
+    lin.setWeight(w2);
+    Matrix expect = quantizeRowsGrouped(w2, *wq);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_FLOAT_EQ(lin.effectiveWeight().flat()[i],
+                        expect.flat()[i]);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the area/power model: Tbl. 5 totals and the §6.3 PE-tile
+ * format comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/area_power.hh"
+
+namespace m2x {
+namespace {
+
+TEST(AreaPower, PeTileAreasMatchPaperSynthesis)
+{
+    // §6.3: 2057.6 (MXFP4), 2104.7 (NVFP4, +2.3%), 2140.1 (M2XFP,
+    // +4.0%) um^2 under the same 28 nm flow.
+    EXPECT_NEAR(hw::makeMxfp4PeTile().areaUm2(), 2057.6, 1.0);
+    EXPECT_NEAR(hw::makeNvfp4PeTile().areaUm2(), 2104.7, 1.0);
+    EXPECT_NEAR(hw::makeM2xfpPeTile().areaUm2(), 2140.1, 1.0);
+}
+
+TEST(AreaPower, M2xfpOverheadIsFourPercent)
+{
+    double base = hw::makeMxfp4PeTile().areaUm2();
+    double m2 = hw::makeM2xfpPeTile().areaUm2();
+    double nv = hw::makeNvfp4PeTile().areaUm2();
+    EXPECT_NEAR((m2 - base) / base, 0.040, 0.002);
+    EXPECT_NEAR((nv - base) / base, 0.023, 0.002);
+}
+
+TEST(AreaPower, DecodeUnitAndEngineAreas)
+{
+    EXPECT_NEAR(hw::makeTop1DecodeUnit().areaUm2(), 82.91, 0.5);
+    EXPECT_NEAR(hw::makeQuantizationEngine().areaUm2(), 2451.47, 2.0);
+}
+
+TEST(AreaPower, SramAnchoredAtPaperPoint)
+{
+    hw::SramModel buf{324.0};
+    EXPECT_NEAR(buf.areaMm2(), 0.7740, 0.001);
+    EXPECT_NEAR(buf.powerMw(), 176.268, 0.2);
+    EXPECT_GT(buf.energyPerBytePj(), 0.0);
+}
+
+TEST(AreaPower, Table5TotalsMatchPaper)
+{
+    auto rows = hw::table5Breakdown();
+    ASSERT_EQ(rows.size(), 5u);
+    // Paper: total 1.051 mm^2, 204.02 mW.
+    EXPECT_NEAR(rows.back().totalAreaMm2, 1.051, 0.01);
+    EXPECT_NEAR(rows.back().totalPowerMw, 204.02, 1.5);
+    // Decode + engine overhead is a fraction of a percent of area.
+    double overhead =
+        (rows[1].totalAreaMm2 + rows[2].totalAreaMm2) /
+        rows.back().totalAreaMm2;
+    EXPECT_LT(overhead, 0.005);
+}
+
+TEST(AreaPower, BlocksSumToUnitTotals)
+{
+    std::vector<hw::UnitModel> units;
+    units.push_back(hw::makeM2xfpPeTile());
+    units.push_back(hw::makeTop1DecodeUnit());
+    units.push_back(hw::makeQuantizationEngine());
+    for (const auto &unit : units) {
+        double sum = 0.0;
+        for (const auto &b : unit.blocks())
+            sum += b.areaUm2();
+        EXPECT_DOUBLE_EQ(sum, unit.areaUm2()) << unit.name();
+    }
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Bit-exactness proof for the PE tile (Fig. 11): the integer
+ * datapath (base MACs + aux extra-mantissa MAC + shift-add subgroup
+ * scaling + exponent-align dequant) must reproduce the functional
+ * codecs' dequantized dot product exactly, for random operands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/elem_em.hh"
+#include "core/m2xfp.hh"
+#include "core/sg_em.hh"
+#include "formats/minifloat.hh"
+#include "hw/pe_tile.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+TEST(PeTile, Fp4IntTableIsValueTimes8)
+{
+    hw::PeTile pe;
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    for (uint32_t c = 0; c < 16; ++c)
+        EXPECT_EQ(pe.fp4Int8(static_cast<uint8_t>(c)),
+                  std::lround(fp4.decode(c) * 8.0f))
+            << c;
+}
+
+TEST(PeTile, Fp6IntTableIsValueTimes8)
+{
+    hw::PeTile pe;
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    for (uint32_t m = 0; m < 32; ++m)
+        EXPECT_EQ(pe.fp6MagInt8(static_cast<uint8_t>(m)),
+                  std::lround(fp6.decode(m) * 8.0f))
+            << m;
+}
+
+TEST(PeTile, ShiftAddScaleIsExact)
+{
+    for (int64_t p = -20000; p <= 20000; p += 4) {
+        EXPECT_EQ(hw::PeTile::applySubgroupScale(p, 0), p);
+        EXPECT_EQ(hw::PeTile::applySubgroupScale(p, 1), p * 5 / 4);
+        EXPECT_EQ(hw::PeTile::applySubgroupScale(p, 2), p * 3 / 2);
+        EXPECT_EQ(hw::PeTile::applySubgroupScale(p, 3), p * 7 / 4);
+    }
+}
+
+TEST(PeTile, BaseMacMatchesManualDotProduct)
+{
+    hw::PeTile pe;
+    hw::PeSubgroupInput in;
+    // w = [1, -2, 3, 0.5, 6, -4, 1.5, 0], x = [2, 2, -1, 4, 1, 1, 1, 3]
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    float wv[8] = {1, -2, 3, 0.5f, 6, -4, 1.5f, 0};
+    float xv[8] = {2, 2, -1, 4, 1, 1, 1, 3};
+    for (int i = 0; i < 8; ++i) {
+        in.wCodes[i] = static_cast<uint8_t>(fp4.encode(wv[i]));
+        in.xCodes[i] = static_cast<uint8_t>(fp4.encode(xv[i]));
+    }
+    in.xMeta = 1; // identity metadata: top-1 stays at its FP4 value
+    double expect = 0;
+    for (int i = 0; i < 8; ++i)
+        expect += static_cast<double>(wv[i]) * xv[i];
+    int64_t p256 = pe.macSubgroup(in);
+    EXPECT_DOUBLE_EQ(static_cast<double>(p256) / 256.0, expect);
+}
+
+/**
+ * End-to-end exactness: quantize random activations (Elem-EM) and
+ * weights (Sg-EM), feed the bit-level codes through the PE tile, and
+ * compare with the double-precision dot product of the functional
+ * decoders' outputs. Must agree to the last bit (all quantities are
+ * dyadic rationals well inside double's significand).
+ */
+class PeTileExactness : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PeTileExactness, MatchesFunctionalGroupDotProduct)
+{
+    Rng rng(7000 + GetParam());
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+
+    std::vector<float> x(32), w(32);
+    for (auto &v : x)
+        v = static_cast<float>(rng.studentT(4.0) *
+                               std::exp(rng.uniform(-2, 2)));
+    for (auto &v : w)
+        v = static_cast<float>(rng.normal(0, 1));
+
+    ElemEmGroup xg = aq.encodeGroup(x);
+    SgEmGroup wg = wq.encodeGroup(w);
+
+    // Functional reference: decoded values, double accumulation.
+    std::vector<float> xd(32), wd(32);
+    aq.decodeGroup(xg, xd);
+    wq.decodeGroup(wg, wd);
+    double ref = 0;
+    for (int i = 0; i < 32; ++i)
+        ref += static_cast<double>(xd[i]) * wd[i];
+
+    // Hardware path.
+    hw::PeTile pe;
+    std::vector<hw::PeSubgroupInput> subs(4);
+    for (int s = 0; s < 4; ++s) {
+        for (int i = 0; i < 8; ++i) {
+            subs[s].wCodes[i] = wg.fp4Codes[8 * s + i];
+            subs[s].xCodes[i] = xg.fp4Codes[8 * s + i];
+        }
+        subs[s].xMeta = xg.meta[s];
+        subs[s].wSgEm = wg.sgMeta[s];
+        subs[s].len = 8;
+    }
+    double got = pe.computeGroup(subs, wg.scale.exponent(),
+                                 xg.scale.exponent());
+    EXPECT_DOUBLE_EQ(got, ref) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeTileExactness,
+                         ::testing::Range(0, 50));
+
+TEST(PeTile, OpCountersTrackWork)
+{
+    hw::PeTile pe;
+    std::vector<hw::PeSubgroupInput> subs(4);
+    pe.computeGroup(subs, 0, 0);
+    EXPECT_EQ(pe.opCounts().baseMacs, 32u);
+    EXPECT_EQ(pe.opCounts().auxMacs, 4u);
+    EXPECT_EQ(pe.opCounts().scaleOps, 4u);
+    EXPECT_EQ(pe.opCounts().dequants, 1u);
+    pe.resetOpCounts();
+    EXPECT_EQ(pe.opCounts().baseMacs, 0u);
+}
+
+TEST(PeTile, SubgroupScaleDistributesOverSum)
+{
+    // (sum w*x) * 1.25 == sum (w*1.25)*x — the identity the shift-add
+    // refinement relies on.
+    hw::PeTile pe;
+    hw::PeSubgroupInput in;
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    float wv[8] = {1, 2, -3, 4, 0.5f, -1.5f, 6, 1};
+    float xv[8] = {1, -1, 2, 0.5f, 3, 2, 1, -4};
+    for (int i = 0; i < 8; ++i) {
+        in.wCodes[i] = static_cast<uint8_t>(fp4.encode(wv[i]));
+        in.xCodes[i] = static_cast<uint8_t>(fp4.encode(xv[i]));
+    }
+    in.xMeta = 1;
+    int64_t p = pe.macSubgroup(in);
+    double scaled =
+        static_cast<double>(hw::PeTile::applySubgroupScale(p, 1)) /
+        256.0;
+    double manual = 0;
+    for (int i = 0; i < 8; ++i)
+        manual += (1.25 * wv[i]) * xv[i];
+    EXPECT_DOUBLE_EQ(scaled, manual);
+}
+
+} // anonymous namespace
+} // namespace m2x

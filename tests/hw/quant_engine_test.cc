@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the streaming Quantization Engine (Fig. 12): bit-exact
+ * agreement with the functional Elem-EM encoder, plus the pipeline
+ * timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "hw/quant_engine.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+class QuantEngineExactness : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuantEngineExactness, MatchesFunctionalEncoder)
+{
+    Rng rng(8000 + GetParam());
+    hw::QuantizationEngine engine;
+    ElemEmQuantizer func = makeM2xfpActivationQuantizer();
+
+    std::vector<float> in(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.studentT(3.0) *
+                               std::exp(rng.uniform(-4, 4)));
+
+    hw::QuantEngineResult hw_res = engine.encodeGroup(in);
+    ElemEmGroup ref = func.encodeGroup(in);
+
+    ASSERT_EQ(hw_res.group.scale.exponent(), ref.scale.exponent());
+    ASSERT_EQ(hw_res.group.fp4Codes.size(), ref.fp4Codes.size());
+    for (size_t i = 0; i < ref.fp4Codes.size(); ++i)
+        ASSERT_EQ(hw_res.group.fp4Codes[i], ref.fp4Codes[i]) << i;
+    ASSERT_EQ(hw_res.group.meta.size(), ref.meta.size());
+    for (size_t i = 0; i < ref.meta.size(); ++i)
+        ASSERT_EQ(hw_res.group.meta[i], ref.meta[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantEngineExactness,
+                         ::testing::Range(0, 50));
+
+TEST(QuantEngine, DecodedOutputMatchesFunctionalQuantize)
+{
+    Rng rng(9);
+    hw::QuantizationEngine engine;
+    ElemEmQuantizer func = makeM2xfpActivationQuantizer();
+    std::vector<float> in(32);
+    for (auto &v : in)
+        v = static_cast<float>(rng.normal(0, 2));
+    hw::QuantEngineResult res = engine.encodeGroup(in);
+    std::vector<float> hw_dec(32), func_dec(32);
+    func.decodeGroup(res.group, hw_dec);
+    func.quantizeGroup(in, func_dec);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(hw_dec[i], func_dec[i]) << i;
+}
+
+TEST(QuantEngine, PipelineCycles)
+{
+    hw::QuantizationEngine engine(32);
+    std::vector<float> in(32, 1.0f);
+    // One group through a 32-lane two-stage pipeline: 2 cycles.
+    EXPECT_EQ(engine.encodeGroup(in).cycles, 2u);
+    // Streaming n groups: fill + 1/cycle.
+    EXPECT_EQ(engine.streamCycles(100), 101u);
+}
+
+TEST(QuantEngine, NarrowEngineTakesLonger)
+{
+    hw::QuantizationEngine narrow(8);
+    std::vector<float> in(32, 1.0f);
+    EXPECT_EQ(narrow.encodeGroup(in).cycles, 8u);
+    EXPECT_EQ(narrow.streamCycles(100), 404u);
+}
+
+TEST(QuantEngine, HandlesExtremeDynamicRange)
+{
+    hw::QuantizationEngine engine;
+    ElemEmQuantizer func = makeM2xfpActivationQuantizer();
+    std::vector<float> in(32, 1e-6f);
+    in[3] = 3e4f;
+    hw::QuantEngineResult res = engine.encodeGroup(in);
+    ElemEmGroup ref = func.encodeGroup(in);
+    EXPECT_EQ(res.group.scale.exponent(), ref.scale.exponent());
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(res.group.fp4Codes[i], ref.fp4Codes[i]) << i;
+}
+
+} // anonymous namespace
+} // namespace m2x

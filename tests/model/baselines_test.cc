@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the baseline accelerator quantizer models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/baselines.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace model {
+namespace {
+
+std::vector<float>
+gaussianGroup(Rng &rng, size_t n)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0, 1));
+    return v;
+}
+
+TEST(ValueGrid, QuantizeMagNearest)
+{
+    ValueGrid g = gridFp4();
+    EXPECT_FLOAT_EQ(g.quantizeMag(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(g.quantizeMag(2.4f), 2.0f);
+    EXPECT_FLOAT_EQ(g.quantizeMag(2.6f), 3.0f);
+    EXPECT_FLOAT_EQ(g.quantizeMag(100.0f), 6.0f);
+}
+
+TEST(ValueGrid, MaxPow2)
+{
+    EXPECT_FLOAT_EQ(gridFp4().maxPow2(), 4.0f);
+    EXPECT_FLOAT_EQ(gridInt4().maxPow2(), 4.0f);
+    EXPECT_FLOAT_EQ(gridPot4().maxPow2(), 8.0f);
+}
+
+TEST(MxAnt, AtLeastAsGoodAsMxfp4OnWeights)
+{
+    // ANT includes the FP4 grid, so type selection can only help.
+    Rng rng(31);
+    GridSelectQuantizer ant = GridSelectQuantizer::mxAnt();
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    double e_ant = 0, e_mx = 0;
+    for (int t = 0; t < 200; ++t) {
+        auto in = gaussianGroup(rng, 32);
+        std::vector<float> out(32);
+        ant.quantizeGroup(in, out);
+        e_ant += mse(in, out);
+        mx.quantizeGroup(in, out);
+        e_mx += mse(in, out);
+    }
+    EXPECT_LE(e_ant, e_mx + 1e-9);
+}
+
+TEST(MxMAnt, AtLeastAsGoodAsAntPerGroup)
+{
+    // M-ANT's type set is a superset evaluated per group.
+    Rng rng(32);
+    GridSelectQuantizer ant = GridSelectQuantizer::mxAnt();
+    GridSelectQuantizer mant = GridSelectQuantizer::mxMAnt();
+    for (int t = 0; t < 100; ++t) {
+        auto in = gaussianGroup(rng, 32);
+        std::vector<float> oa(32), om(32);
+        ant.quantizeGroup(in, oa);
+        mant.quantizeGroup(in, om);
+        EXPECT_LE(mse(in, om), mse(in, oa) + 1e-9) << t;
+    }
+}
+
+TEST(BlockDialect, BeatsAntOnHeavyTails)
+{
+    Rng rng(33);
+    GridSelectQuantizer ant = GridSelectQuantizer::mxAnt();
+    GridSelectQuantizer bd = GridSelectQuantizer::blockDialect();
+    double e_ant = 0, e_bd = 0;
+    for (int t = 0; t < 300; ++t) {
+        std::vector<float> in(32);
+        for (auto &x : in)
+            x = static_cast<float>(rng.studentT(3.0));
+        std::vector<float> out(32);
+        ant.quantizeGroup(in, out);
+        e_ant += mse(in, out);
+        bd.quantizeGroup(in, out);
+        e_bd += mse(in, out);
+    }
+    EXPECT_LT(e_bd, e_ant);
+}
+
+TEST(Olive, VictimIsSacrificed)
+{
+    OliveQuantizer q;
+    std::vector<float> in(32, 0.5f);
+    in[6] = 30.0f; // outlier; victim is index 7
+    in[7] = 0.45f;
+    std::vector<float> out(32);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[7], 0.0f);
+    // Outlier lands on the wide grid, well above the inlier range.
+    EXPECT_GT(out[6], 8.0f);
+}
+
+TEST(Olive, HandlesOutlierBetterThanMxfp4ButHurtsVictim)
+{
+    OliveQuantizer olive;
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    std::vector<float> in(32, 0.5f);
+    in[0] = 30.0f;
+    in[1] = 2.0f; // the victim: representable under MXFP4's scale
+    std::vector<float> o1(32), o2(32);
+    olive.quantizeGroup(in, o1);
+    mx.quantizeGroup(in, o2);
+    // Olive represents the outlier better...
+    EXPECT_LT(std::fabs(o1[0] - in[0]), std::fabs(o2[0] - in[0]));
+    // ...but kills its neighbour that MXFP4 kept exactly.
+    EXPECT_FLOAT_EQ(o1[1], 0.0f);
+    EXPECT_FLOAT_EQ(o2[1], 2.0f);
+    EXPECT_GT(std::fabs(o1[1] - in[1]), std::fabs(o2[1] - in[1]));
+}
+
+TEST(MicroScopiQ, OutliersKeptPreciselySmallestPruned)
+{
+    MicroScopiQWeightQuantizer q;
+    std::vector<float> in(32);
+    for (size_t i = 0; i < 32; ++i)
+        in[i] = 0.2f + 0.01f * static_cast<float>(i);
+    in[3] = 25.0f;
+    in[17] = -19.0f;
+    std::vector<float> out(32);
+    q.quantizeGroup(in, out);
+    EXPECT_NEAR(out[3], 25.0f, 1.0f);
+    EXPECT_NEAR(out[17], -19.0f, 1.0f);
+    // The two smallest inliers were pruned.
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(MicroScopiQ, BetterThanMxfp4OnOutlierHeavyWeights)
+{
+    Rng rng(34);
+    MicroScopiQWeightQuantizer msq;
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    double e_msq = 0, e_mx = 0;
+    for (int t = 0; t < 300; ++t) {
+        std::vector<float> in(32);
+        for (auto &x : in)
+            x = static_cast<float>(rng.studentT(3.0));
+        std::vector<float> out(32);
+        msq.quantizeGroup(in, out);
+        e_msq += mse(in, out);
+        mx.quantizeGroup(in, out);
+        e_mx += mse(in, out);
+    }
+    EXPECT_LT(e_msq, e_mx);
+}
+
+TEST(Baselines, ZeroGroupsHandled)
+{
+    std::vector<float> in(32, 0.0f), out(32, 1.0f);
+    GridSelectQuantizer::mxAnt().quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+    std::fill(out.begin(), out.end(), 1.0f);
+    OliveQuantizer().quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+    std::fill(out.begin(), out.end(), 1.0f);
+    MicroScopiQWeightQuantizer().quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+} // anonymous namespace
+} // namespace model
+} // namespace m2x

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the evaluation harness: FP32 run is exactly anchored,
+ * quantization produces positive KL, format ordering is sane, and
+ * accuracy responds to logit perturbation the way the proxy intends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/eval.hh"
+#include "model/zoo.hh"
+
+namespace m2x {
+namespace model {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig c = llama2_7b();
+    c.dModel = 64;
+    c.nHeads = 2;
+    c.nLayers = 2;
+    c.dFf = 96;
+    c.vocab = 128;
+    return c;
+}
+
+TEST(Evaluator, Fp32RunIsExactlyReference)
+{
+    Evaluator ev(tinyConfig(), 128, 32);
+    EvalRun run = ev.run();
+    EXPECT_DOUBLE_EQ(run.meanKl, 0.0);
+    EXPECT_DOUBLE_EQ(run.logitMse, 0.0);
+    EXPECT_DOUBLE_EQ(ev.perplexityFrom(run),
+                     ev.config().fp16Perplexity);
+}
+
+TEST(Evaluator, QuantizationIncreasesKl)
+{
+    Evaluator ev(tinyConfig(), 128, 32);
+    ev.model().rebuild(scheme("MXFP4").factory);
+    EvalRun run = ev.run();
+    EXPECT_GT(run.meanKl, 0.0);
+    EXPECT_GT(ev.perplexityFrom(run), ev.config().fp16Perplexity);
+}
+
+TEST(Evaluator, M2xfpBeatsMxfp4)
+{
+    // The paper's core claim, at model scale.
+    Evaluator ev(tinyConfig(), 192, 32);
+    ev.model().rebuild(scheme("MXFP4").factory);
+    double kl_mx = ev.run().meanKl;
+    ev.model().rebuild(scheme("M2XFP").factory);
+    double kl_m2 = ev.run().meanKl;
+    EXPECT_LT(kl_m2, kl_mx);
+}
+
+TEST(Evaluator, Fp32AccuracyNearAnchor)
+{
+    Evaluator ev(tinyConfig(), 256, 32);
+    EvalRun run = ev.run();
+    double acc = ev.accuracyFrom(run, 75.0, 4, 42);
+    // FP32 matches the reference, so accuracy = label-keep rate up
+    // to sampling noise over 256 positions.
+    EXPECT_NEAR(acc, 75.0, 8.0);
+}
+
+TEST(Evaluator, AccuracyDropsUnderHeavyQuantization)
+{
+    Evaluator ev(tinyConfig(), 256, 32);
+    EvalRun ref_run = ev.run();
+    double ref_acc = ev.accuracyFrom(ref_run, 75.0, 4, 42);
+    ev.model().rebuild(scheme("SMX4").factory);
+    EvalRun smx_run = ev.run();
+    double smx_acc = ev.accuracyFrom(smx_run, 75.0, 4, 42);
+    EXPECT_LT(smx_acc, ref_acc - 5.0);
+}
+
+TEST(Evaluator, DifferentTaskSeedsGiveDifferentTasks)
+{
+    Evaluator ev(tinyConfig(), 128, 32);
+    ev.model().rebuild(scheme("MXFP4").factory);
+    EvalRun run = ev.run();
+    double a = ev.accuracyFrom(run, 70.0, 4, 1);
+    double b = ev.accuracyFrom(run, 70.0, 4, 2);
+    // Usually differ (different noise draws / labels).
+    EXPECT_NE(a, b);
+}
+
+TEST(Evaluator, ReasoningModeUsesMoreChoices)
+{
+    Evaluator ev(tinyConfig(), 128, 32);
+    ev.model().rebuild(scheme("MXFP4").factory);
+    EvalRun run = ev.run();
+    double acc8 = ev.accuracyFrom(run, 85.0, 8, 3);
+    double acc2 = ev.accuracyFrom(run, 85.0, 2, 3);
+    // Finer-grained candidate sets are strictly harder or equal.
+    EXPECT_LE(acc8, acc2 + 10.0);
+}
+
+} // anonymous namespace
+} // namespace model
+} // namespace m2x

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the transformer substrate: determinism, shapes, FP32
+ * reference behaviour, quantized rebuilds, calibration capture, and
+ * the KV-quantization extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/m2xfp.hh"
+#include "model/eval.hh"
+#include "model/tensor_gen.hh"
+#include "model/transformer.hh"
+#include "mx/mxfp.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace model {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig c = llama2_7b();
+    c.dModel = 64;
+    c.nHeads = 2;
+    c.nLayers = 2;
+    c.dFf = 96;
+    c.vocab = 128;
+    return c;
+}
+
+std::vector<int>
+someTokens(const ModelConfig &c, size_t n)
+{
+    Rng rng(99);
+    return genTokens(rng, n, c.vocab);
+}
+
+TEST(Transformer, DeterministicConstruction)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer a(c), b(c);
+    auto toks = someTokens(c, 16);
+    Matrix la = a.forwardLogits(toks);
+    Matrix lb = b.forwardLogits(toks);
+    for (size_t i = 0; i < la.size(); ++i)
+        ASSERT_FLOAT_EQ(la.flat()[i], lb.flat()[i]);
+}
+
+TEST(Transformer, LogitShape)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto toks = someTokens(c, 12);
+    Matrix logits = m.forwardLogits(toks);
+    EXPECT_EQ(logits.rows(), 12u);
+    EXPECT_EQ(logits.cols(), c.vocab);
+    for (float v : logits.flat())
+        ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Transformer, CausalityHoldsExactly)
+{
+    // Changing a future token must not affect earlier logits.
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto toks = someTokens(c, 10);
+    Matrix base = m.forwardLogits(toks);
+    auto toks2 = toks;
+    toks2[9] = (toks2[9] + 1) % static_cast<int>(c.vocab);
+    Matrix mod = m.forwardLogits(toks2);
+    for (size_t t = 0; t < 9; ++t)
+        for (size_t v = 0; v < c.vocab; ++v)
+            ASSERT_FLOAT_EQ(base(t, v), mod(t, v)) << t;
+    // And the last position does change.
+    double diff = 0;
+    for (size_t v = 0; v < c.vocab; ++v)
+        diff += std::fabs(base(9, v) - mod(9, v));
+    EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Transformer, LinearNamesCoverAllLayers)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto names = m.linearNames();
+    // 7 per block + head.
+    EXPECT_EQ(names.size(), 7u * c.nLayers + 1);
+    EXPECT_EQ(names.back(), "head");
+}
+
+TEST(Transformer, QuantizedRebuildChangesLogitsSlightly)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto toks = someTokens(c, 16);
+    Matrix ref = m.forwardLogits(toks);
+
+    m.rebuild(quantizedLinearFactory(
+        []() {
+            return std::make_shared<MxfpQuantizer>(
+                MxfpQuantizer::mxfp4());
+        },
+        []() {
+            return std::make_shared<MxfpQuantizer>(
+                MxfpQuantizer::mxfp4());
+        }));
+    Matrix q = m.forwardLogits(toks);
+    double e = mse(ref.flat(), q.flat());
+    EXPECT_GT(e, 0.0); // it did something
+    // W4A4 on a 2-layer toy model is noisy; the logits must still be
+    // positively correlated with the reference, not destroyed.
+    EXPECT_GT(cosineSimilarity(ref.flat(), q.flat()), 0.25);
+}
+
+TEST(Transformer, RebuildBackToFp32Restores)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto toks = someTokens(c, 8);
+    Matrix ref = m.forwardLogits(toks);
+    m.rebuild(quantizedLinearFactory(
+        []() {
+            return std::make_shared<MxfpQuantizer>(
+                MxfpQuantizer::mxfp4());
+        },
+        nullptr));
+    m.rebuild(fp32LinearFactory());
+    Matrix back = m.forwardLogits(toks);
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_FLOAT_EQ(ref.flat()[i], back.flat()[i]);
+}
+
+TEST(Transformer, CalibrationCapturesEveryLinear)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto toks = someTokens(c, 8);
+    m.collectCalibration(toks);
+    // GPTQ factories receive non-null calibration for every slot:
+    // verify via a probing factory.
+    size_t with_calib = 0, total = 0;
+    m.rebuild([&](const Matrix &w, const std::string &,
+                  const Matrix *calib) -> std::unique_ptr<LinearOp> {
+        ++total;
+        if (calib) {
+            ++with_calib;
+            EXPECT_EQ(calib->cols(), w.cols());
+            EXPECT_EQ(calib->rows(), 8u);
+        }
+        return std::make_unique<QuantizedLinear>(w, nullptr, nullptr);
+    });
+    EXPECT_EQ(total, 7u * c.nLayers + 1);
+    EXPECT_EQ(with_calib, total);
+}
+
+TEST(Transformer, KvQuantizationPerturbsButPreservesShape)
+{
+    ModelConfig c = tinyConfig();
+    TinyTransformer m(c);
+    auto toks = someTokens(c, 16);
+    Matrix ref = m.forwardLogits(toks);
+    m.setKvQuantizers(
+        []() {
+            return std::make_shared<SgEmQuantizer>(
+                makeM2xfpWeightQuantizer());
+        },
+        []() {
+            return std::make_shared<ElemEmQuantizer>(
+                makeM2xfpActivationQuantizer());
+        });
+    Matrix kv = m.forwardLogits(toks);
+    EXPECT_TRUE(kv.sameShape(ref));
+    double e = mse(ref.flat(), kv.flat());
+    EXPECT_GT(e, 0.0);
+    EXPECT_GT(cosineSimilarity(ref.flat(), kv.flat()), 0.9);
+    // Disable again.
+    m.setKvQuantizers(nullptr, nullptr);
+    Matrix back = m.forwardLogits(toks);
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_FLOAT_EQ(ref.flat()[i], back.flat()[i]);
+}
+
+TEST(TensorGen, WeightOutlierChannelsExist)
+{
+    Rng rng(5);
+    ModelConfig c = llama3_8b();
+    Matrix w = genWeight(rng, 64, 256, c, 1.0);
+    // Column max/median ratio should show heavy channels.
+    std::vector<float> colmax(256, 0.0f);
+    for (size_t r = 0; r < 64; ++r)
+        for (size_t col = 0; col < 256; ++col)
+            colmax[col] =
+                std::max(colmax[col], std::fabs(w(r, col)));
+    std::sort(colmax.begin(), colmax.end());
+    float median = colmax[128];
+    float top = colmax[255];
+    EXPECT_GT(top / median, 3.0f);
+}
+
+TEST(TensorGen, TokensInRange)
+{
+    Rng rng(6);
+    auto toks = genTokens(rng, 500, 77);
+    for (int t : toks) {
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, 77);
+    }
+}
+
+TEST(TensorGen, MarkovTokensAreNotUniform)
+{
+    Rng rng(7);
+    auto toks = genTokens(rng, 4000, 64);
+    // Count bigram concentration: repeated (a -> b) transitions must
+    // be far above the uniform expectation.
+    std::vector<int> counts(64 * 64, 0);
+    for (size_t i = 0; i + 1 < toks.size(); ++i)
+        ++counts[toks[i] * 64 + toks[i + 1]];
+    int mx = *std::max_element(counts.begin(), counts.end());
+    EXPECT_GT(mx, 10); // uniform would give ~1
+}
+
+} // anonymous namespace
+} // namespace model
+} // namespace m2x

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the scheme registry: every named scheme builds and runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "model/eval.hh"
+#include "model/zoo.hh"
+
+namespace m2x {
+namespace model {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig c = llama2_7b();
+    c.dModel = 64;
+    c.nHeads = 2;
+    c.nLayers = 1;
+    c.dFf = 96;
+    c.vocab = 128;
+    return c;
+}
+
+class ZooScheme : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ZooScheme, BuildsAndRuns)
+{
+    Evaluator ev(tinyConfig(), 64, 32);
+    QuantScheme s = scheme(GetParam());
+    ev.model().rebuild(s.factory);
+    EvalRun run = ev.run();
+    EXPECT_GE(run.meanKl, 0.0);
+    EXPECT_TRUE(std::isfinite(run.meanKl));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ZooScheme,
+    ::testing::Values("FP16", "FP4", "MXFP4", "NVFP4", "SMX4", "M2XFP",
+                      "M2-NVFP4", "MX-ANT", "MX-M-ANT", "MX-OliVe",
+                      "MicroScopiQ", "BlockDialect", "QuaRot",
+                      "DuQuant", "MR-GPTQ", "MR-GPTQ-M2XFP",
+                      "MXFP4-maxpreserve", "MXFP4-ceil", "M2XFP-rtne"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(Zoo, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(scheme("no-such-format"), "unknown");
+}
+
+TEST(Zoo, MethodListsMatchPaperOrder)
+{
+    auto t3 = table3Methods();
+    EXPECT_EQ(t3.front(), "FP16");
+    EXPECT_EQ(t3.back(), "M2XFP");
+    EXPECT_EQ(t3.size(), 8u);
+    auto t2 = table2Methods();
+    EXPECT_EQ(t2.size(), 5u);
+}
+
+TEST(Zoo, EbwAnnotations)
+{
+    EXPECT_DOUBLE_EQ(scheme("MXFP4").weightEbw, 4.25);
+    EXPECT_DOUBLE_EQ(scheme("M2XFP").weightEbw, 4.5);
+    EXPECT_DOUBLE_EQ(scheme("NVFP4").actEbw, 4.5);
+    EXPECT_DOUBLE_EQ(scheme("M2-NVFP4").actEbw, 5.0);
+}
+
+} // anonymous namespace
+} // namespace model
+} // namespace m2x

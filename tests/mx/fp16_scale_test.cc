@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the FP16-scale group quantizers (the pre-MX baseline and
+ * the INT grids used by the Tbl. 7 algorithm schemes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mx/fp16_scale.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Fp16Scale, MapsBlockMaxOntoFormatMax)
+{
+    Fp16ScaleQuantizer q = Fp16ScaleQuantizer::fp4();
+    std::vector<float> in(32, 0.1f);
+    in[5] = 5.3f; // awkward max for E8M0, trivial for FP16 scale
+    std::vector<float> out(32);
+    q.quantizeGroup(in, out);
+    // max reconstructs to ~5.3 (6 * scale with scale ~ 5.3/6)
+    EXPECT_NEAR(out[5], 5.3f, 0.01f);
+}
+
+TEST(Fp16Scale, BetterThanE8m0OnAverage)
+{
+    Rng rng(15);
+    Fp16ScaleQuantizer fp16s = Fp16ScaleQuantizer::fp4();
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    double e16 = 0, e8 = 0;
+    for (int t = 0; t < 400; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.normal(0, 1));
+        std::vector<float> out(32);
+        fp16s.quantizeGroup(in, out);
+        e16 += mse(in, out);
+        mx.quantizeGroup(in, out);
+        e8 += mse(in, out);
+    }
+    EXPECT_LT(e16, e8);
+}
+
+TEST(Fp16Scale, GroupSizeControlsEbw)
+{
+    EXPECT_DOUBLE_EQ(Fp16ScaleQuantizer::fp4(32).ebw(), 4.5);
+    EXPECT_DOUBLE_EQ(Fp16ScaleQuantizer::fp4(16).ebw(), 5.0);
+    EXPECT_DOUBLE_EQ(Fp16ScaleQuantizer::fp4(128).ebw(), 4.125);
+}
+
+TEST(IntFp16Scale, Int4GridUniform)
+{
+    IntFp16ScaleQuantizer q = IntFp16ScaleQuantizer::int4();
+    std::vector<float> in{7.0f, 5.0f, 3.0f, 1.0f, -7.0f, 0.0f};
+    std::vector<float> out(in.size());
+    q.quantizeGroup(in, out);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_NEAR(out[i], in[i], 0.01f) << i;
+}
+
+TEST(IntFp16Scale, FinerGranularityReducesError)
+{
+    Rng rng(16);
+    IntFp16ScaleQuantizer g32 = IntFp16ScaleQuantizer::int4(32);
+    IntFp16ScaleQuantizer g8(4, 8);
+    double e32 = 0, e8 = 0;
+    for (int t = 0; t < 300; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(4.0));
+        std::vector<float> out(32);
+        g32.quantizeGroup(in, out);
+        e32 += mse(in, out);
+        for (int h = 0; h < 4; ++h) {
+            std::vector<float> o8(8);
+            std::span<const float> part(in.data() + 8 * h, 8);
+            g8.quantizeGroup(part, o8);
+            e8 += mse(part, o8) / 4;
+        }
+    }
+    EXPECT_LT(e8, e32);
+}
+
+TEST(Fp16Scale, ZeroGroup)
+{
+    Fp16ScaleQuantizer q = Fp16ScaleQuantizer::fp4();
+    std::vector<float> in(32, 0.0f), out(32, 1.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the max-value-preservation wrapper (Fig. 3 motivation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "mx/max_preserve.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+std::unique_ptr<GroupQuantizer>
+mxfp4Ptr()
+{
+    return std::make_unique<MxfpQuantizer>(MxfpQuantizer::mxfp4());
+}
+
+TEST(MaxPreserve, MaxSurvivesInFp16)
+{
+    MaxPreserveQuantizer q(mxfp4Ptr());
+    std::vector<float> in(32, 0.3f);
+    in[7] = 7.7f; // would clip to 6 * 2^0 under floor scaling
+    std::vector<float> out(32);
+    q.quantizeGroup(in, out);
+    EXPECT_NEAR(out[7], 7.7f, 0.01f);
+}
+
+TEST(MaxPreserve, DrasticallyReducesGroupError)
+{
+    // The Fig. 3 effect: preserving the block max in FP16 recovers
+    // most of MXFP4's loss.
+    Rng rng(17);
+    MaxPreserveQuantizer mp(mxfp4Ptr());
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    double e_mp = 0, e_mx = 0;
+    for (int t = 0; t < 400; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.studentT(3.0));
+        std::vector<float> out(32);
+        mp.quantizeGroup(in, out);
+        e_mp += mse(in, out);
+        mx.quantizeGroup(in, out);
+        e_mx += mse(in, out);
+    }
+    EXPECT_LT(e_mp, e_mx * 0.75);
+}
+
+TEST(MaxPreserve, RestQuantizedUnderSecondMaxScale)
+{
+    // The preserved max is out-of-band: the remaining elements are
+    // quantized with the scale derived from the SECOND max, gaining
+    // resolution over plain MXFP4.
+    MaxPreserveQuantizer mp(mxfp4Ptr());
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    std::vector<float> in{40.0f, 1.3f, -2.2f, 0.7f};
+    std::vector<float> a(4), b(4);
+    mp.quantizeGroup(in, a);
+    mx.quantizeGroup(in, b);
+    // Under MXFP4 the 40 forces scale 2^3: small values are crushed.
+    EXPECT_FLOAT_EQ(b[3], 0.0f);
+    // With the max preserved, scale comes from 2.2: all survive.
+    EXPECT_NEAR(a[1], 1.3f, 0.26f);
+    EXPECT_NEAR(a[2], -2.2f, 0.26f);
+    EXPECT_NEAR(a[3], 0.7f, 0.26f);
+    EXPECT_NEAR(a[0], 40.0f, 0.01f);
+}
+
+TEST(MaxPreserve, AccountsMetadataInEbw)
+{
+    MaxPreserveQuantizer mp(mxfp4Ptr());
+    // 16-bit value + 5-bit index per group of 32 on top of 4.25.
+    EXPECT_NEAR(mp.ebw(), 4.25 + 21.0 / 32.0, 1e-9);
+}
+
+TEST(MaxPreserve, NameReflectsWrapper)
+{
+    MaxPreserveQuantizer mp(mxfp4Ptr());
+    EXPECT_NE(mp.name().find("+maxfp16"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the MXFP / MXINT container formats, including the
+ * Fig. 2 phenomenon: E8M0 scaling misaligns the block maximum while
+ * FP16 scaling maps it tightly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mx/fp16_scale.hh"
+#include "mx/mxfp.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+std::vector<float>
+randomGroup(Rng &rng, size_t n, double scale = 1.0)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+TEST(Mxfp4, ExactGridValuesRoundTrip)
+{
+    MxfpQuantizer q = MxfpQuantizer::mxfp4();
+    // A group whose max is exactly 4 * 2^0: every FP4 grid point
+    // (x1 scale) must survive quantization unchanged.
+    std::vector<float> in{4.0f, -3.0f, 2.0f,  1.5f, 1.0f, 0.5f,
+                          0.0f, -0.5f, -1.0f, 3.0f, -4.0f};
+    std::vector<float> out(in.size());
+    q.quantizeGroup(in, out);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], in[i]) << i;
+}
+
+TEST(Mxfp4, ScaleFollowsBlockMax)
+{
+    MxfpQuantizer q = MxfpQuantizer::mxfp4();
+    std::vector<float> in{100.0f, 1.0f, 0.5f};
+    EXPECT_EQ(q.sharedScale(in).exponent(),
+              4); // floor(log2(100/4)) = 4
+}
+
+TEST(Mxfp4, MaxMisalignmentErrorVsFp16Scale)
+{
+    // Fig. 2: when the block max falls between exponent bins, E8M0
+    // rounding error on the max dominates; FP16 scaling avoids it.
+    Rng rng(42);
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    Fp16ScaleQuantizer fp16s = Fp16ScaleQuantizer::fp4();
+    double mx_err = 0.0, fp16_err = 0.0;
+    int trials = 500;
+    for (int t = 0; t < trials; ++t) {
+        auto in = randomGroup(rng, 32);
+        std::vector<float> out(32);
+        mx.quantizeGroup(in, out);
+        mx_err += mse(in, out);
+        fp16s.quantizeGroup(in, out);
+        fp16_err += mse(in, out);
+    }
+    EXPECT_GT(mx_err, fp16_err * 1.2);
+}
+
+TEST(Mxfp4, ZerosStayZero)
+{
+    MxfpQuantizer q = MxfpQuantizer::mxfp4();
+    std::vector<float> in(32, 0.0f), out(32, 1.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Mxfp4, Ebw)
+{
+    EXPECT_DOUBLE_EQ(MxfpQuantizer::mxfp4().ebw(), 4.25);
+    EXPECT_DOUBLE_EQ(MxfpQuantizer::mxfp8e4m3().ebw(), 8.25);
+}
+
+TEST(Mxfp6, MoreAccurateThanMxfp4)
+{
+    Rng rng(7);
+    MxfpQuantizer q4 = MxfpQuantizer::mxfp4();
+    MxfpQuantizer q6 = MxfpQuantizer::mxfp6e2m3();
+    double e4 = 0, e6 = 0;
+    for (int t = 0; t < 200; ++t) {
+        auto in = randomGroup(rng, 32);
+        std::vector<float> o4(32), o6(32);
+        q4.quantizeGroup(in, o4);
+        q6.quantizeGroup(in, o6);
+        e4 += mse(in, o4);
+        e6 += mse(in, o6);
+    }
+    EXPECT_LT(e6, e4 * 0.5);
+}
+
+TEST(Mxfp8, NearLosslessOnSmoothData)
+{
+    Rng rng(8);
+    MxfpQuantizer q = MxfpQuantizer::mxfp8e4m3();
+    auto in = randomGroup(rng, 32);
+    std::vector<float> out(32);
+    q.quantizeGroup(in, out);
+    EXPECT_LT(nmse(in, out), 1e-3);
+}
+
+TEST(MxfpScaleRules, CeilReducesClippingError)
+{
+    // Groups whose max lands just below a power of two suffer with
+    // floor (max -> 7.99 saturates at 6); ceil fixes exactly that.
+    MxfpQuantizer floor_q(Minifloat::fp4e2m1(), 32, ScaleRule::Floor);
+    MxfpQuantizer ceil_q(Minifloat::fp4e2m1(), 32, ScaleRule::Ceil);
+    std::vector<float> in(32, 0.1f);
+    in[0] = 7.9f; // just below 8
+    std::vector<float> of(32), oc(32);
+    floor_q.quantizeGroup(in, of);
+    ceil_q.quantizeGroup(in, oc);
+    EXPECT_FLOAT_EQ(of[0], 6.0f); // clipped
+    EXPECT_NEAR(oc[0], 8.0f, 0.11f);
+    EXPECT_LT(std::fabs(oc[0] - in[0]), std::fabs(of[0] - in[0]));
+}
+
+TEST(Mxint8, GridIsUniformWithinGroup)
+{
+    MxIntQuantizer q = MxIntQuantizer::mxint8();
+    std::vector<float> in{1.0f, 0.5f, 0.25f, -0.75f};
+    std::vector<float> out(in.size());
+    q.quantizeGroup(in, out);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_NEAR(out[i], in[i], 1.0f / 64.0f) << i;
+}
+
+TEST(Mxint8, SaturatesSymmetrically)
+{
+    MxIntQuantizer q = MxIntQuantizer::mxint8();
+    std::vector<float> in{2.0f, -2.0f};
+    std::vector<float> out(2);
+    q.quantizeGroup(in, out);
+    EXPECT_FLOAT_EQ(out[0], -out[1]);
+}
+
+TEST(Mxint8, Ebw)
+{
+    EXPECT_DOUBLE_EQ(MxIntQuantizer::mxint8().ebw(), 8.25);
+}
+
+class MxfpPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MxfpPropertyTest, QuantizationIsIdempotentAndBounded)
+{
+    Rng rng(GetParam());
+    MxfpQuantizer q = MxfpQuantizer::mxfp4();
+    auto in = randomGroup(rng, 32, std::exp(rng.uniform(-4, 4)));
+    std::vector<float> out(32), out2(32);
+    q.quantizeGroup(in, out);
+    q.quantizeGroup(out, out2);
+    float amax = absMax(in);
+    for (size_t i = 0; i < in.size(); ++i) {
+        // Idempotent: re-quantizing a quantized group is a no-op.
+        EXPECT_FLOAT_EQ(out2[i], out[i]);
+        // Bounded: output magnitude can never exceed 2 * amax.
+        EXPECT_LE(std::fabs(out[i]), 2.0f * amax + 1e-20f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MxfpPropertyTest,
+                         ::testing::Range(0, 20));
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the NVFP4 quantizer: tensor-scale recipe, block-scale
+ * precision advantage over E8M0, and range behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mx/mxfp.hh"
+#include "mx/nvfp4.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Nvfp4, TensorScaleRecipe)
+{
+    Nvfp4Quantizer q;
+    std::vector<float> t(64, 0.0f);
+    t[0] = 2688.0f; // 448 * 6
+    q.calibrate(t);
+    EXPECT_FLOAT_EQ(q.tensorScale(), 1.0f);
+}
+
+TEST(Nvfp4, Ebw)
+{
+    EXPECT_DOUBLE_EQ(Nvfp4Quantizer().ebw(), 4.5);
+}
+
+TEST(Nvfp4, ExactWhenMaxIsOnGrid)
+{
+    Nvfp4Quantizer q;
+    std::vector<float> tensor(16);
+    for (size_t i = 0; i < 16; ++i)
+        tensor[i] = (i % 2 ? -1.0f : 1.0f) *
+                    static_cast<float>(i % 4);
+    q.calibrate(tensor);
+    std::vector<float> out(16);
+    q.quantizeGroup(tensor, out);
+    // max=3; block scale = fp8(3/6 / ts); reconstruction should be
+    // near-exact for these small integers.
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_NEAR(out[i], tensor[i], 0.05f) << i;
+}
+
+TEST(Nvfp4, LowerErrorThanMxfp4OnMisalignedBlocks)
+{
+    // The paper's core claim for NVFP4: FP8 scaling aligns the block
+    // max better than power-of-two scaling.
+    Rng rng(11);
+    Nvfp4Quantizer nv;
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    double nv_err = 0, mx_err = 0;
+    std::vector<float> tensor(4096);
+    for (auto &v : tensor)
+        v = static_cast<float>(rng.normal(0, 1));
+    nv.calibrate(tensor);
+    std::vector<float> out(16);
+    for (size_t off = 0; off < tensor.size(); off += 16) {
+        std::span<const float> in(tensor.data() + off, 16);
+        nv.quantizeGroup(in, out);
+        nv_err += mse(in, out);
+    }
+    std::vector<float> out32(32);
+    for (size_t off = 0; off < tensor.size(); off += 32) {
+        std::span<const float> in(tensor.data() + off, 32);
+        mx.quantizeGroup(in, out32);
+        mx_err += mse(in, out32) * 2; // same element count weighting
+    }
+    EXPECT_LT(nv_err, mx_err);
+}
+
+TEST(Nvfp4, HandlesTinyTensorScale)
+{
+    Nvfp4Quantizer q;
+    std::vector<float> tensor(16, 1e-20f);
+    tensor[0] = 4e-20f;
+    q.calibrate(tensor);
+    std::vector<float> out(16);
+    q.quantizeGroup(tensor, out);
+    for (float v : out)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the SMX (shared micro-exponent) and MSFP (block floating
+ * point) variants, including the SMX pathology the paper leans on:
+ * pairing a large and a small element destroys the small one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mx/msfp.hh"
+#include "mx/mxfp.hh"
+#include "mx/smx.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Smx4, Ebw)
+{
+    // 3 bits/elem + 1 micro-exp bit per pair + 8 scale bits per 16:
+    // 3 + 0.5 + 0.5 = 4.
+    EXPECT_DOUBLE_EQ(SmxQuantizer::smx4().ebw(), 4.0);
+}
+
+TEST(Smx4, UniformPairQuantizesReasonably)
+{
+    SmxQuantizer q = SmxQuantizer::smx4();
+    std::vector<float> in(16, 0.75f);
+    std::vector<float> out(16);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_NEAR(v, 0.75f, 0.15f);
+}
+
+TEST(Smx4, MixedMagnitudePairLosesSmallElement)
+{
+    // Fig. 3's diagnosis: a pair (big, small) forces the shared
+    // micro-exponent high; with only 2 mantissa bits the small
+    // element collapses.
+    SmxQuantizer q = SmxQuantizer::smx4();
+    std::vector<float> in(16, 0.0f);
+    in[0] = 1.0f;   // pair 0: big
+    in[1] = 0.11f;  //         small -> crushed
+    in[2] = 0.11f;  // pair 1: small alone -> fine(r)
+    std::vector<float> out(16);
+    q.quantizeGroup(in, out);
+    double err_paired = std::fabs(out[1] - in[1]);
+    double err_alone = std::fabs(out[2] - in[2]);
+    EXPECT_GE(err_paired, err_alone);
+}
+
+TEST(Smx4, WorseThanMxfp4OnGaussian)
+{
+    // The headline Fig. 3 ordering: SMX4 << MXFP4 in fidelity.
+    Rng rng(13);
+    SmxQuantizer smx = SmxQuantizer::smx4();
+    MxfpQuantizer mx = MxfpQuantizer::mxfp4();
+    double smx_err = 0, mx_err = 0;
+    for (int t = 0; t < 300; ++t) {
+        std::vector<float> in(32);
+        for (auto &v : in)
+            v = static_cast<float>(rng.normal(0, 1));
+        std::vector<float> out(32);
+        mx.quantizeGroup(in, out);
+        mx_err += mse(in, out);
+        std::vector<float> o16(16);
+        for (int h = 0; h < 2; ++h) {
+            std::span<const float> half(in.data() + 16 * h, 16);
+            smx.quantizeGroup(half, o16);
+            smx_err += mse(half, o16) / 2;
+        }
+    }
+    EXPECT_GT(smx_err, mx_err);
+}
+
+TEST(Msfp, WidthsControlFidelity)
+{
+    Rng rng(14);
+    MsfpQuantizer m12 = MsfpQuantizer::msfp12();
+    MsfpQuantizer m16 = MsfpQuantizer::msfp16();
+    double e12 = 0, e16 = 0;
+    for (int t = 0; t < 200; ++t) {
+        std::vector<float> in(16);
+        for (auto &v : in)
+            v = static_cast<float>(rng.normal(0, 1));
+        std::vector<float> out(16);
+        m12.quantizeGroup(in, out);
+        e12 += mse(in, out);
+        m16.quantizeGroup(in, out);
+        e16 += mse(in, out);
+    }
+    EXPECT_LT(e16, e12 * 0.05); // 4 extra mantissa bits >= 24 dB
+}
+
+TEST(Msfp, Ebw)
+{
+    EXPECT_DOUBLE_EQ(MsfpQuantizer::msfp12().ebw(), 4.5);
+    EXPECT_DOUBLE_EQ(MsfpQuantizer::msfp16().ebw(), 8.5);
+}
+
+TEST(Msfp, ZeroGroup)
+{
+    MsfpQuantizer q = MsfpQuantizer::msfp12();
+    std::vector<float> in(16, 0.0f), out(16, 3.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Smx4, ZeroGroup)
+{
+    SmxQuantizer q = SmxQuantizer::smx4();
+    std::vector<float> in(16, 0.0f), out(16, 3.0f);
+    q.quantizeGroup(in, out);
+    for (float v : out)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the group-quantizer plumbing: EBW accounting (Eq. 2)
+ * and the matrix application helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/group_quantizer.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+/** Toy quantizer: rounds to integers; counts calibrate() calls. */
+class RoundingQuantizer : public GroupQuantizer
+{
+  public:
+    explicit RoundingQuantizer(unsigned k) : k_(k) {}
+
+    void
+    calibrate(std::span<const float> full) override
+    {
+        ++calibrations;
+        lastCalibrated = full.size();
+    }
+
+    void
+    quantizeGroup(std::span<const float> in,
+                  std::span<float> out) const override
+    {
+        ++groupCalls;
+        maxLen = std::max(maxLen, in.size());
+        for (size_t i = 0; i < in.size(); ++i)
+            out[i] = std::round(in[i]);
+    }
+
+    unsigned groupSize() const override { return k_; }
+    BitBudget bitBudget() const override { return {4, 8, 2, k_}; }
+    std::string name() const override { return "round"; }
+
+    int calibrations = 0;
+    size_t lastCalibrated = 0;
+    mutable int groupCalls = 0;
+    mutable size_t maxLen = 0;
+
+  private:
+    unsigned k_;
+};
+
+TEST(BitBudget, Eq2)
+{
+    // EBW = B_elem + (B_meta + B_scale) / k
+    BitBudget mxfp4{4, 8, 0, 32};
+    EXPECT_DOUBLE_EQ(mxfp4.ebw(), 4.25);
+    BitBudget nvfp4{4, 8, 0, 16};
+    EXPECT_DOUBLE_EQ(nvfp4.ebw(), 4.5);
+    BitBudget m2xfp{4, 8, 8, 32}; // 2 bits x 4 subgroups
+    EXPECT_DOUBLE_EQ(m2xfp.ebw(), 4.5);
+}
+
+TEST(GroupApply, RowsGroupedCoversEverythingOnce)
+{
+    Matrix m(3, 10);
+    Rng rng(1);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.uniform(-5, 5));
+    RoundingQuantizer q(4);
+    Matrix out = quantizeRowsGrouped(m, q);
+    // 3 rows x ceil(10/4)=3 groups.
+    EXPECT_EQ(q.groupCalls, 9);
+    EXPECT_EQ(q.calibrations, 1);
+    EXPECT_EQ(q.lastCalibrated, 30u);
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_FLOAT_EQ(out.flat()[i], std::round(m.flat()[i]));
+}
+
+TEST(GroupApply, TailGroupShorter)
+{
+    Matrix m(1, 10);
+    RoundingQuantizer q(4);
+    quantizeRowsGrouped(m, q);
+    EXPECT_EQ(q.maxLen, 4u); // and a final group of 2 exists
+    EXPECT_EQ(q.groupCalls, 3);
+}
+
+TEST(GroupApply, ColsGroupedMatchesTransposedRows)
+{
+    Matrix m(8, 6);
+    Rng rng(2);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.uniform(-5, 5));
+    RoundingQuantizer q1(4), q2(4);
+    Matrix by_cols = quantizeColsGrouped(m, q1);
+    Matrix by_rows_t =
+        quantizeRowsGrouped(m.transposed(), q2).transposed();
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_FLOAT_EQ(by_cols.flat()[i], by_rows_t.flat()[i]);
+}
+
+TEST(GroupApply, WholeChannelUsesOneGroupPerRow)
+{
+    Matrix m(4, 100);
+    RoundingQuantizer q(4);
+    quantizeRowsWholeChannel(m, q);
+    EXPECT_EQ(q.groupCalls, 4);
+    EXPECT_EQ(q.maxLen, 100u);
+}
+
+TEST(GroupApply, SpanGroupedMatchesManual)
+{
+    std::vector<float> in{0.4f, 1.6f, -2.3f, 7.9f, 0.1f};
+    std::vector<float> out(5);
+    RoundingQuantizer q(2);
+    quantizeSpanGrouped(in, out, q);
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], std::round(in[i]));
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the Matrix container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quant/matrix.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Matrix, ShapeAndFill)
+{
+    Matrix m(3, 4, 2.5f);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    for (float v : m.flat())
+        EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(Matrix, ElementAccess)
+{
+    Matrix m(2, 3);
+    m(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(m(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(Matrix, RowSpanIsContiguousView)
+{
+    Matrix m(2, 3);
+    auto r1 = m.row(1);
+    r1[0] = 9.0f;
+    EXPECT_FLOAT_EQ(m(1, 0), 9.0f);
+    EXPECT_EQ(r1.size(), 3u);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix m(2, 3);
+    float v = 0;
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            m(r, c) = v++;
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(t(c, r), m(r, c));
+}
+
+TEST(Matrix, TransposeTwiceIsIdentity)
+{
+    Matrix m(3, 5);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.flat()[i] = static_cast<float>(i * i % 17);
+    Matrix tt = m.transposed().transposed();
+    ASSERT_TRUE(tt.sameShape(m));
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_FLOAT_EQ(tt.flat()[i], m.flat()[i]);
+}
+
+TEST(Matrix, SameShape)
+{
+    EXPECT_TRUE(Matrix(2, 3).sameShape(Matrix(2, 3)));
+    EXPECT_FALSE(Matrix(2, 3).sameShape(Matrix(3, 2)));
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the five shared-scale rules (Tbl. 8), including the
+ * paper's claimed RTNE == ceil equivalence for FP4 (M = 1.5 P).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/scale_rules.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+const Minifloat &fp4 = Minifloat::fp4e2m1();
+
+TEST(ExactLogs, FloorLog2)
+{
+    EXPECT_EQ(floorLog2Exact(1.0f), 0);
+    EXPECT_EQ(floorLog2Exact(2.0f), 1);
+    EXPECT_EQ(floorLog2Exact(4.0f), 2);
+    EXPECT_EQ(floorLog2Exact(3.999f), 1);
+    EXPECT_EQ(floorLog2Exact(0.5f), -1);
+    EXPECT_EQ(floorLog2Exact(0.49f), -2);
+}
+
+TEST(ExactLogs, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2Exact(1.0f), 0);
+    EXPECT_EQ(ceilLog2Exact(1.01f), 1);
+    EXPECT_EQ(ceilLog2Exact(2.0f), 1);
+    EXPECT_EQ(ceilLog2Exact(0.5f), -1);
+    EXPECT_EQ(ceilLog2Exact(0.51f), 0);
+}
+
+TEST(ExactLogs, RoundLog2GeometricThreshold)
+{
+    // Threshold is sqrt(2) ~ 1.4142 within each binade.
+    EXPECT_EQ(roundLog2Exact(1.41f), 0);
+    EXPECT_EQ(roundLog2Exact(1.42f), 1);
+    EXPECT_EQ(roundLog2Exact(2.82f), 1);
+    EXPECT_EQ(roundLog2Exact(2.84f), 2);
+}
+
+TEST(ScaleRules, FloorMatchesOcpDefinition)
+{
+    // E = floor(log2(amax / 4)).
+    struct Case { float amax; int e; };
+    for (auto [amax, e] : {Case{4.0f, 0}, Case{6.0f, 0}, Case{7.99f, 0},
+                           Case{8.0f, 1}, Case{3.99f, -1},
+                           Case{1.0f, -2}, Case{0.5f, -3}}) {
+        EXPECT_EQ(computeSharedScale(amax, fp4, ScaleRule::Floor)
+                      .exponent(),
+                  e)
+            << amax;
+    }
+}
+
+TEST(ScaleRules, CeilMapsAmaxOntoOrBelowMax)
+{
+    // ceil rule: amax / S <= M always (no clipping).
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        float amax = static_cast<float>(
+            std::exp(rng.uniform(-6.0, 6.0)));
+        ScaleE8m0 s =
+            computeSharedScale(amax, fp4, ScaleRule::Ceil);
+        EXPECT_LE(amax / s.value(), fp4.maxValue() * (1 + 1e-6f))
+            << amax;
+    }
+}
+
+TEST(ScaleRules, FloorNeverClipsPow2Target)
+{
+    // floor rule guarantees amax / S in [4, 8): above P, possibly
+    // above M=6 (the clipping the ceil rule avoids).
+    Rng rng(100);
+    for (int i = 0; i < 2000; ++i) {
+        float amax = static_cast<float>(
+            std::exp(rng.uniform(-6.0, 6.0)));
+        ScaleE8m0 s =
+            computeSharedScale(amax, fp4, ScaleRule::Floor);
+        float ratio = amax / s.value();
+        EXPECT_GE(ratio, 4.0f * (1 - 1e-6f)) << amax;
+        EXPECT_LT(ratio, 8.0f * (1 + 1e-6f)) << amax;
+    }
+}
+
+TEST(ScaleRules, RtneEqualsCeilForFp4)
+{
+    // Paper §6.4: for FP4 (M = 1.5 P) the RTNE and ceil rules produce
+    // identical exponents for every block maximum.
+    Rng rng(101);
+    for (int i = 0; i < 20000; ++i) {
+        float amax = static_cast<float>(
+            std::exp(rng.uniform(-8.0, 8.0)));
+        int e_rtne = computeSharedScale(amax, fp4, ScaleRule::Rtne)
+                         .exponent();
+        int e_ceil = computeSharedScale(amax, fp4, ScaleRule::Ceil)
+                         .exponent();
+        EXPECT_EQ(e_rtne, e_ceil) << amax;
+    }
+}
+
+TEST(ScaleRules, RtneSpotValues)
+{
+    // amax=5: round2 -> 4, E = log2(4/4) = 0.
+    EXPECT_EQ(computeSharedScale(5.0f, fp4, ScaleRule::Rtne).exponent(),
+              0);
+    // amax=7: round2 -> 8 (above midpoint 6), E = 1.
+    EXPECT_EQ(computeSharedScale(7.0f, fp4, ScaleRule::Rtne).exponent(),
+              1);
+    // amax=6: midpoint, ties to the smaller power -> 4, E = 0.
+    EXPECT_EQ(computeSharedScale(6.0f, fp4, ScaleRule::Rtne).exponent(),
+              0);
+    // amax=3: midpoint of [2,4] -> 2, E = -1.
+    EXPECT_EQ(computeSharedScale(3.0f, fp4, ScaleRule::Rtne).exponent(),
+              -1);
+}
+
+TEST(ScaleRules, ZeroAmaxGivesIdentity)
+{
+    for (auto rule : {ScaleRule::Floor, ScaleRule::Ceil,
+                      ScaleRule::Rtn1, ScaleRule::Rtn2,
+                      ScaleRule::Rtne}) {
+        EXPECT_EQ(computeSharedScale(0.0f, fp4, rule).exponent(), 0);
+    }
+}
+
+TEST(ScaleRules, OrderingBetweenRules)
+{
+    // ceil(log2(a/6)) <= floor(log2(a/4)) + 1 and the rules never
+    // differ by more than one binade.
+    Rng rng(102);
+    for (int i = 0; i < 5000; ++i) {
+        float amax = static_cast<float>(
+            std::exp(rng.uniform(-6.0, 6.0)));
+        int ef = computeSharedScale(amax, fp4, ScaleRule::Floor)
+                     .exponent();
+        int ec = computeSharedScale(amax, fp4, ScaleRule::Ceil)
+                     .exponent();
+        EXPECT_GE(ec, ef) << amax; // ceil/M-based scale >= floor scale
+        EXPECT_LE(ec - ef, 1) << amax;
+    }
+}
+
+TEST(ScaleRules, NamesArePaperRows)
+{
+    EXPECT_STREQ(scaleRuleName(ScaleRule::Floor), "floor");
+    EXPECT_STREQ(scaleRuleName(ScaleRule::Ceil), "ceil");
+    EXPECT_STREQ(scaleRuleName(ScaleRule::Rtn1), "RTN1");
+    EXPECT_STREQ(scaleRuleName(ScaleRule::Rtn2), "RTN2");
+    EXPECT_STREQ(scaleRuleName(ScaleRule::Rtne), "RTNE");
+}
+
+} // anonymous namespace
+} // namespace m2x

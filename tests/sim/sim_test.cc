@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the accelerator simulator: workload shapes, tile math,
+ * reuse strategies, fallback blending, and the Fig. 13 relative
+ * ordering invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/accelerator.hh"
+#include "sim/workload.hh"
+
+namespace m2x {
+namespace sim {
+namespace {
+
+TEST(Workload, Llama2ShapesAndMacs)
+{
+    auto ws = linearLayerGemms(llama2_7bDims(), 4096);
+    // 7 projections + head.
+    EXPECT_EQ(ws.size(), 8u);
+    // qkv+o at d=4096: 4 * 4096^3 * 32 layers, mlp 3 * 4096*11008,
+    // head once.
+    double expect = 32.0 * 4096.0 *
+                        (4 * 4096.0 * 4096 + 3 * 4096.0 * 11008) +
+                    4096.0 * 4096 * 32000;
+    EXPECT_NEAR(workloadMacs(ws) / expect, 1.0, 1e-9);
+}
+
+TEST(Workload, NonGatedModelsHaveTwoMlpMats)
+{
+    auto ws = linearLayerGemms(opt_6_7bDims(), 4096);
+    EXPECT_EQ(ws.size(), 7u);
+}
+
+TEST(Workload, Llama3LargestModel)
+{
+    double m70 = workloadMacs(linearLayerGemms(llama3_70bDims()));
+    double m8 = workloadMacs(linearLayerGemms(llama3_8bDims()));
+    EXPECT_GT(m70, 5.0 * m8);
+}
+
+TEST(TileSim, ComputeBoundCyclesMatchTileMath)
+{
+    AcceleratorConfig cfg = m2xfpAccel();
+    cfg.dramGBs = 1e9; // infinite bandwidth: pure compute
+    cfg.pipelineOverhead = 0.0;
+    TileSimulator sim(cfg);
+    GemmShape g{"g", 1024, 1024, 1024, 1};
+    SimStats s = sim.simulateGemm(g);
+    double tiles = (1024.0 / 32) * (1024.0 / 32);
+    EXPECT_NEAR(s.cycles, tiles * (1024 + 64), 1.0);
+}
+
+TEST(TileSim, MemoryBoundWhenBandwidthTiny)
+{
+    AcceleratorConfig cfg = m2xfpAccel();
+    cfg.dramGBs = 0.001;
+    TileSimulator sim(cfg);
+    GemmShape g{"g", 256, 256, 256, 1};
+    SimStats s = sim.simulateGemm(g);
+    AcceleratorConfig fast = m2xfpAccel();
+    fast.dramGBs = 1e9;
+    SimStats sf = TileSimulator(fast).simulateGemm(g);
+    EXPECT_GT(s.cycles, 100.0 * sf.cycles);
+}
+
+TEST(TileSim, LowerBitsMoveLessData)
+{
+    AcceleratorConfig a = m2xfpAccel();   // 4.5 bits
+    AcceleratorConfig b = mxint8Reference(); // 8.25 bits, 4 passes
+    GemmShape g{"g", 4096, 4096, 4096, 1};
+    SimStats sa = TileSimulator(a).simulateGemm(g);
+    SimStats sb = TileSimulator(b).simulateGemm(g);
+    EXPECT_LT(sa.dramEnergyJ, sb.dramEnergyJ);
+    EXPECT_LT(sa.cycles, sb.cycles);
+}
+
+TEST(TileSim, FallbackBlendingMonotonic)
+{
+    GemmShape g{"g", 2048, 2048, 2048, 1};
+    double prev = 0.0;
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        AcceleratorConfig cfg = m2xfpAccel();
+        cfg.fallback8b = f;
+        SimStats s = TileSimulator(cfg).simulateGemm(g);
+        EXPECT_GT(s.cycles, prev);
+        prev = s.cycles;
+    }
+}
+
+TEST(TileSim, RepeatScalesLinearly)
+{
+    TileSimulator sim(m2xfpAccel());
+    GemmShape one{"g", 512, 512, 512, 1};
+    GemmShape eight{"g", 512, 512, 512, 8};
+    SimStats s1 = sim.simulateGemm(one);
+    SimStats s8 = sim.simulateGemm(eight);
+    EXPECT_NEAR(s8.cycles / s1.cycles, 8.0, 1e-6);
+    EXPECT_NEAR(s8.totalEnergyJ() / s1.totalEnergyJ(), 8.0, 1e-6);
+}
+
+TEST(Fig13Invariants, M2xfpFastestAndMostEfficient)
+{
+    auto workload = linearLayerGemms(llama2_7bDims());
+    SimStats m2 =
+        TileSimulator(m2xfpAccel()).simulateWorkload(workload);
+    for (const auto &cfg : fig13Accelerators()) {
+        if (cfg.name == "M2XFP")
+            continue;
+        SimStats s = TileSimulator(cfg).simulateWorkload(workload);
+        EXPECT_LT(m2.seconds, s.seconds) << cfg.name;
+        EXPECT_LT(m2.totalEnergyJ(), s.totalEnergyJ()) << cfg.name;
+    }
+}
+
+TEST(Fig13Invariants, OliveSlowestDueToFallback)
+{
+    auto workload = linearLayerGemms(llama3_8bDims());
+    SimStats olive =
+        TileSimulator(mxOliveAccel()).simulateWorkload(workload);
+    for (const auto &cfg : fig13Accelerators()) {
+        if (cfg.name == "MX-OliVe")
+            continue;
+        SimStats s = TileSimulator(cfg).simulateWorkload(workload);
+        EXPECT_GE(olive.seconds, s.seconds) << cfg.name;
+    }
+}
+
+TEST(Fig13Invariants, SpeedupOverMicroScopiqNearPaper)
+{
+    // Paper: average 1.91x speedup and 1.75x energy gain vs
+    // MicroScopiQ. Allow a generous band — the shape matters.
+    double sp = 0, en = 0;
+    int n = 0;
+    for (const auto &dims : fig13Models()) {
+        auto w = linearLayerGemms(dims);
+        SimStats m2 = TileSimulator(m2xfpAccel()).simulateWorkload(w);
+        SimStats ms =
+            TileSimulator(microScopiqAccel()).simulateWorkload(w);
+        sp += ms.seconds / m2.seconds;
+        en += ms.totalEnergyJ() / m2.totalEnergyJ();
+        ++n;
+    }
+    sp /= n;
+    en /= n;
+    EXPECT_GT(sp, 1.4);
+    EXPECT_LT(sp, 2.6);
+    EXPECT_GT(en, 1.3);
+    EXPECT_LT(en, 2.4);
+}
+
+TEST(Fig13Invariants, AllNormalizedBelowReference)
+{
+    // Every 4-bit accelerator beats the W8A8 reference.
+    auto w = linearLayerGemms(mistral_7bDims());
+    SimStats ref =
+        TileSimulator(mxint8Reference()).simulateWorkload(w);
+    for (const auto &cfg : fig13Accelerators()) {
+        SimStats s = TileSimulator(cfg).simulateWorkload(w);
+        EXPECT_LT(s.seconds, ref.seconds) << cfg.name;
+        EXPECT_LT(s.totalEnergyJ(), ref.totalEnergyJ()) << cfg.name;
+    }
+}
+
+TEST(TileSim, EnergyComponentsAllPositive)
+{
+    auto w = linearLayerGemms(falcon_7bDims());
+    SimStats s = TileSimulator(m2xfpAccel()).simulateWorkload(w);
+    EXPECT_GT(s.coreEnergyJ, 0.0);
+    EXPECT_GT(s.bufferEnergyJ, 0.0);
+    EXPECT_GT(s.dramEnergyJ, 0.0);
+    EXPECT_GT(s.staticEnergyJ, 0.0);
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace m2x

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the bit helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Bits, FieldExtract)
+{
+    EXPECT_EQ(bitsField(0b110100u, 2, 3), 0b101u);
+    EXPECT_EQ(bitsField(0xffu, 0, 8), 0xffu);
+    EXPECT_EQ(bitsField(0xffu, 4, 4), 0xfu);
+}
+
+TEST(Bits, FieldInsert)
+{
+    EXPECT_EQ(bitsInsert(0u, 2, 3, 0b101u), 0b10100u);
+    EXPECT_EQ(bitsInsert(0xffu, 0, 4, 0u), 0xf0u);
+}
+
+TEST(Bits, InsertThenExtractRoundTrips)
+{
+    for (uint32_t f = 0; f < 8; ++f) {
+        uint32_t v = bitsInsert(0xdeadbeefu, 5, 3, f);
+        EXPECT_EQ(bitsField(v, 5, 3), f);
+    }
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(4), 2);
+    EXPECT_EQ(floorLog2(1023), 9);
+    EXPECT_EQ(floorLog2(1024), 10);
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2u);
+    EXPECT_EQ(ceilDiv(11, 5), 3u);
+    EXPECT_EQ(ceilDiv(1, 32), 1u);
+}
+
+TEST(Bits, RoundUp)
+{
+    EXPECT_EQ(roundUp(31, 32), 32u);
+    EXPECT_EQ(roundUp(32, 32), 32u);
+    EXPECT_EQ(roundUp(33, 32), 64u);
+}
+
+} // anonymous namespace
+} // namespace m2x

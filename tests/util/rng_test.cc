@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG: reproducibility, distribution
+ * moments, permutation validity, fork independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected)
+{
+    Rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform(-2.5, 7.5);
+        ASSERT_GE(u, -2.5);
+        ASSERT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng r(5);
+    int counts[7] = {0};
+    int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.uniformInt(7)];
+    for (int c : counts) {
+        // Each bucket should be within 10% of n/7.
+        EXPECT_NEAR(c, n / 7, n / 70);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(6);
+    double sum = 0.0, sq = 0.0;
+    int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    double m = sum / n;
+    double var = sq / n - m * m;
+    EXPECT_NEAR(m, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng r(7);
+    double sum = 0.0;
+    int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, StudentTHeavierTailsThanNormal)
+{
+    Rng r(8);
+    int t_extreme = 0, n_extreme = 0;
+    int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (std::fabs(r.studentT(3.0)) > 4.0)
+            ++t_extreme;
+        if (std::fabs(r.normal()) > 4.0)
+            ++n_extreme;
+    }
+    EXPECT_GT(t_extreme, 10 * std::max(n_extreme, 1));
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(r.logNormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, PermutationIsBijection)
+{
+    Rng r(10);
+    auto p = r.permutation(257);
+    std::set<uint32_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 257u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(11);
+    Rng child = a.fork();
+    // Child stream should differ from the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == child.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, FillNormalFillsAll)
+{
+    Rng r(12);
+    std::vector<float> v(1000, -1e9f);
+    r.fillNormal(v, 0.0f, 1.0f);
+    int untouched = static_cast<int>(
+        std::count(v.begin(), v.end(), -1e9f));
+    EXPECT_EQ(untouched, 0);
+}
+
+} // anonymous namespace
+} // namespace m2x

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace m2x {
+namespace {
+
+TEST(Stats, Mean)
+{
+    std::vector<float> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, Variance)
+{
+    std::vector<float> v{1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(variance(v), 0.0);
+    std::vector<float> w{0, 2};
+    EXPECT_DOUBLE_EQ(variance(w), 1.0);
+}
+
+TEST(Stats, AbsMax)
+{
+    std::vector<float> v{1.0f, -5.0f, 3.0f};
+    EXPECT_FLOAT_EQ(absMax(v), 5.0f);
+    std::vector<float> empty;
+    EXPECT_FLOAT_EQ(absMax(empty), 0.0f);
+}
+
+TEST(Stats, MseZeroForIdentical)
+{
+    std::vector<float> v{1, 2, 3};
+    EXPECT_DOUBLE_EQ(mse(v, v), 0.0);
+}
+
+TEST(Stats, MseKnownValue)
+{
+    std::vector<float> a{0, 0}, b{1, -1};
+    EXPECT_DOUBLE_EQ(mse(a, b), 1.0);
+}
+
+TEST(Stats, NmseScaleInvariantToReferenceEnergy)
+{
+    std::vector<float> ref{2, 2, 2, 2};
+    std::vector<float> approx{2.2f, 1.8f, 2.2f, 1.8f};
+    // mse = 0.04, ref energy = 4 -> nmse = 0.01
+    EXPECT_NEAR(nmse(ref, approx), 0.01, 1e-6);
+}
+
+TEST(Stats, SqnrInverseOfNmse)
+{
+    std::vector<float> ref{1, 1, 1, 1};
+    std::vector<float> ap{1.1f, 0.9f, 1.1f, 0.9f};
+    EXPECT_NEAR(sqnrDb(ref, ap), 20.0, 0.1); // nmse = 0.01 -> 20 dB
+}
+
+TEST(Stats, CosineIdentical)
+{
+    std::vector<float> v{1, 2, 3};
+    EXPECT_NEAR(cosineSimilarity(v, v), 1.0, 1e-9);
+}
+
+TEST(Stats, CosineOrthogonal)
+{
+    std::vector<float> a{1, 0}, b{0, 1};
+    EXPECT_NEAR(cosineSimilarity(a, b), 0.0, 1e-9);
+}
+
+TEST(Stats, CosineBothZero)
+{
+    std::vector<float> a{0, 0}, b{0, 0};
+    EXPECT_DOUBLE_EQ(cosineSimilarity(a, b), 1.0);
+}
+
+TEST(Stats, SoftmaxSumsToOne)
+{
+    std::vector<float> logits{1.0f, 2.0f, 3.0f, -1.0f};
+    std::vector<float> p(4);
+    softmax(logits, p);
+    float s = 0;
+    for (float v : p)
+        s += v;
+    EXPECT_NEAR(s, 1.0f, 1e-6f);
+    EXPECT_GT(p[2], p[1]);
+    EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Stats, SoftmaxStableForLargeLogits)
+{
+    std::vector<float> logits{1000.0f, 1000.0f};
+    std::vector<float> p(2);
+    softmax(logits, p);
+    EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+}
+
+TEST(Stats, KlZeroForIdenticalLogits)
+{
+    std::vector<float> l{0.5f, -1.0f, 2.0f};
+    EXPECT_NEAR(klDivergenceLogits(l, l), 0.0, 1e-9);
+}
+
+TEST(Stats, KlPositiveAndAsymmetric)
+{
+    std::vector<float> p{2.0f, 0.0f, 0.0f};
+    std::vector<float> q{0.0f, 0.0f, 2.0f};
+    double pq = klDivergenceLogits(p, q);
+    double qp = klDivergenceLogits(q, p);
+    EXPECT_GT(pq, 0.0);
+    EXPECT_GT(qp, 0.0);
+}
+
+TEST(Stats, KlInvariantToLogitShift)
+{
+    std::vector<float> p{1.0f, 2.0f, 3.0f};
+    std::vector<float> q{0.0f, 1.0f, 5.0f};
+    std::vector<float> q_shift{10.0f, 11.0f, 15.0f};
+    EXPECT_NEAR(klDivergenceLogits(p, q),
+                klDivergenceLogits(p, q_shift), 1e-6);
+}
+
+TEST(Stats, RunningMean)
+{
+    RunningMean rm;
+    EXPECT_DOUBLE_EQ(rm.value(), 0.0);
+    rm.add(2.0);
+    rm.add(4.0);
+    EXPECT_DOUBLE_EQ(rm.value(), 3.0);
+    EXPECT_EQ(rm.count(), 2u);
+}
+
+} // anonymous namespace
+} // namespace m2x

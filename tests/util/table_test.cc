@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the ASCII table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace m2x {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"bb", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, IncrementalRow)
+{
+    TextTable t({"a", "b", "c"});
+    t.beginRow();
+    t.cell("x");
+    t.cell(1.2345, 2);
+    t.cell(7.0, 0);
+    t.endRow();
+    std::string s = t.render();
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"col", "v"});
+    t.addRow({"short", "1"});
+    t.addRow({"much-longer-cell", "2"});
+    std::string s = t.render();
+    // Every line should have the same position for the last column.
+    size_t line1 = s.find("short");
+    size_t nl1 = s.find('\n', line1);
+    size_t one = s.rfind('1', nl1);
+    size_t line2 = s.find("much-longer-cell");
+    size_t nl2 = s.find('\n', line2);
+    size_t two = s.rfind('2', nl2);
+    EXPECT_EQ(one - line1, two - line2);
+}
+
+TEST(TextTable, FmtNum)
+{
+    EXPECT_EQ(fmtNum(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtNum(3.14159, 0), "3");
+    EXPECT_EQ(fmtNum(-1.5, 1), "-1.5");
+}
+
+} // anonymous namespace
+} // namespace m2x
