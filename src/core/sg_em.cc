@@ -163,9 +163,12 @@ std::string
 SgEmQuantizer::name() const
 {
     std::string n = cfg_.extraExponent ? "SgEE" : "SgEM";
-    n += "-" + std::to_string(cfg_.metaBits) + "b-g" +
-         std::to_string(cfg_.groupSize) + "/sg" +
-         std::to_string(cfg_.subgroupSize);
+    n += '-';
+    n += std::to_string(cfg_.metaBits);
+    n += "b-g";
+    n += std::to_string(cfg_.groupSize);
+    n += "/sg";
+    n += std::to_string(cfg_.subgroupSize);
     if (cfg_.adaptiveScale)
         n += "-adaptive";
     return n;
