@@ -79,6 +79,24 @@ class PackedM2xfpTensor
     /** Fetch the E8M0 scale code of (row, group). */
     uint8_t scaleCode(size_t r, size_t group) const;
 
+    /** @{
+     * Zero-copy group accessors for the packed-domain execution
+     * runtime (src/runtime): the 16 packed element bytes and the
+     * metadata byte of (row, group), straight from the streams.
+     */
+    const uint8_t *
+    groupElementBytes(size_t r, size_t group) const
+    {
+        return elements_.data() +
+               (r * groupsPerRow_ + group) * bytesPerGroupElems;
+    }
+    uint8_t
+    groupMetaByte(size_t r, size_t group) const
+    {
+        return meta_[r * groupsPerRow_ + group];
+    }
+    /** @} */
+
   private:
     size_t rows_ = 0;
     size_t cols_ = 0;

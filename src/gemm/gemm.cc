@@ -57,7 +57,16 @@ QuantizedLinear::QuantizedLinear(Matrix weight,
 }
 
 void
-QuantizedLinear::setWeight(Matrix weight)
+QuantizedLinear::setWeight(const Matrix &weight)
+{
+    if (weightQ_)
+        weight_ = quantizeRowsGrouped(weight, *weightQ_);
+    else
+        weight_ = weight;
+}
+
+void
+QuantizedLinear::setWeight(Matrix &&weight)
 {
     if (weightQ_)
         weight_ = quantizeRowsGrouped(weight, *weightQ_);

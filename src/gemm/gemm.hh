@@ -72,11 +72,21 @@ class QuantizedLinear : public LinearOp
     size_t inFeatures() const override { return weight_.cols(); }
     size_t outFeatures() const override { return weight_.rows(); }
 
-    /** The dequantized weight actually used by forward(). */
+    /**
+     * The dequantized weight actually used by forward(). Returned by
+     * const reference — callers that only read (GEMM, packing,
+     * accuracy evaluation) must not copy it.
+     */
     const Matrix &effectiveWeight() const { return weight_; }
 
-    /** Replace the weight (re-quantizing with the weight quantizer). */
-    void setWeight(Matrix weight);
+    /**
+     * Replace the weight (re-quantizing with the weight quantizer).
+     * The const-ref overload never copies when a weight quantizer is
+     * set (quantization produces a fresh matrix anyway); the rvalue
+     * overload moves storage straight in on the unquantized path.
+     */
+    void setWeight(const Matrix &weight);
+    void setWeight(Matrix &&weight);
 
   private:
     Matrix weight_; // dequantized (or original) weight

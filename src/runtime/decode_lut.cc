@@ -1,0 +1,145 @@
+#include "runtime/decode_lut.hh"
+
+#include <cmath>
+
+#include "core/elem_em.hh"
+#include "formats/e8m0.hh"
+#include "formats/minifloat.hh"
+
+namespace m2x {
+namespace runtime {
+
+namespace {
+
+constexpr unsigned groupSize = PackedM2xfpTensor::groupSize;
+constexpr unsigned subgroupSize = PackedM2xfpTensor::subgroupSize;
+constexpr unsigned bytesPerGroup =
+    PackedM2xfpTensor::bytesPerGroupElems;
+constexpr unsigned nSubgroups = groupSize / subgroupSize;
+
+DecodeTables
+buildTables()
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+
+    DecodeTables t;
+    for (uint32_t c = 0; c < 16; ++c)
+        t.fp4Value[c] = fp4.decode(c);
+    for (uint32_t b = 0; b < 256; ++b)
+        t.fp4Pair[b] = {t.fp4Value[b & 0xfu], t.fp4Value[b >> 4]};
+
+    for (uint32_t c = 0; c < 255; ++c)
+        t.e8m0Value[c] =
+            ScaleE8m0::fromCode(static_cast<uint8_t>(c)).value();
+    t.e8m0Value[255] = std::nanf("");
+
+    // Sg-EM paper config: 2 metadata bits, multiplier grid 1 + m/4.
+    for (uint32_t m = 0; m < 4; ++m)
+        t.sgEmMult[m] = 1.0f + static_cast<float>(m) / 4.0f;
+
+    // Elem-EM: the top-1 element's FP4 code is promoted to the FP6
+    // magnitude fp4_mag*4 + meta - 1 (the same guarded arithmetic as
+    // ElemEmQuantizer::decodeGroup, including the & 0x1f wrap for the
+    // never-emitted mag=0/meta=0 corner).
+    for (uint32_t c = 0; c < 16; ++c) {
+        uint32_t mag4 = c & 0x7u;
+        bool neg = (c >> 3) & 1u;
+        for (uint32_t m = 0; m < 4; ++m) {
+            uint32_t mag6 = ElemEmQuantizer::decodeFp6Mag(
+                mag4, static_cast<uint8_t>(m));
+            float mag = fp6.decode(mag6 & 0x1fu);
+            t.elemEmValue[c][m] = neg ? -mag : mag;
+        }
+    }
+    return t;
+}
+
+} // anonymous namespace
+
+const DecodeTables &
+DecodeTables::get()
+{
+    static const DecodeTables tables = buildTables();
+    return tables;
+}
+
+void
+decodeActivationGroup(const PackedM2xfpTensor &t, size_t row,
+                      size_t group, float *out)
+{
+    const DecodeTables &lut = DecodeTables::get();
+    const uint8_t *bytes = t.groupElementBytes(row, group);
+    float sval = lut.e8m0Value[t.scaleCode(row, group)];
+    uint8_t meta = t.groupMetaByte(row, group);
+
+    uint8_t codes[groupSize];
+    for (unsigned i = 0; i < bytesPerGroup; ++i) {
+        uint8_t b = bytes[i];
+        codes[2 * i] = b & 0xfu;
+        codes[2 * i + 1] = b >> 4;
+        Fp4Pair p = lut.fp4Pair[b];
+        out[2 * i] = p.lo * sval;
+        out[2 * i + 1] = p.hi * sval;
+    }
+
+    // Per subgroup: recompute the top-1 selection from the FP4 codes
+    // (strict compare, ties to the lowest index — exactly
+    // ElemEmQuantizer::top1Index) and apply the metadata-adjusted
+    // FP6 value.
+    for (unsigned s = 0; s < nSubgroups; ++s) {
+        const uint8_t *sc = codes + s * subgroupSize;
+        unsigned best = 0;
+        uint32_t best_mag = sc[0] & 0x7u;
+        for (unsigned i = 1; i < subgroupSize; ++i) {
+            uint32_t m = sc[i] & 0x7u;
+            if (m > best_mag) {
+                best_mag = m;
+                best = i;
+            }
+        }
+        uint8_t mcode = (meta >> (2 * s)) & 0x3u;
+        out[s * subgroupSize + best] =
+            lut.elemEmValue[sc[best]][mcode] * sval;
+    }
+}
+
+void
+decodeWeightGroup(const PackedM2xfpTensor &t, size_t row, size_t group,
+                  float *out)
+{
+    const DecodeTables &lut = DecodeTables::get();
+    const uint8_t *bytes = t.groupElementBytes(row, group);
+    float sval = lut.e8m0Value[t.scaleCode(row, group)];
+    uint8_t meta = t.groupMetaByte(row, group);
+
+    float sub_scale[nSubgroups];
+    for (unsigned s = 0; s < nSubgroups; ++s)
+        sub_scale[s] = sval * lut.sgEmMult[(meta >> (2 * s)) & 0x3u];
+
+    constexpr unsigned bytes_per_sub = subgroupSize / 2;
+    for (unsigned i = 0; i < bytesPerGroup; ++i) {
+        uint8_t b = bytes[i];
+        float scale = sub_scale[i / bytes_per_sub];
+        Fp4Pair p = lut.fp4Pair[b];
+        out[2 * i] = p.lo * scale;
+        out[2 * i + 1] = p.hi * scale;
+    }
+}
+
+void
+decodeActivationRow(const PackedM2xfpTensor &t, size_t row, float *out)
+{
+    for (size_t g = 0; g < t.groupsPerRow(); ++g)
+        decodeActivationGroup(t, row, g, out + g * groupSize);
+}
+
+void
+decodeWeightRow(const PackedM2xfpTensor &t, size_t row, float *out)
+{
+    for (size_t g = 0; g < t.groupsPerRow(); ++g)
+        decodeWeightGroup(t, row, g, out + g * groupSize);
+}
+
+} // namespace runtime
+} // namespace m2x

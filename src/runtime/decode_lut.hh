@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Decode lookup tables for the packed M2XFP execution runtime.
+ *
+ * The functional codecs (core/elem_em, core/sg_em) decode with
+ * branchy float math and per-group vector allocations — fine for
+ * verification, far too slow for a compute engine. These tables turn
+ * group dequantization into pure loads:
+ *   - a 16-entry FP4 E2M1 value table and its 256-entry byte-pair
+ *     expansion (both nibbles of a packed element byte at once),
+ *   - a 256-entry E8M0 scale-value table,
+ *   - the Sg-EM role: a 4-entry subgroup-multiplier table (1 + m/4),
+ *   - the Elem-EM role: a 64-entry [fp4 code][meta] table of the
+ *     metadata-adjusted (FP6-re-rounded) element value.
+ *
+ * Every entry is produced by calling the exact same functions the
+ * functional decoders call, so LUT decode is bit-identical to
+ * PackedM2xfpTensor::unpackActivations / unpackWeights — this is
+ * asserted by tests/runtime/decode_lut_test.cc.
+ */
+
+#ifndef M2X_RUNTIME_DECODE_LUT_HH__
+#define M2X_RUNTIME_DECODE_LUT_HH__
+
+#include <cstdint>
+
+#include "core/m2xfp_packed.hh"
+
+namespace m2x {
+namespace runtime {
+
+/** Two decoded FP4 values of one packed element byte. */
+struct Fp4Pair
+{
+    float lo; //!< low nibble (even element)
+    float hi; //!< high nibble (odd element)
+};
+
+/** Immutable decode tables; build once via get(). */
+struct DecodeTables
+{
+    /** fp4Value[code] = FP4 E2M1 decode of the 4-bit code. */
+    float fp4Value[16];
+
+    /** fp4Pair[byte] = both nibbles of a packed element byte. */
+    Fp4Pair fp4Pair[256];
+
+    /**
+     * e8m0Value[code] = 2^(code-127). Entry 255 (the E8M0 NaN code,
+     * never produced by the packers) is quiet NaN.
+     */
+    float e8m0Value[256];
+
+    /** Sg-EM subgroup scale multiplier: 1 + m/4 for m in 0..3. */
+    float sgEmMult[4];
+
+    /**
+     * Elem-EM metadata-adjusted value of the subgroup's top-1
+     * element: elemEmValue[code][meta] is the signed FP6 E2M3 value
+     * reconstructed from FP4 code and 2-bit metadata (before the
+     * shared scale is applied).
+     */
+    float elemEmValue[16][4];
+
+    /** The process-wide tables (built on first use, thread-safe). */
+    static const DecodeTables &get();
+};
+
+/**
+ * Decode one 32-element group of an activation-role (Elem-EM) tensor
+ * into out[0..31] (padding elements included). Bit-identical to
+ * unpackActivations() for the paper config.
+ */
+void decodeActivationGroup(const PackedM2xfpTensor &t, size_t row,
+                           size_t group, float *out);
+
+/** Same for a weight-role (Sg-EM) tensor. */
+void decodeWeightGroup(const PackedM2xfpTensor &t, size_t row,
+                       size_t group, float *out);
+
+/**
+ * Decode one full row of an activation-role tensor into
+ * out[0 .. groupsPerRow*32) — the tail group keeps its padding
+ * elements, so the buffer must be group-padded.
+ */
+void decodeActivationRow(const PackedM2xfpTensor &t, size_t row,
+                         float *out);
+
+/** Same for a weight-role tensor. */
+void decodeWeightRow(const PackedM2xfpTensor &t, size_t row,
+                     float *out);
+
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_DECODE_LUT_HH__

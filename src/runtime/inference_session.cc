@@ -1,0 +1,138 @@
+#include "runtime/inference_session.hh"
+
+#include <chrono>
+
+#include "runtime/packed_linear.hh"
+
+namespace m2x {
+namespace runtime {
+
+namespace {
+
+/** Shim recording wall time and row counts around a LinearOp. */
+class TimedLinear : public LinearOp
+{
+  public:
+    TimedLinear(std::unique_ptr<LinearOp> inner,
+                std::shared_ptr<LayerStats> stats)
+        : inner_(std::move(inner)), stats_(std::move(stats))
+    {}
+
+    Matrix
+    forward(const Matrix &x) const override
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        Matrix y = inner_->forward(x);
+        auto dt = std::chrono::steady_clock::now() - t0;
+        stats_->calls.fetch_add(1, std::memory_order_relaxed);
+        stats_->rows.fetch_add(x.rows(), std::memory_order_relaxed);
+        stats_->nanos.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count(),
+            std::memory_order_relaxed);
+        return y;
+    }
+
+    size_t inFeatures() const override { return inner_->inFeatures(); }
+    size_t outFeatures() const override
+    {
+        return inner_->outFeatures();
+    }
+
+  private:
+    std::unique_ptr<LinearOp> inner_;
+    std::shared_ptr<LayerStats> stats_;
+};
+
+} // anonymous namespace
+
+model::LinearFactory
+packedLinearFactory(M2xfpConfig cfg, ThreadPool *pool,
+                    std::vector<std::shared_ptr<LayerStats>> *stats)
+{
+    return [cfg, pool, stats](const Matrix &w, const std::string &name,
+                              const Matrix *)
+               -> std::unique_ptr<LinearOp> {
+        auto packed = std::make_unique<PackedLinear>(w, cfg, pool);
+        if (!stats)
+            return packed;
+        auto s = std::make_shared<LayerStats>();
+        s->name = name;
+        s->inFeatures = packed->inFeatures();
+        s->outFeatures = packed->outFeatures();
+        s->packedBytes = packed->residentBytes();
+        s->denseBytes = packed->denseBytes();
+        stats->push_back(s);
+        return std::make_unique<TimedLinear>(std::move(packed),
+                                             std::move(s));
+    };
+}
+
+InferenceSession::InferenceSession(const model::ModelConfig &model_cfg,
+                                   SessionConfig cfg)
+    : ownedPool_(cfg.threads ? std::make_unique<ThreadPool>(cfg.threads)
+                             : nullptr),
+      model_(model_cfg)
+{
+    model_.rebuild(
+        packedLinearFactory(cfg.format, ownedPool_.get(), &stats_));
+}
+
+InferenceSession::~InferenceSession() = default;
+
+Matrix
+InferenceSession::forward(std::span<const int> tokens)
+{
+    return model_.forwardLogits(tokens);
+}
+
+std::vector<Matrix>
+InferenceSession::forwardBatch(
+    const std::vector<std::vector<int>> &batch)
+{
+    std::vector<Matrix> logits;
+    logits.reserve(batch.size());
+    for (const auto &seq : batch)
+        logits.push_back(model_.forwardLogits(seq));
+    return logits;
+}
+
+double
+InferenceSession::linearSeconds() const
+{
+    double s = 0.0;
+    for (const auto &st : stats_)
+        s += st->seconds();
+    return s;
+}
+
+size_t
+InferenceSession::packedWeightBytes() const
+{
+    size_t b = 0;
+    for (const auto &st : stats_)
+        b += st->packedBytes;
+    return b;
+}
+
+size_t
+InferenceSession::denseWeightBytes() const
+{
+    size_t b = 0;
+    for (const auto &st : stats_)
+        b += st->denseBytes;
+    return b;
+}
+
+void
+InferenceSession::resetStats()
+{
+    for (auto &st : stats_) {
+        st->calls.store(0);
+        st->nanos.store(0);
+        st->rows.store(0);
+    }
+}
+
+} // namespace runtime
+} // namespace m2x

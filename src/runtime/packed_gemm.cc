@@ -1,0 +1,142 @@
+#include "runtime/packed_gemm.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "runtime/decode_lut.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+
+namespace {
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+
+/** Output tile height (A rows) and width (W rows) per task. */
+constexpr size_t tileM = 16;
+constexpr size_t tileN = 16;
+
+/**
+ * Distinguishes A-tile decode caches across GEMM calls: a
+ * thread-local buffer keyed only on the tile index could alias a
+ * previous call's tensor (same address, different data).
+ */
+std::atomic<uint64_t> call_counter{0};
+
+/**
+ * One output tile: rows [i0, i0+mt) x cols [j0, j0+nt), with the
+ * decoded A tile already in abuf (mt rows x padded_k floats).
+ */
+void
+computeTile(const PackedM2xfpTensor &w, const float *abuf,
+            size_t padded_k, size_t i0, size_t mt, size_t j0,
+            size_t nt, size_t k, Matrix &c)
+{
+    // Independent double accumulators: each c(i,j) still sums its
+    // products in ascending-k order (bit-exact vs matmulNt), but
+    // adjacent outputs interleave, hiding the FP add latency.
+    double acc[tileM][tileN] = {};
+    float wtile[groupSize * tileN]; // transposed: [p][jj]
+    float wrow[groupSize];
+
+    size_t n_groups = padded_k / groupSize;
+    for (size_t g = 0; g < n_groups; ++g) {
+        size_t base = g * groupSize;
+        size_t glen = std::min(groupSize, k - base);
+        for (size_t jj = 0; jj < nt; ++jj) {
+            decodeWeightGroup(w, j0 + jj, g, wrow);
+            for (size_t p = 0; p < glen; ++p)
+                wtile[p * tileN + jj] = wrow[p];
+        }
+        for (size_t p = 0; p < glen; ++p) {
+            const float *wp = wtile + p * tileN;
+            for (size_t ii = 0; ii < mt; ++ii) {
+                double av = abuf[ii * padded_k + base + p];
+                double *arow = acc[ii];
+                for (size_t jj = 0; jj < nt; ++jj)
+                    arow[jj] += av * wp[jj];
+            }
+        }
+    }
+
+    for (size_t ii = 0; ii < mt; ++ii)
+        for (size_t jj = 0; jj < nt; ++jj)
+            c(i0 + ii, j0 + jj) =
+                static_cast<float>(acc[ii][jj]);
+}
+
+} // anonymous namespace
+
+void
+packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
+               Matrix &c, ThreadPool *pool)
+{
+    m2x_assert(a.cols() == w.cols(),
+               "packedMatmulNt K mismatch: %zu vs %zu", a.cols(),
+               w.cols());
+    size_t m = a.rows(), n = w.rows(), k = a.cols();
+    c = Matrix(m, n);
+    if (m == 0 || n == 0)
+        return;
+
+    size_t padded_k = a.groupsPerRow() * groupSize;
+    size_t n_it = ceilDiv(m, tileM);
+    size_t n_jt = ceilDiv(n, tileN);
+    uint64_t call_id =
+        call_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    // Tiles are enumerated j-fastest so consecutive chunks reuse the
+    // same decoded A tile (cached per thread, keyed by call + tile).
+    // With enough row stripes to balance, hand out whole stripes so
+    // each A tile is decoded by exactly one thread; only when stripes
+    // are scarce split them (accepting duplicated A decode as the
+    // price of parallelism across N).
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    size_t n_tiles = n_it * n_jt;
+    size_t lanes = tp.size();
+    size_t grain =
+        n_it >= 2 * lanes
+            ? n_jt
+            : std::clamp<size_t>(n_tiles / (4 * lanes), 1, n_jt);
+    tp.parallelFor(
+        0, n_tiles, grain,
+        [&](size_t t0, size_t t1) {
+            thread_local std::vector<float> abuf;
+            thread_local uint64_t cached_call = 0;
+            thread_local size_t cached_it = SIZE_MAX;
+            for (size_t t = t0; t < t1; ++t) {
+                size_t it = t / n_jt;
+                size_t jt = t % n_jt;
+                size_t i0 = it * tileM;
+                size_t mt = std::min(tileM, m - i0);
+                if (cached_call != call_id || cached_it != it) {
+                    abuf.resize(tileM * padded_k);
+                    for (size_t ii = 0; ii < mt; ++ii)
+                        decodeActivationRow(a, i0 + ii,
+                                            abuf.data() +
+                                                ii * padded_k);
+                    cached_call = call_id;
+                    cached_it = it;
+                }
+                size_t j0 = jt * tileN;
+                size_t nt = std::min(tileN, n - j0);
+                computeTile(w, abuf.data(), padded_k, i0, mt, j0,
+                            nt, k, c);
+            }
+        });
+}
+
+Matrix
+packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
+               ThreadPool *pool)
+{
+    Matrix c;
+    packedMatmulNt(a, w, c, pool);
+    return c;
+}
+
+} // namespace runtime
+} // namespace m2x

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Blocked multi-threaded GEMM directly on packed M2XFP streams.
+ *
+ * packedMatmulNt computes C[M,N] = A * W^T where A is an
+ * activation-role (Elem-EM) packed tensor [M,K] and W a weight-role
+ * (Sg-EM) packed tensor [N,K] — the same contract as
+ * matmulNt(unpackActivations, unpackWeights), and bit-exact against
+ * it: every output element accumulates its K products in double
+ * precision in ascending-k order, exactly like the reference kernel,
+ * so tiling and threading cannot change a single ULP.
+ *
+ * What *is* different is the execution: operands stay packed in
+ * memory (4.5 bits/element) and are dequantized tile-by-tile with
+ * the decode LUTs, fused into the K-loop — no full dequantized
+ * matrix is ever materialized. Output tiles are independent, so the
+ * M×N tile grid is distributed over a ThreadPool, and each tile
+ * keeps an MT×NT block of independent accumulators, which breaks
+ * the serial dependence chain that limits the reference kernel to
+ * one (latency-bound) fused multiply-add at a time.
+ */
+
+#ifndef M2X_RUNTIME_PACKED_GEMM_HH__
+#define M2X_RUNTIME_PACKED_GEMM_HH__
+
+#include "core/m2xfp_packed.hh"
+#include "quant/matrix.hh"
+#include "runtime/thread_pool.hh"
+
+namespace m2x {
+namespace runtime {
+
+/**
+ * C[M,N] = A[M,K] * W^T, consuming the packed byte streams directly.
+ *
+ * @param a activation-role packed tensor (Elem-EM metadata)
+ * @param w weight-role packed tensor (Sg-EM metadata), [N,K] row
+ *        layout like matmulNt's b_nk
+ * @param c resized to [M,N] and overwritten
+ * @param pool thread pool to distribute tiles over; null uses the
+ *        process-global pool
+ */
+void packedMatmulNt(const PackedM2xfpTensor &a,
+                    const PackedM2xfpTensor &w, Matrix &c,
+                    ThreadPool *pool = nullptr);
+
+/** Convenience overload returning the result. */
+Matrix packedMatmulNt(const PackedM2xfpTensor &a,
+                      const PackedM2xfpTensor &w,
+                      ThreadPool *pool = nullptr);
+
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_PACKED_GEMM_HH__

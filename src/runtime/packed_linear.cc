@@ -1,0 +1,33 @@
+#include "runtime/packed_linear.hh"
+
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+
+PackedLinear::PackedLinear(const Matrix &weight, M2xfpConfig cfg,
+                           ThreadPool *pool)
+    : actQ_(cfg.activationConfig()), weightQ_(cfg.weightConfig()),
+      inFeatures_(weight.cols()), outFeatures_(weight.rows()),
+      pool_(pool)
+{
+    m2x_assert(cfg.groupSize == PackedM2xfpTensor::groupSize &&
+               cfg.subgroupSize == PackedM2xfpTensor::subgroupSize,
+               "PackedLinear requires the paper layout (g32/sg8), "
+               "got g%u/sg%u", cfg.groupSize, cfg.subgroupSize);
+    weight_ = PackedM2xfpTensor::packWeights(weight, weightQ_);
+}
+
+Matrix
+PackedLinear::forward(const Matrix &x) const
+{
+    m2x_assert(x.cols() == inFeatures_,
+               "linear in_features mismatch: %zu vs %zu", x.cols(),
+               inFeatures_);
+    PackedM2xfpTensor xa =
+        PackedM2xfpTensor::packActivations(x, actQ_);
+    return packedMatmulNt(xa, weight_, pool_);
+}
+
+} // namespace runtime
+} // namespace m2x

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PackedLinear: a LinearOp whose weight is resident as packed M2XFP
+ * streams (~4.5 bits/element) instead of a dequantized fp32 matrix,
+ * and whose forward pass runs the packed-domain GEMM.
+ *
+ * Numerically it is a drop-in for QuantizedLinear configured with
+ * the paper's M2XFP pair (Sg-EM-2bit weights, Elem-EM-top1
+ * activations): forward() produces bit-identical outputs, because
+ * packing + packed GEMM reconstructs exactly the values the
+ * functional codecs produce (tests/runtime/packed_linear_test.cc
+ * asserts this). What changes is the cost model: ~7.1x less resident
+ * weight memory, and a blocked multi-threaded kernel instead of the
+ * naive reference loop.
+ */
+
+#ifndef M2X_RUNTIME_PACKED_LINEAR_HH__
+#define M2X_RUNTIME_PACKED_LINEAR_HH__
+
+#include "core/m2xfp.hh"
+#include "core/m2xfp_packed.hh"
+#include "gemm/gemm.hh"
+#include "runtime/packed_gemm.hh"
+
+namespace m2x {
+namespace runtime {
+
+/** y = x W^T with W resident in packed M2XFP form. */
+class PackedLinear : public LinearOp
+{
+  public:
+    /**
+     * Quantize and pack @p weight [out_features, in_features] at
+     * construction (offline, like the paper's weight calibration).
+     *
+     * @param cfg  must keep the paper packed layout (g32/sg8, 2-bit
+     *        metadata, top-1) — the packed codec supports nothing
+     *        else
+     * @param pool thread pool for forward(); null = global pool
+     */
+    explicit PackedLinear(const Matrix &weight, M2xfpConfig cfg = {},
+                          ThreadPool *pool = nullptr);
+
+    /** Pack x as activations (online) and multiply in packed form. */
+    Matrix forward(const Matrix &x) const override;
+
+    size_t inFeatures() const override { return inFeatures_; }
+    size_t outFeatures() const override { return outFeatures_; }
+
+    /** The resident packed weight streams. */
+    const PackedM2xfpTensor &packedWeight() const { return weight_; }
+
+    /** Resident weight bytes (all three packed streams). */
+    size_t residentBytes() const { return weight_.totalBytes(); }
+
+    /** Bytes the dequantized fp32 weight would occupy. */
+    size_t
+    denseBytes() const
+    {
+        return inFeatures_ * outFeatures_ * sizeof(float);
+    }
+
+    const ElemEmQuantizer &activationQuantizer() const
+    {
+        return actQ_;
+    }
+    const SgEmQuantizer &weightQuantizer() const { return weightQ_; }
+
+  private:
+    ElemEmQuantizer actQ_;
+    SgEmQuantizer weightQ_;
+    PackedM2xfpTensor weight_;
+    size_t inFeatures_;
+    size_t outFeatures_;
+    ThreadPool *pool_;
+};
+
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_PACKED_LINEAR_HH__

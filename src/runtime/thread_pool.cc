@@ -1,0 +1,173 @@
+#include "runtime/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+
+namespace {
+
+/** True while the current thread is executing a job body. */
+thread_local bool in_job = false;
+
+/** Marks the current thread in-job; restores the flag on unwind. */
+struct InJobScope
+{
+    bool outer;
+    InJobScope() : outer(!in_job) { in_job = true; }
+    ~InJobScope()
+    {
+        if (outer)
+            in_job = false;
+    }
+};
+
+} // anonymous namespace
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("M2X_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(std::min(v, 1024l));
+        m2x_warn("ignoring bad M2X_THREADS value '%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(unsigned n_threads)
+    : nLanes_(n_threads ? n_threads : defaultThreads())
+{
+    workers_.reserve(nLanes_ - 1);
+    for (unsigned i = 0; i + 1 < nLanes_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        size_t begin = job.next.fetch_add(job.grain,
+                                          std::memory_order_relaxed);
+        if (begin >= job.end)
+            return;
+        size_t end = std::min(begin + job.grain, job.end);
+        (*job.body)(begin, end);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Job *job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        in_job = true;
+        runChunks(*job);
+        in_job = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    m2x_assert(grain >= 1, "parallelFor grain must be positive");
+
+    // Serial pool, tiny range, a nested call from inside a job body
+    // (workers are busy with the outer job, so waiting on them could
+    // deadlock), or another thread currently owns the workers: run
+    // inline on the calling thread.
+    std::unique_lock<std::mutex> job_lock(jobMutex_,
+                                          std::defer_lock);
+    if (workers_.empty() || end - begin <= grain || in_job ||
+        !job_lock.try_lock()) {
+        InJobScope scope;
+        for (size_t b = begin; b < end; b += grain)
+            body(b, std::min(b + grain, end));
+        return;
+    }
+
+    Job job;
+    job.body = &body;
+    job.next.store(begin, std::memory_order_relaxed);
+    job.end = end;
+    job.grain = grain;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        pending_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The job lives on this stack frame: even if the body throws on
+    // this lane, every worker must finish touching it before the
+    // frame unwinds.
+    auto drain = [&] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        job_ = nullptr;
+    };
+    try {
+        InJobScope scope;
+        runChunks(job);
+    } catch (...) {
+        job.next.store(end, std::memory_order_relaxed);
+        drain();
+        throw;
+    }
+    drain();
+}
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)> &body,
+            ThreadPool *pool)
+{
+    (pool ? *pool : ThreadPool::global())
+        .parallelFor(begin, end, grain, body);
+}
+
+} // namespace runtime
+} // namespace m2x

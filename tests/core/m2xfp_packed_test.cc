@@ -80,6 +80,51 @@ TEST(Packed, RaggedColumnsArePadded)
         ASSERT_FLOAT_EQ(unpacked.flat()[i], direct.flat()[i]) << i;
 }
 
+TEST(Packed, TailGroupNotSubgroupAligned)
+{
+    // 36 columns: the tail group holds 4 real elements — less than
+    // one subgroup — so every padding lane of every subgroup must
+    // decode away cleanly in both roles.
+    Matrix m = randomMatrix(3, 36, 7);
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+
+    PackedM2xfpTensor ta = PackedM2xfpTensor::packActivations(m, aq);
+    Matrix ua = ta.unpackActivations(aq);
+    Matrix da = quantizeRowsGrouped(m, aq);
+    for (size_t i = 0; i < da.size(); ++i)
+        ASSERT_FLOAT_EQ(ua.flat()[i], da.flat()[i]) << i;
+
+    PackedM2xfpTensor tw = PackedM2xfpTensor::packWeights(m, wq);
+    Matrix uw = tw.unpackWeights(wq);
+    Matrix dw = quantizeRowsGrouped(m, wq);
+    for (size_t i = 0; i < dw.size(); ++i)
+        ASSERT_FLOAT_EQ(uw.flat()[i], dw.flat()[i]) << i;
+}
+
+TEST(Packed, TailGroupSweepMatchesFunctionalCodec)
+{
+    // Every tail length mod the subgroup, including K < one group.
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    for (size_t cols : {1u, 7u, 8u, 9u, 31u, 33u, 40u, 63u, 65u}) {
+        Matrix m = randomMatrix(2, cols, 100 + cols);
+        PackedM2xfpTensor ta =
+            PackedM2xfpTensor::packActivations(m, aq);
+        Matrix ua = ta.unpackActivations(aq);
+        Matrix da = quantizeRowsGrouped(m, aq);
+        for (size_t i = 0; i < da.size(); ++i)
+            ASSERT_FLOAT_EQ(ua.flat()[i], da.flat()[i])
+                << cols << ":" << i;
+        PackedM2xfpTensor tw = PackedM2xfpTensor::packWeights(m, wq);
+        Matrix uw = tw.unpackWeights(wq);
+        Matrix dw = quantizeRowsGrouped(m, wq);
+        for (size_t i = 0; i < dw.size(); ++i)
+            ASSERT_FLOAT_EQ(uw.flat()[i], dw.flat()[i])
+                << cols << ":" << i;
+    }
+}
+
 TEST(Packed, ElementCodeAccessorsConsistent)
 {
     Matrix m = randomMatrix(3, 32, 6);
@@ -92,6 +137,27 @@ TEST(Packed, ElementCodeAccessorsConsistent)
     EXPECT_EQ(t.scaleCode(1, 0), g.scale.code());
     for (size_t s = 0; s < 4; ++s)
         EXPECT_EQ(t.subgroupMeta(1, 0, s), g.meta[s]) << s;
+}
+
+TEST(Packed, GroupStreamAccessorsMatchElementAccessors)
+{
+    Matrix m = randomMatrix(3, 70, 8);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    for (size_t r = 0; r < t.rows(); ++r) {
+        for (size_t g = 0; g < t.groupsPerRow(); ++g) {
+            const uint8_t *bytes = t.groupElementBytes(r, g);
+            for (size_t i = 0; i < 32; i += 2) {
+                uint8_t b = bytes[i / 2];
+                EXPECT_EQ(b & 0xfu, t.elementCode(r, g * 32 + i));
+                EXPECT_EQ(b >> 4, t.elementCode(r, g * 32 + i + 1));
+            }
+            uint8_t meta = t.groupMetaByte(r, g);
+            for (size_t s = 0; s < 4; ++s)
+                EXPECT_EQ((meta >> (2 * s)) & 0x3u,
+                          t.subgroupMeta(r, g, s));
+        }
+    }
 }
 
 } // anonymous namespace

@@ -133,5 +133,36 @@ TEST(QuantizedLinear, SetWeightRequantizes)
                         expect.flat()[i]);
 }
 
+TEST(QuantizedLinear, SetWeightMoveOverloadStealsStorage)
+{
+    Matrix w1 = randomMatrix(8, 32, 12);
+    QuantizedLinear lin(w1, nullptr, nullptr);
+    Matrix w2 = randomMatrix(8, 32, 13);
+    const float *storage = w2.data();
+    Matrix expect = w2;
+    lin.setWeight(std::move(w2));
+    // Unquantized path: the storage must have been moved, not copied.
+    EXPECT_EQ(lin.effectiveWeight().data(), storage);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_FLOAT_EQ(lin.effectiveWeight().flat()[i],
+                        expect.flat()[i]);
+}
+
+TEST(QuantizedLinear, SetWeightConstRefLeavesSourceIntact)
+{
+    Matrix w1 = randomMatrix(8, 32, 14);
+    auto wq = std::make_shared<MxfpQuantizer>(MxfpQuantizer::mxfp4());
+    QuantizedLinear lin(w1, wq, nullptr);
+    Matrix w2 = randomMatrix(8, 32, 15);
+    Matrix before = w2;
+    lin.setWeight(w2); // lvalue: re-quantizes without consuming w2
+    for (size_t i = 0; i < w2.size(); ++i)
+        EXPECT_FLOAT_EQ(w2.flat()[i], before.flat()[i]);
+    Matrix expect = quantizeRowsGrouped(w2, *wq);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_FLOAT_EQ(lin.effectiveWeight().flat()[i],
+                        expect.flat()[i]);
+}
+
 } // anonymous namespace
 } // namespace m2x

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The decode LUTs must be bit-identical to the functional codecs:
+ * every table entry is checked against the Minifloat/ScaleE8m0
+ * decoders, and LUT group decode against unpackActivations /
+ * unpackWeights, element for element with exact float equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/m2xfp.hh"
+#include "formats/e8m0.hh"
+#include "formats/minifloat.hh"
+#include "runtime/decode_lut.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.studentT(4.0));
+    return m;
+}
+
+TEST(DecodeLut, Fp4TablesMatchMinifloat)
+{
+    const DecodeTables &t = DecodeTables::get();
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    for (uint32_t c = 0; c < 16; ++c)
+        EXPECT_EQ(t.fp4Value[c], fp4.decode(c)) << c;
+    for (uint32_t b = 0; b < 256; ++b) {
+        EXPECT_EQ(t.fp4Pair[b].lo, fp4.decode(b & 0xfu)) << b;
+        EXPECT_EQ(t.fp4Pair[b].hi, fp4.decode(b >> 4)) << b;
+    }
+}
+
+TEST(DecodeLut, E8m0TableMatchesScaleType)
+{
+    const DecodeTables &t = DecodeTables::get();
+    for (uint32_t c = 0; c < 255; ++c)
+        EXPECT_EQ(t.e8m0Value[c],
+                  ScaleE8m0::fromCode(static_cast<uint8_t>(c)).value())
+            << c;
+    EXPECT_TRUE(std::isnan(t.e8m0Value[255]));
+}
+
+TEST(DecodeLut, SgEmMultipliersMatchQuantizer)
+{
+    const DecodeTables &t = DecodeTables::get();
+    SgEmQuantizer q = makeM2xfpWeightQuantizer();
+    ScaleE8m0 one = ScaleE8m0::fromExponent(0);
+    for (uint8_t m = 0; m < 4; ++m)
+        EXPECT_EQ(t.sgEmMult[m], q.subgroupScale(one, m)) << int(m);
+}
+
+TEST(DecodeLut, ElemEmTableMatchesFp6Promotion)
+{
+    const DecodeTables &t = DecodeTables::get();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    for (uint32_t c = 0; c < 16; ++c) {
+        for (uint8_t m = 0; m < 4; ++m) {
+            uint32_t mag6 =
+                ElemEmQuantizer::decodeFp6Mag(c & 0x7u, m);
+            float mag = fp6.decode(mag6 & 0x1fu);
+            float want = (c >> 3) ? -mag : mag;
+            EXPECT_EQ(t.elemEmValue[c][m], want)
+                << "code " << c << " meta " << int(m);
+        }
+    }
+}
+
+TEST(DecodeLut, ActivationGroupDecodeMatchesUnpack)
+{
+    Matrix m = randomMatrix(7, 96, 21);
+    ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(m, q);
+    Matrix ref = t.unpackActivations(q);
+    float buf[PackedM2xfpTensor::groupSize];
+    for (size_t r = 0; r < t.rows(); ++r) {
+        for (size_t g = 0; g < t.groupsPerRow(); ++g) {
+            decodeActivationGroup(t, r, g, buf);
+            for (size_t i = 0; i < PackedM2xfpTensor::groupSize; ++i)
+                ASSERT_EQ(buf[i], ref(r, g * 32 + i))
+                    << r << "," << g << "," << i;
+        }
+    }
+}
+
+TEST(DecodeLut, WeightGroupDecodeMatchesUnpack)
+{
+    Matrix m = randomMatrix(6, 64, 22);
+    SgEmQuantizer q = makeM2xfpWeightQuantizer();
+    PackedM2xfpTensor t = PackedM2xfpTensor::packWeights(m, q);
+    Matrix ref = t.unpackWeights(q);
+    float buf[PackedM2xfpTensor::groupSize];
+    for (size_t r = 0; r < t.rows(); ++r) {
+        for (size_t g = 0; g < t.groupsPerRow(); ++g) {
+            decodeWeightGroup(t, r, g, buf);
+            for (size_t i = 0; i < PackedM2xfpTensor::groupSize; ++i)
+                ASSERT_EQ(buf[i], ref(r, g * 32 + i))
+                    << r << "," << g << "," << i;
+        }
+    }
+}
+
+TEST(DecodeLut, RowDecodeMatchesUnpackWithRaggedTail)
+{
+    // 44 columns: tail group of 12 (not a multiple of the subgroup).
+    Matrix m = randomMatrix(3, 44, 23);
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    PackedM2xfpTensor ta = PackedM2xfpTensor::packActivations(m, aq);
+    PackedM2xfpTensor tw = PackedM2xfpTensor::packWeights(m, wq);
+    Matrix ra = ta.unpackActivations(aq);
+    Matrix rw = tw.unpackWeights(wq);
+    std::vector<float> buf(ta.groupsPerRow() * 32);
+    for (size_t r = 0; r < 3; ++r) {
+        decodeActivationRow(ta, r, buf.data());
+        for (size_t c = 0; c < 44; ++c)
+            ASSERT_EQ(buf[c], ra(r, c)) << r << "," << c;
+        decodeWeightRow(tw, r, buf.data());
+        for (size_t c = 0; c < 44; ++c)
+            ASSERT_EQ(buf[c], rw(r, c)) << r << "," << c;
+    }
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x

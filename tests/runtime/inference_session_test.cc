@@ -1,0 +1,119 @@
+/**
+ * @file
+ * InferenceSession: batched packed-domain forward passes must agree
+ * bit-exactly with the functional quantized transformer, and the
+ * per-layer accounting must add up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/m2xfp.hh"
+#include "runtime/inference_session.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+model::ModelConfig
+tinyConfig()
+{
+    model::ModelConfig cfg;
+    cfg.name = "test-tiny";
+    cfg.dModel = 64;
+    cfg.nHeads = 2;
+    cfg.nLayers = 2;
+    cfg.dFf = 96;
+    cfg.vocab = 64;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::vector<int>
+randomTokens(size_t n, unsigned vocab, uint64_t seed)
+{
+    std::vector<int> toks(n);
+    Rng rng(seed);
+    for (auto &t : toks)
+        t = static_cast<int>(rng.uniformInt(vocab));
+    return toks;
+}
+
+TEST(InferenceSession, MatchesFunctionalQuantizedTransformer)
+{
+    model::ModelConfig cfg = tinyConfig();
+    InferenceSession session(cfg);
+
+    model::TinyTransformer ref(cfg);
+    ref.rebuild(model::quantizedLinearFactory(
+        [] {
+            return std::make_shared<SgEmQuantizer>(
+                makeM2xfpWeightQuantizer());
+        },
+        [] {
+            return std::make_shared<ElemEmQuantizer>(
+                makeM2xfpActivationQuantizer());
+        }));
+
+    std::vector<int> toks = randomTokens(12, cfg.vocab, 1);
+    Matrix got = session.forward(toks);
+    Matrix want = ref.forwardLogits(toks);
+    ASSERT_TRUE(got.sameShape(want));
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(got.flat()[i], want.flat()[i]) << i;
+}
+
+TEST(InferenceSession, BatchedForwardAndTimings)
+{
+    model::ModelConfig cfg = tinyConfig();
+    InferenceSession session(cfg, {.threads = 2});
+
+    std::vector<std::vector<int>> batch = {
+        randomTokens(8, cfg.vocab, 2),
+        randomTokens(16, cfg.vocab, 3),
+        randomTokens(4, cfg.vocab, 4),
+    };
+    std::vector<Matrix> logits = session.forwardBatch(batch);
+    ASSERT_EQ(logits.size(), 3u);
+    for (size_t s = 0; s < batch.size(); ++s) {
+        EXPECT_EQ(logits[s].rows(), batch[s].size());
+        EXPECT_EQ(logits[s].cols(), cfg.vocab);
+    }
+
+    // 7 linears per layer + head, each called once per sequence.
+    const auto &stats = session.layerStats();
+    ASSERT_EQ(stats.size(), 7u * cfg.nLayers + 1);
+    uint64_t total_rows = 8 + 16 + 4;
+    for (const auto &st : stats) {
+        EXPECT_EQ(st->calls.load(), batch.size()) << st->name;
+        EXPECT_EQ(st->rows.load(), total_rows) << st->name;
+        EXPECT_GT(st->packedBytes, 0u) << st->name;
+        EXPECT_LT(st->packedBytes, st->denseBytes) << st->name;
+    }
+    EXPECT_GT(session.linearSeconds(), 0.0);
+
+    session.resetStats();
+    EXPECT_EQ(session.linearSeconds(), 0.0);
+    EXPECT_EQ(stats[0]->calls.load(), 0u);
+    // Weight accounting survives a stats reset.
+    EXPECT_GT(session.packedWeightBytes(), 0u);
+    EXPECT_LT(session.packedWeightBytes(),
+              session.denseWeightBytes() / 7);
+}
+
+TEST(InferenceSession, PackedFactoryPluggableWithoutStats)
+{
+    model::ModelConfig cfg = tinyConfig();
+    model::TinyTransformer t(cfg);
+    t.rebuild(packedLinearFactory());
+    std::vector<int> toks = randomTokens(6, cfg.vocab, 5);
+    Matrix logits = t.forwardLogits(toks);
+    EXPECT_EQ(logits.rows(), 6u);
+    EXPECT_EQ(logits.cols(), cfg.vocab);
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x

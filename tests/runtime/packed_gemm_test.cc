@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bit-exact parity of the packed-domain GEMM against the
+ * unpack-then-matmulNt reference, over randomized shapes including
+ * ragged K (not divisible by the group or subgroup size), several
+ * thread counts, and tile-boundary shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/m2xfp.hh"
+#include "gemm/gemm.hh"
+#include "runtime/packed_gemm.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, double tail_dof)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.studentT(tail_dof));
+    return m;
+}
+
+/**
+ * Pack a and w in their paper roles, multiply both ways, and demand
+ * exact float equality on every output element.
+ */
+void
+expectParity(size_t m, size_t n, size_t k, uint64_t seed,
+             ThreadPool *pool = nullptr)
+{
+    Matrix a = randomMatrix(m, k, seed, 4.0);
+    Matrix w = randomMatrix(n, k, seed ^ 0xfeedu, 6.0);
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    PackedM2xfpTensor pa = PackedM2xfpTensor::packActivations(a, aq);
+    PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+
+    Matrix ref = matmulNt(pa.unpackActivations(aq),
+                          pw.unpackWeights(wq));
+    Matrix got = packedMatmulNt(pa, pw, pool);
+    ASSERT_TRUE(got.sameShape(ref))
+        << m << "x" << n << "x" << k;
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(got.flat()[i], ref.flat()[i])
+            << "(" << m << "," << n << "," << k << ") elem " << i;
+}
+
+TEST(PackedGemm, GroupAlignedShapes)
+{
+    expectParity(4, 8, 32, 1);
+    expectParity(16, 16, 64, 2);
+    expectParity(33, 20, 96, 3);
+}
+
+TEST(PackedGemm, RaggedKNotDivisibleBy32)
+{
+    // Tail groups of 8 and 16 elements (subgroup-aligned).
+    expectParity(5, 9, 40, 4);
+    expectParity(12, 17, 48, 5);
+}
+
+TEST(PackedGemm, RaggedKNotDivisibleBy8)
+{
+    // Tail groups that split a subgroup: padding must not leak into
+    // any output.
+    expectParity(5, 9, 35, 6);
+    expectParity(7, 21, 67, 7);
+    expectParity(3, 5, 7, 8); // K smaller than one subgroup-pair
+}
+
+TEST(PackedGemm, TileBoundaryShapes)
+{
+    // Exactly one tile, one-past, and one-short in each dimension.
+    expectParity(16, 16, 32, 9);
+    expectParity(17, 15, 32, 10);
+    expectParity(15, 17, 32, 11);
+    expectParity(1, 1, 32, 12);
+    expectParity(1, 40, 33, 13);
+    expectParity(40, 1, 33, 14);
+}
+
+TEST(PackedGemm, RandomizedShapeSweep)
+{
+    Rng rng(0xabcdef);
+    for (int trial = 0; trial < 12; ++trial) {
+        size_t m = 1 + rng.uniformInt(40);
+        size_t n = 1 + rng.uniformInt(40);
+        size_t k = 1 + rng.uniformInt(150);
+        expectParity(m, n, k, 100 + trial);
+    }
+}
+
+TEST(PackedGemm, ThreadCountsAgree)
+{
+    ThreadPool pool1(1), pool2(2), pool4(4);
+    expectParity(37, 29, 90, 200, &pool1);
+    expectParity(37, 29, 90, 200, &pool2);
+    expectParity(37, 29, 90, 200, &pool4);
+}
+
+TEST(PackedGemm, OutputParameterOverwrites)
+{
+    Matrix a = randomMatrix(4, 32, 300, 4.0);
+    Matrix w = randomMatrix(6, 32, 301, 6.0);
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    PackedM2xfpTensor pa = PackedM2xfpTensor::packActivations(a, aq);
+    PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+    Matrix c(99, 99, 123.0f); // wrong shape, stale contents
+    packedMatmulNt(pa, pw, c);
+    EXPECT_EQ(c.rows(), 4u);
+    EXPECT_EQ(c.cols(), 6u);
+    Matrix ref = matmulNt(pa.unpackActivations(aq),
+                          pw.unpackWeights(wq));
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(c.flat()[i], ref.flat()[i]) << i;
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x

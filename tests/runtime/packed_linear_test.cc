@@ -1,0 +1,96 @@
+/**
+ * @file
+ * PackedLinear must be a bit-exact drop-in for QuantizedLinear with
+ * the paper's M2XFP quantizer pair, while keeping its weight
+ * resident in packed form (~4.5 bits/element).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/m2xfp.hh"
+#include "gemm/gemm.hh"
+#include "runtime/packed_linear.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, double dof)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.studentT(dof));
+    return m;
+}
+
+QuantizedLinear
+referenceLinear(const Matrix &w)
+{
+    return QuantizedLinear(
+        w,
+        std::make_shared<SgEmQuantizer>(makeM2xfpWeightQuantizer()),
+        std::make_shared<ElemEmQuantizer>(
+            makeM2xfpActivationQuantizer()));
+}
+
+TEST(PackedLinear, ForwardBitExactAgainstQuantizedLinear)
+{
+    Matrix w = randomMatrix(48, 96, 1, 6.0);
+    Matrix x = randomMatrix(9, 96, 2, 4.0);
+    PackedLinear packed(w);
+    QuantizedLinear ref = referenceLinear(w);
+    Matrix yp = packed.forward(x);
+    Matrix yr = ref.forward(x);
+    ASSERT_TRUE(yp.sameShape(yr));
+    for (size_t i = 0; i < yr.size(); ++i)
+        ASSERT_EQ(yp.flat()[i], yr.flat()[i]) << i;
+}
+
+TEST(PackedLinear, ForwardBitExactOnRaggedFeatures)
+{
+    // in_features 44: ragged K through the whole layer.
+    Matrix w = randomMatrix(13, 44, 3, 6.0);
+    Matrix x = randomMatrix(5, 44, 4, 4.0);
+    PackedLinear packed(w);
+    QuantizedLinear ref = referenceLinear(w);
+    Matrix yp = packed.forward(x);
+    Matrix yr = ref.forward(x);
+    for (size_t i = 0; i < yr.size(); ++i)
+        ASSERT_EQ(yp.flat()[i], yr.flat()[i]) << i;
+}
+
+TEST(PackedLinear, WeightResidencyIsPacked)
+{
+    Matrix w = randomMatrix(64, 128, 5, 6.0);
+    PackedLinear packed(w);
+    EXPECT_EQ(packed.inFeatures(), 128u);
+    EXPECT_EQ(packed.outFeatures(), 64u);
+    EXPECT_EQ(packed.denseBytes(), 64u * 128 * 4);
+    // 4.5 bits/element = 18 bytes per 32-element group.
+    EXPECT_EQ(packed.residentBytes(), 64u * 4 * 18);
+    EXPECT_DOUBLE_EQ(packed.packedWeight().bitsPerElement(), 4.5);
+    EXPECT_LT(8.0 * static_cast<double>(packed.residentBytes()),
+              0.15 * 8.0 * static_cast<double>(packed.denseBytes()));
+}
+
+TEST(PackedLinear, ExplicitPoolProducesSameResult)
+{
+    Matrix w = randomMatrix(40, 64, 6, 6.0);
+    Matrix x = randomMatrix(21, 64, 7, 4.0);
+    ThreadPool pool(4);
+    PackedLinear with_pool(w, {}, &pool);
+    PackedLinear without_pool(w);
+    Matrix ya = with_pool.forward(x);
+    Matrix yb = without_pool.forward(x);
+    for (size_t i = 0; i < ya.size(); ++i)
+        ASSERT_EQ(ya.flat()[i], yb.flat()[i]) << i;
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x

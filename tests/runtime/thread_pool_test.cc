@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the runtime ThreadPool: full coverage of ranges, chunk
+ * boundaries, nesting, and reuse across jobs. Run under ASan/UBSan
+ * in the CI sanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), 7, [&](size_t b, size_t e) {
+        EXPECT_LE(e - b, 7u);
+        for (size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> hits(64, 0); // not atomic: must be single-threaded
+    pool.parallelFor(0, hits.size(), 8,
+                     [&](size_t b, size_t e) {
+                         for (size_t i = b; i < e; ++i)
+                             ++hits[i];
+                     });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::atomic<int> total{0};
+    pool.parallelFor(10, 13, 100, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, NonZeroBegin)
+{
+    ThreadPool pool(3);
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(100, 200, 9, [&](size_t b, size_t e) {
+        uint64_t s = 0;
+        for (size_t i = b; i < e; ++i)
+            s += i;
+        sum.fetch_add(s);
+    });
+    EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2);
+}
+
+TEST(ThreadPool, ManySequentialJobsReuseWorkers)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> total{0};
+        pool.parallelFor(0, 128, 4, [&](size_t b, size_t e) {
+            total.fetch_add(static_cast<int>(e - b));
+        });
+        ASSERT_EQ(total.load(), 128) << round;
+    }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    pool.parallelFor(0, 8, 1, [&](size_t, size_t) {
+        // Nested call must not deadlock waiting on busy workers.
+        pool.parallelFor(0, 16, 4, [&](size_t b, size_t e) {
+            inner_total.fetch_add(static_cast<int>(e - b));
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, ConcurrentCallersFromDifferentThreads)
+{
+    // Only one caller at a time owns the workers; the others must
+    // fall back to inline execution, never corrupt the job slot or
+    // deadlock. Exercised under ASan/UBSan in CI.
+    ThreadPool pool(4);
+    constexpr int n_callers = 3;
+    constexpr int rounds = 25;
+    std::vector<std::atomic<uint64_t>> sums(n_callers);
+    std::vector<std::thread> callers;
+    for (int c = 0; c < n_callers; ++c) {
+        callers.emplace_back([&, c] {
+            for (int round = 0; round < rounds; ++round) {
+                pool.parallelFor(0, 256, 8,
+                                 [&](size_t b, size_t e) {
+                                     for (size_t i = b; i < e; ++i)
+                                         sums[c].fetch_add(i);
+                                 });
+            }
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    uint64_t expect = 255u * 256u / 2 * rounds;
+    for (int c = 0; c < n_callers; ++c)
+        EXPECT_EQ(sums[c].load(), expect) << c;
+}
+
+TEST(ThreadPool, ExceptionOnInlinePathLeavesPoolUsable)
+{
+    // Inline-path throws (serial pool, or a range that fits one
+    // chunk) must propagate and restore the in-job state so later
+    // jobs still run — including parallel dispatch afterwards.
+    ThreadPool serial(1), pool(4);
+    auto boom = [](size_t, size_t) {
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(serial.parallelFor(0, 8, 2, boom),
+                 std::runtime_error);
+    EXPECT_THROW(pool.parallelFor(0, 2, 8, boom),
+                 std::runtime_error);
+    for (ThreadPool *p : {&serial, &pool}) {
+        std::atomic<int> total{0};
+        p->parallelFor(0, 256, 8, [&](size_t b, size_t e) {
+            total.fetch_add(static_cast<int>(e - b));
+        });
+        EXPECT_EQ(total.load(), 256);
+    }
+}
+
+TEST(ThreadPool, FreeFunctionUsesGlobalPool)
+{
+    std::atomic<int> total{0};
+    parallelFor(0, 33, 5, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(total.load(), 33);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x
