@@ -68,6 +68,32 @@ PackedM2xfpTensor::bitsPerElement() const
 }
 
 PackedM2xfpTensor
+PackedM2xfpTensor::fromRawStreams(size_t rows, size_t cols,
+                                  std::vector<uint8_t> elements,
+                                  std::vector<uint8_t> scales,
+                                  std::vector<uint8_t> meta)
+{
+    PackedM2xfpTensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.groupsPerRow_ = ceilDiv(cols, groupSize);
+    size_t n_groups = rows * t.groupsPerRow_;
+    m2x_assert(elements.size() == n_groups * bytesPerGroupElems,
+               "element stream: %zu bytes, want %zu",
+               elements.size(), n_groups * bytesPerGroupElems);
+    m2x_assert(scales.size() == n_groups,
+               "scale stream: %zu bytes, want %zu", scales.size(),
+               n_groups);
+    m2x_assert(meta.size() == n_groups,
+               "metadata stream: %zu bytes, want %zu", meta.size(),
+               n_groups);
+    t.elements_ = std::move(elements);
+    t.scales_ = std::move(scales);
+    t.meta_ = std::move(meta);
+    return t;
+}
+
+PackedM2xfpTensor
 PackedM2xfpTensor::packActivations(const Matrix &m,
                                    const ElemEmQuantizer &q)
 {

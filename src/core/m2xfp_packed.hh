@@ -42,6 +42,18 @@ class PackedM2xfpTensor
     static PackedM2xfpTensor packWeights(const Matrix &m,
                                          const SgEmQuantizer &q);
 
+    /**
+     * Assemble a tensor directly from the three raw byte streams
+     * (sizes must match the [rows, cols] group layout — asserted).
+     * This bypasses the quantizers entirely: it exists for
+     * deserialization and for tests that need exhaustive control of
+     * the stream bytes (e.g. the SIMD decode sweeps), so the caller
+     * is responsible for the streams holding valid codes.
+     */
+    static PackedM2xfpTensor fromRawStreams(
+        size_t rows, size_t cols, std::vector<uint8_t> elements,
+        std::vector<uint8_t> scales, std::vector<uint8_t> meta);
+
     /** Reconstruct the dequantized matrix (activation layout). */
     Matrix unpackActivations(const ElemEmQuantizer &q) const;
 

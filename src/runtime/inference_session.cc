@@ -48,16 +48,20 @@ class TimedLinear : public LinearOp
 
 model::LinearFactory
 packedLinearFactory(M2xfpConfig cfg, ThreadPool *pool,
-                    std::vector<std::shared_ptr<LayerStats>> *stats)
+                    std::vector<std::shared_ptr<LayerStats>> *stats,
+                    SimdIsa isa)
 {
-    return [cfg, pool, stats](const Matrix &w, const std::string &name,
-                              const Matrix *)
+    return [cfg, pool, stats, isa](const Matrix &w,
+                                   const std::string &name,
+                                   const Matrix *)
                -> std::unique_ptr<LinearOp> {
-        auto packed = std::make_unique<PackedLinear>(w, cfg, pool);
+        auto packed =
+            std::make_unique<PackedLinear>(w, cfg, pool, isa);
         if (!stats)
             return packed;
         auto s = std::make_shared<LayerStats>();
         s->name = name;
+        s->isa = simdIsaName(packed->simdIsa());
         s->inFeatures = packed->inFeatures();
         s->outFeatures = packed->outFeatures();
         s->packedBytes = packed->residentBytes();
@@ -72,10 +76,10 @@ InferenceSession::InferenceSession(const model::ModelConfig &model_cfg,
                                    SessionConfig cfg)
     : ownedPool_(cfg.threads ? std::make_unique<ThreadPool>(cfg.threads)
                              : nullptr),
-      model_(model_cfg)
+      model_(model_cfg), isa_(cfg.isa)
 {
-    model_.rebuild(
-        packedLinearFactory(cfg.format, ownedPool_.get(), &stats_));
+    model_.rebuild(packedLinearFactory(cfg.format, ownedPool_.get(),
+                                       &stats_, isa_));
 }
 
 InferenceSession::~InferenceSession() = default;

@@ -23,6 +23,7 @@
 #include "core/m2xfp.hh"
 #include "model/config.hh"
 #include "model/transformer.hh"
+#include "runtime/simd.hh"
 #include "runtime/thread_pool.hh"
 
 namespace m2x {
@@ -32,6 +33,7 @@ namespace runtime {
 struct LayerStats
 {
     std::string name;
+    std::string isa;        //!< kernel tier the layer executes on
     size_t inFeatures = 0;
     size_t outFeatures = 0;
     size_t packedBytes = 0; //!< resident packed weight bytes
@@ -63,6 +65,8 @@ struct SessionConfig
     unsigned threads = 0;
     /** Format configuration (must keep the paper packed layout). */
     M2xfpConfig format{};
+    /** Kernel tier for every layer; defaults to the dispatch pick. */
+    SimdIsa isa = activeSimdIsa();
 };
 
 /**
@@ -102,6 +106,9 @@ class InferenceSession
     /** Zero all timing counters (keeps the packed weights). */
     void resetStats();
 
+    /** The kernel tier every layer executes on. */
+    SimdIsa simdIsa() const { return isa_; }
+
     const model::TinyTransformer &model() const { return model_; }
     const model::ModelConfig &modelConfig() const
     {
@@ -112,17 +119,20 @@ class InferenceSession
     std::unique_ptr<ThreadPool> ownedPool_; //!< when threads != 0
     model::TinyTransformer model_;
     std::vector<std::shared_ptr<LayerStats>> stats_;
+    SimdIsa isa_;
 };
 
 /**
  * A LinearFactory producing PackedLinear layers, for wiring the
  * packed runtime into zoo-style evaluation code. @p stats, when non
  * null, receives one LayerStats per created layer (timing shims are
- * inserted); @p pool null uses the global pool.
+ * inserted); @p pool null uses the global pool; @p isa pins the
+ * kernel tier (defaults to the process-wide dispatch decision).
  */
 model::LinearFactory packedLinearFactory(
     M2xfpConfig cfg = {}, ThreadPool *pool = nullptr,
-    std::vector<std::shared_ptr<LayerStats>> *stats = nullptr);
+    std::vector<std::shared_ptr<LayerStats>> *stats = nullptr,
+    SimdIsa isa = activeSimdIsa());
 
 } // namespace runtime
 } // namespace m2x

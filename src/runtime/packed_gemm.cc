@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/decode_lut.hh"
+#include "runtime/packed_gemm_kernels.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -14,10 +15,8 @@ namespace runtime {
 namespace {
 
 constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
-
-/** Output tile height (A rows) and width (W rows) per task. */
-constexpr size_t tileM = 16;
-constexpr size_t tileN = 16;
+constexpr size_t tileM = detail::gemmTileM;
+constexpr size_t tileN = detail::gemmTileN;
 
 /**
  * Distinguishes A-tile decode caches across GEMM calls: a
@@ -26,62 +25,68 @@ constexpr size_t tileN = 16;
  */
 std::atomic<uint64_t> call_counter{0};
 
-/**
- * One output tile: rows [i0, i0+mt) x cols [j0, j0+nt), with the
- * decoded A tile already in abuf (mt rows x padded_k floats).
- */
-void
-computeTile(const PackedM2xfpTensor &w, const float *abuf,
-            size_t padded_k, size_t i0, size_t mt, size_t j0,
-            size_t nt, size_t k, Matrix &c)
+} // anonymous namespace
+
+namespace detail {
+
+const GemmKernels &
+gemmKernels(SimdIsa isa)
 {
-    // Independent double accumulators: each c(i,j) still sums its
-    // products in ascending-k order (bit-exact vs matmulNt), but
-    // adjacent outputs interleave, hiding the FP add latency.
-    double acc[tileM][tileN] = {};
-    float wtile[groupSize * tileN]; // transposed: [p][jj]
-    float wrow[groupSize];
-
-    size_t n_groups = padded_k / groupSize;
-    for (size_t g = 0; g < n_groups; ++g) {
-        size_t base = g * groupSize;
-        size_t glen = std::min(groupSize, k - base);
-        for (size_t jj = 0; jj < nt; ++jj) {
-            decodeWeightGroup(w, j0 + jj, g, wrow);
-            for (size_t p = 0; p < glen; ++p)
-                wtile[p * tileN + jj] = wrow[p];
-        }
-        for (size_t p = 0; p < glen; ++p) {
-            const float *wp = wtile + p * tileN;
-            for (size_t ii = 0; ii < mt; ++ii) {
-                double av = abuf[ii * padded_k + base + p];
-                double *arow = acc[ii];
-                for (size_t jj = 0; jj < nt; ++jj)
-                    arow[jj] += av * wp[jj];
-            }
-        }
-    }
-
-    for (size_t ii = 0; ii < mt; ++ii)
-        for (size_t jj = 0; jj < nt; ++jj)
-            c(i0 + ii, j0 + jj) =
-                static_cast<float>(acc[ii][jj]);
+    static const GemmKernels scalar{&decodeActivationRow,
+                                    &computeTileScalar};
+#ifdef M2X_HAVE_AVX2
+    static const GemmKernels avx2{&decodeActivationRowAvx2,
+                                  &computeTileAvx2};
+    if (isa == SimdIsa::Avx2)
+        return avx2;
+#else
+    (void)isa;
+#endif
+    return scalar;
 }
 
-} // anonymous namespace
+size_t
+packedGemmGrain(size_t n_it, size_t n_jt, size_t lanes)
+{
+    size_t n_tiles = n_it * n_jt;
+    if (n_tiles == 0)
+        return 1;
+    // A serial pool runs inline anyway; one maximal chunk skips the
+    // chunking overhead.
+    if (lanes <= 1)
+        return n_tiles;
+    // Whole row stripes when they already balance the lanes: each A
+    // tile is then decoded by exactly one thread.
+    if (n_it >= 2 * lanes)
+        return n_jt;
+    // Otherwise split stripes (duplicated A decode is the price of
+    // parallelism across N): target ~4 chunks per lane, rounding the
+    // grain up so tiny remainders don't explode the chunk count, and
+    // never let a chunk exceed one stripe. With the ceiling, every
+    // grid of at least 2*lanes tiles yields at least 2*lanes chunks
+    // — no shape can serialize onto a few lanes.
+    size_t target = ceilDiv(n_tiles, 4 * lanes);
+    return std::clamp<size_t>(target, 1, n_jt);
+}
+
+} // namespace detail
 
 void
 packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
-               Matrix &c, ThreadPool *pool)
+               Matrix &c, ThreadPool *pool, SimdIsa isa)
 {
     m2x_assert(a.cols() == w.cols(),
                "packedMatmulNt K mismatch: %zu vs %zu", a.cols(),
                w.cols());
+    m2x_assert(simdIsaAvailable(isa),
+               "packedMatmulNt: ISA tier '%s' is not available on "
+               "this machine", simdIsaName(isa));
     size_t m = a.rows(), n = w.rows(), k = a.cols();
     c = Matrix(m, n);
     if (m == 0 || n == 0)
         return;
 
+    const detail::GemmKernels &kern = detail::gemmKernels(isa);
     size_t padded_k = a.groupsPerRow() * groupSize;
     size_t n_it = ceilDiv(m, tileM);
     size_t n_jt = ceilDiv(n, tileN);
@@ -90,17 +95,9 @@ packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
 
     // Tiles are enumerated j-fastest so consecutive chunks reuse the
     // same decoded A tile (cached per thread, keyed by call + tile).
-    // With enough row stripes to balance, hand out whole stripes so
-    // each A tile is decoded by exactly one thread; only when stripes
-    // are scarce split them (accepting duplicated A decode as the
-    // price of parallelism across N).
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
     size_t n_tiles = n_it * n_jt;
-    size_t lanes = tp.size();
-    size_t grain =
-        n_it >= 2 * lanes
-            ? n_jt
-            : std::clamp<size_t>(n_tiles / (4 * lanes), 1, n_jt);
+    size_t grain = detail::packedGemmGrain(n_it, n_jt, tp.size());
     tp.parallelFor(
         0, n_tiles, grain,
         [&](size_t t0, size_t t1) {
@@ -115,27 +112,41 @@ packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
                 if (cached_call != call_id || cached_it != it) {
                     abuf.resize(tileM * padded_k);
                     for (size_t ii = 0; ii < mt; ++ii)
-                        decodeActivationRow(a, i0 + ii,
-                                            abuf.data() +
-                                                ii * padded_k);
+                        kern.decodeActivationRow(a, i0 + ii,
+                                                 abuf.data() +
+                                                     ii * padded_k);
                     cached_call = call_id;
                     cached_it = it;
                 }
                 size_t j0 = jt * tileN;
                 size_t nt = std::min(tileN, n - j0);
-                computeTile(w, abuf.data(), padded_k, i0, mt, j0,
-                            nt, k, c);
+                kern.computeTile(w, abuf.data(), padded_k, i0, mt,
+                                 j0, nt, k, c);
             }
         });
+}
+
+void
+packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
+               Matrix &c, ThreadPool *pool)
+{
+    packedMatmulNt(a, w, c, pool, activeSimdIsa());
+}
+
+Matrix
+packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
+               ThreadPool *pool, SimdIsa isa)
+{
+    Matrix c;
+    packedMatmulNt(a, w, c, pool, isa);
+    return c;
 }
 
 Matrix
 packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
                ThreadPool *pool)
 {
-    Matrix c;
-    packedMatmulNt(a, w, c, pool);
-    return c;
+    return packedMatmulNt(a, w, pool, activeSimdIsa());
 }
 
 } // namespace runtime

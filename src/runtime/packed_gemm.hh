@@ -5,19 +5,23 @@
  * packedMatmulNt computes C[M,N] = A * W^T where A is an
  * activation-role (Elem-EM) packed tensor [M,K] and W a weight-role
  * (Sg-EM) packed tensor [N,K] — the same contract as
- * matmulNt(unpackActivations, unpackWeights), and bit-exact against
- * it: every output element accumulates its K products in double
- * precision in ascending-k order, exactly like the reference kernel,
- * so tiling and threading cannot change a single ULP.
+ * matmulNt(unpackActivations, unpackWeights). On the scalar ISA tier
+ * it is bit-exact against that reference: every output element
+ * accumulates its K products in double precision in ascending-k
+ * order, so tiling and threading cannot change a single ULP. Vector
+ * tiers (runtime-dispatched, see runtime/simd.hh) decode the exact
+ * same values but reassociate the accumulation across SIMD lanes;
+ * they are verified against the scalar oracle to tight tolerance.
  *
- * What *is* different is the execution: operands stay packed in
- * memory (4.5 bits/element) and are dequantized tile-by-tile with
- * the decode LUTs, fused into the K-loop — no full dequantized
- * matrix is ever materialized. Output tiles are independent, so the
- * M×N tile grid is distributed over a ThreadPool, and each tile
- * keeps an MT×NT block of independent accumulators, which breaks
- * the serial dependence chain that limits the reference kernel to
- * one (latency-bound) fused multiply-add at a time.
+ * What *is* different from the reference is the execution: operands
+ * stay packed in memory (4.5 bits/element) and are dequantized
+ * tile-by-tile with the decode LUTs, fused into the K-loop — no full
+ * dequantized matrix is ever materialized. Output tiles are
+ * independent, so the M×N tile grid is distributed over a
+ * ThreadPool, and each tile keeps an MT×NT block of independent
+ * accumulators, which breaks the serial dependence chain that limits
+ * the reference kernel to one (latency-bound) fused multiply-add at
+ * a time.
  */
 
 #ifndef M2X_RUNTIME_PACKED_GEMM_HH__
@@ -25,13 +29,15 @@
 
 #include "core/m2xfp_packed.hh"
 #include "quant/matrix.hh"
+#include "runtime/simd.hh"
 #include "runtime/thread_pool.hh"
 
 namespace m2x {
 namespace runtime {
 
 /**
- * C[M,N] = A[M,K] * W^T, consuming the packed byte streams directly.
+ * C[M,N] = A[M,K] * W^T, consuming the packed byte streams directly,
+ * on the process's active ISA tier (activeSimdIsa()).
  *
  * @param a activation-role packed tensor (Elem-EM metadata)
  * @param w weight-role packed tensor (Sg-EM metadata), [N,K] row
@@ -48,6 +54,20 @@ void packedMatmulNt(const PackedM2xfpTensor &a,
 Matrix packedMatmulNt(const PackedM2xfpTensor &a,
                       const PackedM2xfpTensor &w,
                       ThreadPool *pool = nullptr);
+
+/** @{
+ * Same, but on an explicitly requested ISA tier (which must be
+ * available — asserted). SimdIsa::Scalar is the bit-exact oracle;
+ * tests and the per-ISA bench comparison use these to pin a tier
+ * regardless of M2X_SIMD.
+ */
+void packedMatmulNt(const PackedM2xfpTensor &a,
+                    const PackedM2xfpTensor &w, Matrix &c,
+                    ThreadPool *pool, SimdIsa isa);
+Matrix packedMatmulNt(const PackedM2xfpTensor &a,
+                      const PackedM2xfpTensor &w, ThreadPool *pool,
+                      SimdIsa isa);
+/** @} */
 
 } // namespace runtime
 } // namespace m2x

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * AVX2+FMA tier of the packed GEMM: vectorized LUT decode of the
+ * M2XFP byte streams and an FMA microkernel over double accumulator
+ * vectors.
+ *
+ * Decode: both nibbles of each packed element byte are split with
+ * byte ops, widened to 32-bit lanes, and the 16-entry FP4 E2M1 table
+ * collapses to an 8-entry magnitude permute (vpermps) plus a sign
+ * XOR — exactly the scalar tables' values, so the decoded floats are
+ * bit-identical to runtime/decode_lut (asserted by
+ * tests/runtime/simd_test.cc over all 256 byte values per stream).
+ * The Elem-EM top-1 fix-up touches one element per subgroup and
+ * stays scalar.
+ *
+ * Accumulate: decoded W rows and the A row are widened once to
+ * doubles (amortized over the tile), then the K loop runs 4 weight
+ * rows x 2 k-vectors = 8 independent 4-wide double FMA chains — deep
+ * enough to cover the FMA latency at two issues per cycle. Lane sums
+ * are reduced horizontally at the end, so the summation order
+ * differs from the scalar oracle; parity is tolerance-checked, never
+ * assumed bit-exact.
+ *
+ * This translation unit is compiled with -mavx2 -mfma and must only
+ * be entered through the runtime dispatch (simdIsaAvailable guards).
+ */
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "runtime/decode_lut.hh"
+#include "runtime/packed_gemm_kernels.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+namespace {
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+constexpr unsigned subgroupSize = PackedM2xfpTensor::subgroupSize;
+constexpr unsigned bytesPerGroup =
+    PackedM2xfpTensor::bytesPerGroupElems;
+constexpr unsigned nSubgroups = groupSize / subgroupSize;
+
+/** Scalar tables plus their vector-register forms. */
+struct Avx2Tables
+{
+    const DecodeTables *lut;
+    __m256 fp4Mag; //!< fp4Value[0..7]: the positive half
+};
+
+const Avx2Tables &
+tables()
+{
+    static const Avx2Tables t = [] {
+        const DecodeTables &lut = DecodeTables::get();
+        // The vector decode reconstructs negative codes as
+        // sign-bit XOR on the positive entry; that is only
+        // bit-identical to the scalar table if the table itself is
+        // sign-symmetric (it is, for FP4 E2M1 — including -0.0).
+        for (unsigned i = 0; i < 8; ++i)
+            m2x_assert(std::bit_cast<uint32_t>(lut.fp4Value[8 + i]) ==
+                       (std::bit_cast<uint32_t>(lut.fp4Value[i]) ^
+                        0x80000000u),
+                       "FP4 value table is not sign-symmetric");
+        return Avx2Tables{&lut, _mm256_loadu_ps(lut.fp4Value)};
+    }();
+    return t;
+}
+
+/** FP4 decode of 8 codes (32-bit lanes): magnitude permute + sign. */
+inline __m256
+decodeFp4x8(__m256i codes, __m256 mag_table)
+{
+    __m256i mag = _mm256_and_si256(codes, _mm256_set1_epi32(7));
+    __m256i sign = _mm256_slli_epi32(
+        _mm256_and_si256(codes, _mm256_set1_epi32(8)), 28);
+    __m256 val = _mm256_permutevar8x32_ps(mag_table, mag);
+    return _mm256_xor_ps(val, _mm256_castsi256_ps(sign));
+}
+
+/**
+ * Split one group's 16 packed bytes into 32 interleaved 4-bit codes
+ * (element order: byte i's low nibble is element 2i), returned as
+ * four 8-code chunks — one per subgroup.
+ */
+inline void
+splitNibbles(const uint8_t *bytes, __m128i chunk[4])
+{
+    __m128i raw = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(bytes));
+    __m128i mask = _mm_set1_epi8(0x0f);
+    __m128i lo = _mm_and_si128(raw, mask);
+    __m128i hi = _mm_and_si128(_mm_srli_epi16(raw, 4), mask);
+    __m128i il0 = _mm_unpacklo_epi8(lo, hi); // codes 0..15
+    __m128i il1 = _mm_unpackhi_epi8(lo, hi); // codes 16..31
+    chunk[0] = il0;
+    chunk[1] = _mm_srli_si128(il0, 8);
+    chunk[2] = il1;
+    chunk[3] = _mm_srli_si128(il1, 8);
+}
+
+/** Horizontal sum of a 4-double vector. */
+inline double
+hsum(__m256d v)
+{
+    __m128d s = _mm_add_pd(_mm256_castpd256_pd128(v),
+                           _mm256_extractf128_pd(v, 1));
+    s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+    return _mm_cvtsd_f64(s);
+}
+
+/** Widen @p n floats (multiple of 4) to doubles. */
+inline void
+widenToDouble(const float *src, double *dst, size_t n)
+{
+    for (size_t p = 0; p < n; p += 4)
+        _mm256_storeu_pd(dst + p,
+                         _mm256_cvtps_pd(_mm_loadu_ps(src + p)));
+}
+
+} // anonymous namespace
+
+void
+decodeWeightGroupAvx2(const PackedM2xfpTensor &t, size_t row,
+                      size_t group, float *out)
+{
+    const Avx2Tables &tab = tables();
+    float sval = tab.lut->e8m0Value[t.scaleCode(row, group)];
+    uint8_t meta = t.groupMetaByte(row, group);
+
+    __m128i chunk[4];
+    splitNibbles(t.groupElementBytes(row, group), chunk);
+    // One subgroup = one 8-lane vector; same two multiplies in the
+    // same order as the scalar decode (value * (sval * mult)).
+    for (unsigned s = 0; s < nSubgroups; ++s) {
+        float mult = tab.lut->sgEmMult[(meta >> (2 * s)) & 0x3u];
+        __m256 scale = _mm256_set1_ps(sval * mult);
+        __m256 val = decodeFp4x8(_mm256_cvtepu8_epi32(chunk[s]),
+                                 tab.fp4Mag);
+        _mm256_storeu_ps(out + subgroupSize * s,
+                         _mm256_mul_ps(val, scale));
+    }
+}
+
+void
+decodeActivationGroupAvx2(const PackedM2xfpTensor &t, size_t row,
+                          size_t group, float *out)
+{
+    const Avx2Tables &tab = tables();
+    const uint8_t *bytes = t.groupElementBytes(row, group);
+    float sval = tab.lut->e8m0Value[t.scaleCode(row, group)];
+    uint8_t meta = t.groupMetaByte(row, group);
+
+    __m128i chunk[4];
+    splitNibbles(bytes, chunk);
+    __m256 scale = _mm256_set1_ps(sval);
+    alignas(16) uint8_t codes[groupSize];
+    for (unsigned s = 0; s < nSubgroups; ++s) {
+        _mm_storel_epi64(
+            reinterpret_cast<__m128i *>(codes + subgroupSize * s),
+            chunk[s]);
+        __m256 val = decodeFp4x8(_mm256_cvtepu8_epi32(chunk[s]),
+                                 tab.fp4Mag);
+        _mm256_storeu_ps(out + subgroupSize * s,
+                         _mm256_mul_ps(val, scale));
+    }
+
+    // Elem-EM top-1 fix-up: one element per subgroup, recomputed
+    // from the FP4 codes exactly like the scalar decode (strict
+    // compare, ties to the lowest index).
+    for (unsigned s = 0; s < nSubgroups; ++s) {
+        const uint8_t *sc = codes + s * subgroupSize;
+        unsigned best = 0;
+        uint32_t best_mag = sc[0] & 0x7u;
+        for (unsigned i = 1; i < subgroupSize; ++i) {
+            uint32_t m = sc[i] & 0x7u;
+            if (m > best_mag) {
+                best_mag = m;
+                best = i;
+            }
+        }
+        uint8_t mcode = (meta >> (2 * s)) & 0x3u;
+        out[s * subgroupSize + best] =
+            tab.lut->elemEmValue[sc[best]][mcode] * sval;
+    }
+}
+
+void
+decodeActivationRowAvx2(const PackedM2xfpTensor &t, size_t row,
+                        float *out)
+{
+    for (size_t g = 0; g < t.groupsPerRow(); ++g)
+        decodeActivationGroupAvx2(t, row, g, out + g * groupSize);
+}
+
+void
+computeTileAvx2(const PackedM2xfpTensor &w, const float *abuf,
+                size_t padded_k, size_t i0, size_t mt, size_t j0,
+                size_t nt, size_t k, Matrix &c)
+{
+    // Decoded W rows and the current A row, widened to doubles once
+    // per tile/row. Rows [nt, nt4) and depths [k, padded_k) are
+    // zeroed, so the FMA loop needs no tail handling and tail-group
+    // padding decode can never leak into an output.
+    size_t nt4 = (nt + 3) & ~size_t{3};
+    thread_local std::vector<double> wd_store;
+    thread_local std::vector<double> ad_store;
+    wd_store.resize(gemmTileN * padded_k);
+    ad_store.resize(padded_k);
+    double *wd = wd_store.data();
+    double *ad = ad_store.data();
+
+    alignas(32) float wrow[groupSize];
+    size_t n_groups = padded_k / groupSize;
+    for (size_t jj = 0; jj < nt; ++jj) {
+        double *wr = wd + jj * padded_k;
+        for (size_t g = 0; g < n_groups; ++g) {
+            decodeWeightGroupAvx2(w, j0 + jj, g, wrow);
+            widenToDouble(wrow, wr + g * groupSize, groupSize);
+        }
+        for (size_t p = k; p < padded_k; ++p)
+            wr[p] = 0.0;
+    }
+    for (size_t jj = nt; jj < nt4; ++jj)
+        std::fill_n(wd + jj * padded_k, padded_k, 0.0);
+
+    for (size_t ii = 0; ii < mt; ++ii) {
+        widenToDouble(abuf + ii * padded_k, ad, padded_k);
+        for (size_t p = k; p < padded_k; ++p)
+            ad[p] = 0.0;
+        for (size_t j4 = 0; j4 < nt4; j4 += 4) {
+            const double *w0 = wd + (j4 + 0) * padded_k;
+            const double *w1 = wd + (j4 + 1) * padded_k;
+            const double *w2 = wd + (j4 + 2) * padded_k;
+            const double *w3 = wd + (j4 + 3) * padded_k;
+            __m256d a00 = _mm256_setzero_pd();
+            __m256d a01 = _mm256_setzero_pd();
+            __m256d a02 = _mm256_setzero_pd();
+            __m256d a03 = _mm256_setzero_pd();
+            __m256d a10 = _mm256_setzero_pd();
+            __m256d a11 = _mm256_setzero_pd();
+            __m256d a12 = _mm256_setzero_pd();
+            __m256d a13 = _mm256_setzero_pd();
+            // padded_k is a multiple of the group size (32), so the
+            // 8-deep step never needs a remainder loop.
+            for (size_t p = 0; p < padded_k; p += 8) {
+                __m256d v0 = _mm256_loadu_pd(ad + p);
+                __m256d v1 = _mm256_loadu_pd(ad + p + 4);
+                a00 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(w0 + p),
+                                      a00);
+                a10 = _mm256_fmadd_pd(v1,
+                                      _mm256_loadu_pd(w0 + p + 4),
+                                      a10);
+                a01 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(w1 + p),
+                                      a01);
+                a11 = _mm256_fmadd_pd(v1,
+                                      _mm256_loadu_pd(w1 + p + 4),
+                                      a11);
+                a02 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(w2 + p),
+                                      a02);
+                a12 = _mm256_fmadd_pd(v1,
+                                      _mm256_loadu_pd(w2 + p + 4),
+                                      a12);
+                a03 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(w3 + p),
+                                      a03);
+                a13 = _mm256_fmadd_pd(v1,
+                                      _mm256_loadu_pd(w3 + p + 4),
+                                      a13);
+            }
+            double sums[4] = {hsum(_mm256_add_pd(a00, a10)),
+                              hsum(_mm256_add_pd(a01, a11)),
+                              hsum(_mm256_add_pd(a02, a12)),
+                              hsum(_mm256_add_pd(a03, a13))};
+            size_t jlim = std::min(nt - j4, size_t{4});
+            for (size_t r = 0; r < jlim; ++r)
+                c(i0 + ii, j0 + j4 + r) =
+                    static_cast<float>(sums[r]);
+        }
+    }
+}
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x

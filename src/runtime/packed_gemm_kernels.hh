@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Internal per-ISA kernel table for the packed GEMM.
+ *
+ * packedMatmulNt owns the tile grid, the thread distribution and the
+ * per-thread A-tile cache; everything below the tile boundary — the
+ * LUT decode into abuf/wtile buffers and the K-loop accumulation —
+ * is an ISA-specific kernel selected through gemmKernels(). The
+ * scalar tier accumulates each output in ascending-k order and is
+ * bit-exact against matmulNt(unpack, unpack); vector tiers may
+ * reassociate the sum (verified to tight tolerance by
+ * tests/runtime/simd_test.cc). Both tiers decode identical values:
+ * the vector LUT decode is bit-identical to runtime/decode_lut.
+ *
+ * Not installed API — tests include it for direct kernel access.
+ */
+
+#ifndef M2X_RUNTIME_PACKED_GEMM_KERNELS_HH__
+#define M2X_RUNTIME_PACKED_GEMM_KERNELS_HH__
+
+#include <cstddef>
+
+#include "core/m2xfp_packed.hh"
+#include "quant/matrix.hh"
+#include "runtime/simd.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+/** Output tile height (A rows) and width (W rows) per task. */
+constexpr size_t gemmTileM = 16;
+constexpr size_t gemmTileN = 16;
+
+/**
+ * Compute one output tile: rows [i0, i0+mt) x cols [j0, j0+nt) of c,
+ * with the decoded A tile already in abuf (mt rows of padded_k
+ * floats, tail-group padding included). k is the true (unpadded)
+ * depth.
+ */
+using TileKernelFn = void (*)(const PackedM2xfpTensor &w,
+                              const float *abuf, size_t padded_k,
+                              size_t i0, size_t mt, size_t j0,
+                              size_t nt, size_t k, Matrix &c);
+
+/** Decode one activation row into a group-padded float buffer. */
+using DecodeRowFn = void (*)(const PackedM2xfpTensor &t, size_t row,
+                             float *out);
+
+/** The per-ISA kernel set used by packedMatmulNt. */
+struct GemmKernels
+{
+    DecodeRowFn decodeActivationRow;
+    TileKernelFn computeTile;
+};
+
+/**
+ * Kernel table for @p isa. Asking for a tier that is not compiled in
+ * returns the scalar table (callers guard with simdIsaAvailable).
+ */
+const GemmKernels &gemmKernels(SimdIsa isa);
+
+/**
+ * parallelFor grain (tiles per chunk) for an n_it x n_jt tile grid
+ * distributed over @p lanes. Invariants (asserted by the tests):
+ *  - 1 <= grain <= max(n_tiles, 1);
+ *  - for lanes >= 2, the chunk count ceil(n_tiles/grain) is at least
+ *    min(n_tiles, 2*lanes) — no shape serializes onto one lane while
+ *    tiles remain to hand out;
+ *  - when row stripes alone balance the lanes (n_it >= 2*lanes) the
+ *    grain is a whole stripe, so each A tile is decoded exactly once.
+ */
+size_t packedGemmGrain(size_t n_it, size_t n_jt, size_t lanes);
+
+/** Scalar tier: ascending-k double accumulation, the bit-exact oracle. */
+void computeTileScalar(const PackedM2xfpTensor &w, const float *abuf,
+                       size_t padded_k, size_t i0, size_t mt,
+                       size_t j0, size_t nt, size_t k, Matrix &c);
+
+#ifdef M2X_HAVE_AVX2
+/** AVX2+FMA tier: vector LUT decode, 4-wide double accumulators. */
+void computeTileAvx2(const PackedM2xfpTensor &w, const float *abuf,
+                     size_t padded_k, size_t i0, size_t mt, size_t j0,
+                     size_t nt, size_t k, Matrix &c);
+
+void decodeActivationRowAvx2(const PackedM2xfpTensor &t, size_t row,
+                             float *out);
+
+/** @{
+ * Vector group decodes, bit-identical to runtime/decode_lut —
+ * exposed for the vector-vs-scalar exactness tests.
+ */
+void decodeActivationGroupAvx2(const PackedM2xfpTensor &t, size_t row,
+                               size_t group, float *out);
+void decodeWeightGroupAvx2(const PackedM2xfpTensor &t, size_t row,
+                           size_t group, float *out);
+/** @} */
+#endif // M2X_HAVE_AVX2
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_PACKED_GEMM_KERNELS_HH__

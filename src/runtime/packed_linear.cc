@@ -6,15 +6,18 @@ namespace m2x {
 namespace runtime {
 
 PackedLinear::PackedLinear(const Matrix &weight, M2xfpConfig cfg,
-                           ThreadPool *pool)
+                           ThreadPool *pool, SimdIsa isa)
     : actQ_(cfg.activationConfig()), weightQ_(cfg.weightConfig()),
       inFeatures_(weight.cols()), outFeatures_(weight.rows()),
-      pool_(pool)
+      pool_(pool), isa_(isa)
 {
     m2x_assert(cfg.groupSize == PackedM2xfpTensor::groupSize &&
                cfg.subgroupSize == PackedM2xfpTensor::subgroupSize,
                "PackedLinear requires the paper layout (g32/sg8), "
                "got g%u/sg%u", cfg.groupSize, cfg.subgroupSize);
+    m2x_assert(simdIsaAvailable(isa),
+               "PackedLinear: ISA tier '%s' is not available on "
+               "this machine", simdIsaName(isa));
     weight_ = PackedM2xfpTensor::packWeights(weight, weightQ_);
 }
 
@@ -26,7 +29,7 @@ PackedLinear::forward(const Matrix &x) const
                inFeatures_);
     PackedM2xfpTensor xa =
         PackedM2xfpTensor::packActivations(x, actQ_);
-    return packedMatmulNt(xa, weight_, pool_);
+    return packedMatmulNt(xa, weight_, pool_, isa_);
 }
 
 } // namespace runtime

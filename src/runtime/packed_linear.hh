@@ -6,12 +6,14 @@
  *
  * Numerically it is a drop-in for QuantizedLinear configured with
  * the paper's M2XFP pair (Sg-EM-2bit weights, Elem-EM-top1
- * activations): forward() produces bit-identical outputs, because
- * packing + packed GEMM reconstructs exactly the values the
- * functional codecs produce (tests/runtime/packed_linear_test.cc
- * asserts this). What changes is the cost model: ~7.1x less resident
- * weight memory, and a blocked multi-threaded kernel instead of the
- * naive reference loop.
+ * activations): on the scalar ISA tier forward() produces
+ * bit-identical outputs, because packing + packed GEMM reconstructs
+ * exactly the values the functional codecs produce
+ * (tests/runtime/packed_linear_test.cc asserts this); vector tiers
+ * decode the same values but reassociate the accumulation and are
+ * held to the SIMD tolerance contract. What changes is the cost
+ * model: ~7.1x less resident weight memory, and a blocked
+ * multi-threaded SIMD kernel instead of the naive reference loop.
  */
 
 #ifndef M2X_RUNTIME_PACKED_LINEAR_HH__
@@ -37,9 +39,12 @@ class PackedLinear : public LinearOp
      *        metadata, top-1) — the packed codec supports nothing
      *        else
      * @param pool thread pool for forward(); null = global pool
+     * @param isa  kernel tier for forward(); defaults to the
+     *        process-wide dispatch decision (must be available)
      */
     explicit PackedLinear(const Matrix &weight, M2xfpConfig cfg = {},
-                          ThreadPool *pool = nullptr);
+                          ThreadPool *pool = nullptr,
+                          SimdIsa isa = activeSimdIsa());
 
     /** Pack x as activations (online) and multiply in packed form. */
     Matrix forward(const Matrix &x) const override;
@@ -66,6 +71,9 @@ class PackedLinear : public LinearOp
     }
     const SgEmQuantizer &weightQuantizer() const { return weightQ_; }
 
+    /** The kernel tier forward() executes on. */
+    SimdIsa simdIsa() const { return isa_; }
+
   private:
     ElemEmQuantizer actQ_;
     SgEmQuantizer weightQ_;
@@ -73,6 +81,7 @@ class PackedLinear : public LinearOp
     size_t inFeatures_;
     size_t outFeatures_;
     ThreadPool *pool_;
+    SimdIsa isa_;
 };
 
 } // namespace runtime

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/logging.hh"
@@ -30,14 +31,22 @@ struct InJobScope
 unsigned
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("M2X_THREADS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(std::min(v, 1024l));
-        m2x_warn("ignoring bad M2X_THREADS value '%s'", env);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? hw : 1;
+    unsigned fallback = hw >= 1 ? hw : 1;
+    const char *env = std::getenv("M2X_THREADS");
+    if (!env)
+        return fallback;
+    // Full-string validation: trailing garbage ("8x") and
+    // out-of-range values (ERANGE) must not be silently accepted.
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v < 1) {
+        m2x_warn("ignoring bad M2X_THREADS value '%s' (want an "
+                 "integer >= 1); using %u threads", env, fallback);
+        return fallback;
+    }
+    return static_cast<unsigned>(std::min(v, 1024l));
 }
 
 ThreadPool &
@@ -75,7 +84,20 @@ ThreadPool::runChunks(Job &job)
         if (begin >= job.end)
             return;
         size_t end = std::min(begin + job.grain, job.end);
-        (*job.body)(begin, end);
+        try {
+            (*job.body)(begin, end);
+        } catch (...) {
+            // First thrower wins the error slot (the write is safe:
+            // only the CAS winner touches it, and the caller reads
+            // it only after the drain's mutex synchronization).
+            // Parking the cursor at the end makes every lane stop
+            // handing out chunks, so the drain finishes promptly.
+            bool expected = false;
+            if (job.failed.compare_exchange_strong(expected, true))
+                job.error = std::current_exception();
+            job.next.store(job.end, std::memory_order_relaxed);
+            return;
+        }
     }
 }
 
@@ -141,23 +163,24 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     }
     wake_.notify_all();
 
-    // The job lives on this stack frame: even if the body throws on
-    // this lane, every worker must finish touching it before the
-    // frame unwinds.
-    auto drain = [&] {
+    // The job lives on this stack frame, so every worker must finish
+    // touching it before the frame unwinds — runChunks never lets an
+    // exception escape (failures are captured in the job), hence the
+    // drain below always runs.
+    {
+        InJobScope scope;
+        runChunks(job);
+    }
+    {
         std::unique_lock<std::mutex> lock(mutex_);
         done_.wait(lock, [&] { return pending_ == 0; });
         job_ = nullptr;
-    };
-    try {
-        InJobScope scope;
-        runChunks(job);
-    } catch (...) {
-        job.next.store(end, std::memory_order_relaxed);
-        drain();
-        throw;
     }
-    drain();
+    // Exception-safe drain contract: a body throw on *any* lane —
+    // worker or caller — surfaces here, on the calling thread, after
+    // the workers have let go of the job.
+    if (job.failed.load(std::memory_order_relaxed))
+        std::rethrow_exception(job.error);
 }
 
 void

@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -61,10 +62,13 @@ class ThreadPool
      * indices: body(chunk_begin, chunk_end). Returns when every index
      * has been processed. The caller's thread participates.
      *
-     * An exception thrown by @p body on the calling lane propagates
-     * out of parallelFor (after the workers have drained the job); a
-     * throw on a worker lane terminates the process, so bodies that
-     * can fail on shared state should be effectively noexcept.
+     * Exception-safe drain: if @p body throws on any lane — worker
+     * or caller — the first exception is captured, the remaining
+     * chunks are abandoned, every lane finishes with the job, and
+     * the exception is rethrown on the calling thread. Chunks that
+     * were already running on other lanes when the throw happened
+     * still complete, so side effects of non-throwing chunks are
+     * not rolled back.
      */
     void parallelFor(size_t begin, size_t end, size_t grain,
                      const std::function<void(size_t, size_t)> &body);
@@ -72,7 +76,11 @@ class ThreadPool
     /**
      * Lanes to use when none are requested: the M2X_THREADS
      * environment variable if set, else std::thread's hardware
-     * concurrency (at least 1).
+     * concurrency (at least 1). M2X_THREADS must be a full integer
+     * in [1, LONG_MAX] (values above 1024 are clamped to 1024);
+     * malformed values — trailing garbage like "8x", empty, zero,
+     * negative, or out-of-range — warn and fall back to hardware
+     * concurrency.
      */
     static unsigned defaultThreads();
 
@@ -86,6 +94,9 @@ class ThreadPool
         std::atomic<size_t> next{0};
         size_t end = 0;
         size_t grain = 1;
+        /** First body exception; owned by the failed CAS winner. */
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
     };
 
     void workerLoop();

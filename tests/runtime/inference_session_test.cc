@@ -1,8 +1,9 @@
 /**
  * @file
  * InferenceSession: batched packed-domain forward passes must agree
- * bit-exactly with the functional quantized transformer, and the
- * per-layer accounting must add up.
+ * with the functional quantized transformer (bit-exactly on the
+ * scalar kernel tier, within tolerance on vector tiers), and the
+ * per-layer accounting — including the reported ISA — must add up.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 
 #include "core/m2xfp.hh"
 #include "runtime/inference_session.hh"
+#include "runtime_test_util.hh"
 #include "util/rng.hh"
 
 namespace m2x {
@@ -44,7 +46,6 @@ randomTokens(size_t n, unsigned vocab, uint64_t seed)
 TEST(InferenceSession, MatchesFunctionalQuantizedTransformer)
 {
     model::ModelConfig cfg = tinyConfig();
-    InferenceSession session(cfg);
 
     model::TinyTransformer ref(cfg);
     ref.rebuild(model::quantizedLinearFactory(
@@ -58,11 +59,20 @@ TEST(InferenceSession, MatchesFunctionalQuantizedTransformer)
         }));
 
     std::vector<int> toks = randomTokens(12, cfg.vocab, 1);
-    Matrix got = session.forward(toks);
     Matrix want = ref.forwardLogits(toks);
-    ASSERT_TRUE(got.sameShape(want));
-    for (size_t i = 0; i < want.size(); ++i)
-        ASSERT_EQ(got.flat()[i], want.flat()[i]) << i;
+    for (SimdIsa isa : supportedSimdIsas()) {
+        SCOPED_TRACE(std::string("isa=") + simdIsaName(isa));
+        InferenceSession session(cfg, {.isa = isa});
+        EXPECT_EQ(session.simdIsa(), isa);
+        // Model-level tolerance: tiny linear-output differences pass
+        // through layernorm/softmax, so the vector-tier bound is a
+        // little looser than the raw GEMM contract.
+        Matrix got = session.forward(toks);
+        if (isa == SimdIsa::Scalar)
+            test::expectMatricesBitExact(got, want);
+        else
+            test::expectMatricesClose(got, want, 1e-5);
+    }
 }
 
 TEST(InferenceSession, BatchedForwardAndTimings)
@@ -91,6 +101,9 @@ TEST(InferenceSession, BatchedForwardAndTimings)
         EXPECT_EQ(st->rows.load(), total_rows) << st->name;
         EXPECT_GT(st->packedBytes, 0u) << st->name;
         EXPECT_LT(st->packedBytes, st->denseBytes) << st->name;
+        // Every layer reports the tier it actually executes on.
+        EXPECT_EQ(st->isa, simdIsaName(session.simdIsa()))
+            << st->name;
     }
     EXPECT_GT(session.linearSeconds(), 0.0);
 

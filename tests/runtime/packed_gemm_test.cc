@@ -1,9 +1,12 @@
 /**
  * @file
- * Bit-exact parity of the packed-domain GEMM against the
- * unpack-then-matmulNt reference, over randomized shapes including
- * ragged K (not divisible by the group or subgroup size), several
- * thread counts, and tile-boundary shapes.
+ * Parity of the packed-domain GEMM against the unpack-then-matmulNt
+ * reference over randomized shapes including ragged K (not divisible
+ * by the group or subgroup size), several thread counts, tile
+ * boundary and degenerate shapes — on every available ISA tier: the
+ * scalar tier must be bit-exact, vector tiers within the SIMD
+ * tolerance contract. Also property-tests the tile-grid grain
+ * heuristic.
  */
 
 #include <gtest/gtest.h>
@@ -11,25 +14,23 @@
 #include "core/m2xfp.hh"
 #include "gemm/gemm.hh"
 #include "runtime/packed_gemm.hh"
+#include "runtime/packed_gemm_kernels.hh"
+#include "runtime_test_util.hh"
+#include "util/bits.hh"
 #include "util/rng.hh"
 
 namespace m2x {
 namespace runtime {
 namespace {
 
-Matrix
-randomMatrix(size_t r, size_t c, uint64_t seed, double tail_dof)
-{
-    Matrix m(r, c);
-    Rng rng(seed);
-    for (auto &v : m.flat())
-        v = static_cast<float>(rng.studentT(tail_dof));
-    return m;
-}
+using test::expectMatricesBitExact;
+using test::expectMatricesMatch;
+using test::randomMatrix;
 
 /**
- * Pack a and w in their paper roles, multiply both ways, and demand
- * exact float equality on every output element.
+ * Pack a and w in their paper roles, multiply both ways on every
+ * available ISA tier, and hold each tier to its contract (scalar:
+ * exact float equality on every output element).
  */
 void
 expectParity(size_t m, size_t n, size_t k, uint64_t seed,
@@ -44,12 +45,15 @@ expectParity(size_t m, size_t n, size_t k, uint64_t seed,
 
     Matrix ref = matmulNt(pa.unpackActivations(aq),
                           pw.unpackWeights(wq));
-    Matrix got = packedMatmulNt(pa, pw, pool);
-    ASSERT_TRUE(got.sameShape(ref))
-        << m << "x" << n << "x" << k;
-    for (size_t i = 0; i < ref.size(); ++i)
-        ASSERT_EQ(got.flat()[i], ref.flat()[i])
-            << "(" << m << "," << n << "," << k << ") elem " << i;
+    for (SimdIsa isa : supportedSimdIsas()) {
+        SCOPED_TRACE(std::string("isa=") + simdIsaName(isa));
+        Matrix got = packedMatmulNt(pa, pw, pool, isa);
+        expectMatricesMatch(got, ref, isa);
+    }
+    // The default entry point must behave like the active tier.
+    Matrix via_default = packedMatmulNt(pa, pw, pool);
+    expectMatricesBitExact(
+        via_default, packedMatmulNt(pa, pw, pool, activeSimdIsa()));
 }
 
 TEST(PackedGemm, GroupAlignedShapes)
@@ -105,6 +109,57 @@ TEST(PackedGemm, ThreadCountsAgree)
     expectParity(37, 29, 90, 200, &pool4);
 }
 
+TEST(PackedGemm, DegenerateShapesOnManyLanePools)
+{
+    // Wide-but-short (one row stripe), tall-but-narrow (one column
+    // stripe), and K below the group size, on pools with far more
+    // lanes than the natural work split — the grain heuristic must
+    // neither serialize nor break parity on any of them.
+    ThreadPool pool8(8), pool16(16);
+    for (ThreadPool *pool : {&pool8, &pool16}) {
+        expectParity(1, 300, 64, 300, pool);  // 1xN, many jt
+        expectParity(300, 1, 64, 301, pool);  // Mx1, many it
+        expectParity(1, 300, 7, 302, pool);   // 1xN, K < groupSize
+        expectParity(300, 1, 7, 303, pool);   // Mx1, K < groupSize
+        expectParity(2, 40, 24, 304, pool);   // few tiles per lane
+        expectParity(16, 16, 16, 305, pool);  // single tile
+    }
+}
+
+TEST(PackedGemm, GrainHeuristicInvariants)
+{
+    // Exhaustive sweep of the tile-grid grain policy: a chunk is at
+    // least one tile, never more than the grid, and for multi-lane
+    // pools the chunk count never collapses below min(n_tiles,
+    // 2*lanes) — i.e. no shape serializes while tiles remain.
+    for (size_t n_it = 1; n_it <= 48; ++n_it) {
+        for (size_t n_jt = 1; n_jt <= 48; ++n_jt) {
+            size_t n_tiles = n_it * n_jt;
+            for (size_t lanes : {1u, 2u, 3u, 4u, 8u, 16u, 32u}) {
+                size_t grain =
+                    detail::packedGemmGrain(n_it, n_jt, lanes);
+                ASSERT_GE(grain, 1u)
+                    << n_it << "x" << n_jt << " @" << lanes;
+                ASSERT_LE(grain, n_tiles)
+                    << n_it << "x" << n_jt << " @" << lanes;
+                if (lanes < 2)
+                    continue;
+                size_t chunks = ceilDiv(n_tiles, grain);
+                ASSERT_GE(chunks,
+                          std::min<size_t>(n_tiles, 2 * lanes))
+                    << n_it << "x" << n_jt << " @" << lanes
+                    << " grain " << grain;
+                // When whole stripes balance the lanes, chunks must
+                // be stripe-aligned so each A tile is decoded once.
+                if (n_it >= 2 * lanes) {
+                    ASSERT_EQ(grain, n_jt)
+                        << n_it << "x" << n_jt << " @" << lanes;
+                }
+            }
+        }
+    }
+}
+
 TEST(PackedGemm, OutputParameterOverwrites)
 {
     Matrix a = randomMatrix(4, 32, 300, 4.0);
@@ -114,13 +169,12 @@ TEST(PackedGemm, OutputParameterOverwrites)
     PackedM2xfpTensor pa = PackedM2xfpTensor::packActivations(a, aq);
     PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
     Matrix c(99, 99, 123.0f); // wrong shape, stale contents
-    packedMatmulNt(pa, pw, c);
+    packedMatmulNt(pa, pw, c, nullptr, SimdIsa::Scalar);
     EXPECT_EQ(c.rows(), 4u);
     EXPECT_EQ(c.cols(), 6u);
     Matrix ref = matmulNt(pa.unpackActivations(aq),
                           pw.unpackWeights(wq));
-    for (size_t i = 0; i < ref.size(); ++i)
-        EXPECT_EQ(c.flat()[i], ref.flat()[i]) << i;
+    expectMatricesBitExact(c, ref);
 }
 
 } // anonymous namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the runtime test binaries: random operands and
+ * ISA-aware matrix comparison.
+ *
+ * The scalar kernel tier is the bit-exact oracle; vector tiers may
+ * reassociate the double accumulation, so they are held to a tight
+ * relative tolerance instead. expectMatricesMatch picks the right
+ * contract for the tier that produced the result.
+ */
+
+#ifndef M2X_TESTS_RUNTIME_RUNTIME_TEST_UTIL_HH__
+#define M2X_TESTS_RUNTIME_RUNTIME_TEST_UTIL_HH__
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/matrix.hh"
+#include "runtime/simd.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace test {
+
+/** Tolerance contract for vector tiers: ≤ 1e-6 relative. */
+constexpr double simdRelTol = 1e-6;
+
+inline Matrix
+randomMatrix(size_t r, size_t c, uint64_t seed, double dof)
+{
+    Matrix m(r, c);
+    Rng rng(seed);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.studentT(dof));
+    return m;
+}
+
+/** Exact (bitwise) matrix equality. */
+inline void
+expectMatricesBitExact(const Matrix &got, const Matrix &want)
+{
+    ASSERT_TRUE(got.sameShape(want))
+        << got.rows() << "x" << got.cols() << " vs " << want.rows()
+        << "x" << want.cols();
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(got.flat()[i], want.flat()[i]) << "elem " << i;
+}
+
+/** Relative-tolerance matrix equality (floor of 1.0 on the scale). */
+inline void
+expectMatricesClose(const Matrix &got, const Matrix &want,
+                    double rel = simdRelTol)
+{
+    ASSERT_TRUE(got.sameShape(want))
+        << got.rows() << "x" << got.cols() << " vs " << want.rows()
+        << "x" << want.cols();
+    for (size_t i = 0; i < want.size(); ++i) {
+        double g = got.flat()[i], w = want.flat()[i];
+        double scale = std::max(1.0, std::abs(w));
+        ASSERT_LE(std::abs(g - w), rel * scale)
+            << "elem " << i << ": got " << g << " want " << w;
+    }
+}
+
+/**
+ * Hold @p got to the contract of the tier that produced it:
+ * bit-exact for the scalar oracle, tight tolerance otherwise.
+ */
+inline void
+expectMatricesMatch(const Matrix &got, const Matrix &want,
+                    SimdIsa isa)
+{
+    if (isa == SimdIsa::Scalar)
+        expectMatricesBitExact(got, want);
+    else
+        expectMatricesClose(got, want);
+}
+
+} // namespace test
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_TESTS_RUNTIME_RUNTIME_TEST_UTIL_HH__

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * SIMD dispatch and vector-kernel verification:
+ *  - M2X_SIMD resolution logic (pure, no re-exec needed),
+ *  - vector-vs-scalar decode exactness over all 256 values of every
+ *    stream byte (element codes, metadata, scales) — the vector LUT
+ *    decode must be bit-identical to runtime/decode_lut,
+ *  - randomized differential GEMM between the scalar oracle and the
+ *    AVX2 tier across ragged M/N/K and tail-group shapes (≤ 1e-6
+ *    relative), plus explicit-tier pinning regardless of M2X_SIMD.
+ *
+ * AVX2-specific cases skip (not fail) on machines without the tier,
+ * so the suite stays green on any host; CI additionally runs the
+ * whole runtime label under M2X_SIMD=scalar.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "gemm/gemm.hh"
+#include "runtime/decode_lut.hh"
+#include "runtime/packed_gemm.hh"
+#include "runtime/packed_gemm_kernels.hh"
+#include "runtime_test_util.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+using test::expectMatricesBitExact;
+using test::expectMatricesClose;
+using test::randomMatrix;
+
+TEST(SimdDispatch, NamesAreStable)
+{
+    EXPECT_STREQ(simdIsaName(SimdIsa::Scalar), "scalar");
+    EXPECT_STREQ(simdIsaName(SimdIsa::Avx2), "avx2");
+}
+
+TEST(SimdDispatch, ScalarTierIsAlwaysAvailable)
+{
+    EXPECT_TRUE(simdIsaAvailable(SimdIsa::Scalar));
+    std::vector<SimdIsa> isas = supportedSimdIsas();
+    ASSERT_FALSE(isas.empty());
+    EXPECT_EQ(isas.front(), SimdIsa::Scalar);
+}
+
+TEST(SimdDispatch, ActiveIsaIsSupported)
+{
+    SimdIsa active = activeSimdIsa();
+    EXPECT_TRUE(simdIsaAvailable(active));
+    EXPECT_STREQ(activeSimdIsaName(), simdIsaName(active));
+    std::vector<SimdIsa> isas = supportedSimdIsas();
+    EXPECT_NE(std::find(isas.begin(), isas.end(), active),
+              isas.end());
+}
+
+TEST(SimdDispatch, ResolvesEnvOverrides)
+{
+    SimdIsa best = detail::resolveSimdIsa(nullptr);
+    EXPECT_TRUE(simdIsaAvailable(best));
+    EXPECT_EQ(detail::resolveSimdIsa(""), best);
+    EXPECT_EQ(detail::resolveSimdIsa("auto"), best);
+    EXPECT_EQ(detail::resolveSimdIsa("scalar"), SimdIsa::Scalar);
+    // Unknown values warn and fall back to the auto pick.
+    EXPECT_EQ(detail::resolveSimdIsa("sse9"), best);
+    // avx2 resolves to avx2 where available, scalar elsewhere.
+    SimdIsa forced = detail::resolveSimdIsa("avx2");
+    if (simdIsaAvailable(SimdIsa::Avx2))
+        EXPECT_EQ(forced, SimdIsa::Avx2);
+    else
+        EXPECT_EQ(forced, SimdIsa::Scalar);
+}
+
+#ifdef M2X_HAVE_AVX2
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+
+/** One-group tensor with every element byte set to @p elem_byte. */
+PackedM2xfpTensor
+oneGroupTensor(uint8_t elem_byte, uint8_t scale_code,
+               uint8_t meta_byte)
+{
+    std::vector<uint8_t> elems(
+        PackedM2xfpTensor::bytesPerGroupElems, elem_byte);
+    return PackedM2xfpTensor::fromRawStreams(
+        1, groupSize, std::move(elems), {scale_code}, {meta_byte});
+}
+
+/** Demand bitwise-identical scalar and AVX2 decode of one group. */
+void
+expectDecodeExact(const PackedM2xfpTensor &t)
+{
+    float ref[groupSize], vec[groupSize];
+    decodeWeightGroup(t, 0, 0, ref);
+    detail::decodeWeightGroupAvx2(t, 0, 0, vec);
+    ASSERT_EQ(std::memcmp(ref, vec, sizeof(ref)), 0)
+        << "weight decode diverges";
+    decodeActivationGroup(t, 0, 0, ref);
+    detail::decodeActivationGroupAvx2(t, 0, 0, vec);
+    ASSERT_EQ(std::memcmp(ref, vec, sizeof(ref)), 0)
+        << "activation decode diverges";
+}
+
+TEST(SimdDecode, ExactForAllElementBytes)
+{
+    if (!simdIsaAvailable(SimdIsa::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this machine";
+    for (unsigned b = 0; b < 256; ++b) {
+        SCOPED_TRACE("element byte " + std::to_string(b));
+        for (uint8_t meta : {0x00, 0x1b, 0xe4, 0xff})
+            expectDecodeExact(oneGroupTensor(
+                static_cast<uint8_t>(b), 127, meta));
+    }
+}
+
+TEST(SimdDecode, ExactForAllMetadataBytes)
+{
+    if (!simdIsaAvailable(SimdIsa::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this machine";
+    for (unsigned m = 0; m < 256; ++m) {
+        SCOPED_TRACE("meta byte " + std::to_string(m));
+        for (uint8_t elem : {0x00, 0x5a, 0xa5, 0x7f, 0xf7})
+            expectDecodeExact(oneGroupTensor(
+                elem, 130, static_cast<uint8_t>(m)));
+    }
+}
+
+TEST(SimdDecode, ExactForAllScaleCodes)
+{
+    if (!simdIsaAvailable(SimdIsa::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this machine";
+    // Code 255 is the E8M0 NaN, never produced by the packers, and
+    // NaN bit patterns after the multiply are not pinned — skip it.
+    for (unsigned s = 0; s < 255; ++s) {
+        SCOPED_TRACE("scale code " + std::to_string(s));
+        expectDecodeExact(oneGroupTensor(
+            0x93, static_cast<uint8_t>(s), 0x6c));
+    }
+}
+
+TEST(SimdDecode, ExactOnRandomPackedTensors)
+{
+    if (!simdIsaAvailable(SimdIsa::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this machine";
+    // Real packer output (instead of synthetic streams), row decode
+    // against row decode, including a ragged tail group.
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    for (size_t k : {32u, 96u, 70u, 9u}) {
+        Matrix a = randomMatrix(5, k, 0xd00d + k, 4.0);
+        Matrix w = randomMatrix(5, k, 0xbeef + k, 6.0);
+        PackedM2xfpTensor pa =
+            PackedM2xfpTensor::packActivations(a, aq);
+        PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+        size_t padded_k = pa.groupsPerRow() * groupSize;
+        std::vector<float> ref(padded_k), vec(padded_k);
+        for (size_t r = 0; r < 5; ++r) {
+            decodeActivationRow(pa, r, ref.data());
+            detail::decodeActivationRowAvx2(pa, r, vec.data());
+            ASSERT_EQ(std::memcmp(ref.data(), vec.data(),
+                                  padded_k * sizeof(float)),
+                      0)
+                << "activation row " << r << " k " << k;
+            for (size_t g = 0; g < pw.groupsPerRow(); ++g) {
+                decodeWeightGroup(pw, r, g, ref.data());
+                detail::decodeWeightGroupAvx2(pw, r, g, vec.data());
+                ASSERT_EQ(std::memcmp(ref.data(), vec.data(),
+                                      groupSize * sizeof(float)),
+                          0)
+                    << "weight row " << r << " group " << g;
+            }
+        }
+    }
+}
+
+TEST(SimdGemm, DifferentialScalarVsAvx2Randomized)
+{
+    if (!simdIsaAvailable(SimdIsa::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this machine";
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    Rng rng(0x51a2d);
+    for (int trial = 0; trial < 16; ++trial) {
+        size_t m = 1 + rng.uniformInt(50);
+        size_t n = 1 + rng.uniformInt(50);
+        size_t k = 1 + rng.uniformInt(200);
+        SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(n) +
+                     "x" + std::to_string(k));
+        Matrix a = randomMatrix(m, k, 7000 + trial, 4.0);
+        Matrix w = randomMatrix(n, k, 8000 + trial, 6.0);
+        PackedM2xfpTensor pa =
+            PackedM2xfpTensor::packActivations(a, aq);
+        PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+
+        Matrix scalar =
+            packedMatmulNt(pa, pw, nullptr, SimdIsa::Scalar);
+        Matrix avx2 = packedMatmulNt(pa, pw, nullptr, SimdIsa::Avx2);
+        expectMatricesClose(avx2, scalar);
+        // And the oracle itself stays anchored to the reference.
+        expectMatricesBitExact(scalar,
+                               matmulNt(pa.unpackActivations(aq),
+                                        pw.unpackWeights(wq)));
+    }
+}
+
+TEST(SimdGemm, TailGroupShapesAgreeAcrossTiers)
+{
+    if (!simdIsaAvailable(SimdIsa::Avx2))
+        GTEST_SKIP() << "AVX2 unavailable on this machine";
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    // K values that split groups and subgroups; N values that leave
+    // ragged 4-column remainders in the AVX2 microkernel.
+    size_t shapes[][3] = {{1, 1, 1},   {3, 6, 33},  {17, 18, 40},
+                          {16, 3, 35}, {2, 19, 63}, {33, 34, 129}};
+    for (auto &sh : shapes) {
+        SCOPED_TRACE(std::to_string(sh[0]) + "x" +
+                     std::to_string(sh[1]) + "x" +
+                     std::to_string(sh[2]));
+        Matrix a = randomMatrix(sh[0], sh[2], sh[0] * 131 + sh[2],
+                                4.0);
+        Matrix w = randomMatrix(sh[1], sh[2], sh[1] * 137 + sh[2],
+                                6.0);
+        PackedM2xfpTensor pa =
+            PackedM2xfpTensor::packActivations(a, aq);
+        PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+        expectMatricesClose(
+            packedMatmulNt(pa, pw, nullptr, SimdIsa::Avx2),
+            packedMatmulNt(pa, pw, nullptr, SimdIsa::Scalar));
+    }
+}
+
+#endif // M2X_HAVE_AVX2
+
+TEST(SimdGemm, ExplicitScalarTierIgnoresDispatchDecision)
+{
+    // Whatever M2X_SIMD says, an explicit Scalar request must give
+    // the bit-exact oracle result.
+    ElemEmQuantizer aq = makeM2xfpActivationQuantizer();
+    SgEmQuantizer wq = makeM2xfpWeightQuantizer();
+    Matrix a = randomMatrix(20, 77, 42, 4.0);
+    Matrix w = randomMatrix(23, 77, 43, 6.0);
+    PackedM2xfpTensor pa = PackedM2xfpTensor::packActivations(a, aq);
+    PackedM2xfpTensor pw = PackedM2xfpTensor::packWeights(w, wq);
+    expectMatricesBitExact(
+        packedMatmulNt(pa, pw, nullptr, SimdIsa::Scalar),
+        matmulNt(pa.unpackActivations(aq), pw.unpackWeights(wq)));
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x

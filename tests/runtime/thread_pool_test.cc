@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -145,6 +147,155 @@ TEST(ThreadPool, ExceptionOnInlinePathLeavesPoolUsable)
         });
         EXPECT_EQ(total.load(), 256);
     }
+}
+
+TEST(ThreadPool, ExceptionOnWorkerLaneRethrownOnCaller)
+{
+    // Regression: a body throw on a *worker* lane used to escape
+    // workerLoop and std::terminate the process. The contract is the
+    // exception-safe drain: capture the first exception, finish the
+    // job on every lane, rethrow on the calling thread.
+    ThreadPool pool(4);
+    std::atomic<bool> worker_threw{false};
+    std::thread::id caller = std::this_thread::get_id();
+    try {
+        pool.parallelFor(0, 1000, 1, [&](size_t, size_t) {
+            if (std::this_thread::get_id() == caller) {
+                // Pin the calling lane until a worker has thrown, so
+                // the caller cannot drain the whole range by itself
+                // and the throw is guaranteed to happen off-caller.
+                while (!worker_threw.load())
+                    std::this_thread::yield();
+            } else {
+                worker_threw.store(true);
+                throw std::runtime_error("worker boom");
+            }
+        });
+        FAIL() << "expected the worker exception on the caller";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "worker boom");
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    }
+    EXPECT_TRUE(worker_threw.load());
+
+    // The drain must leave the pool fully usable, including
+    // parallel dispatch of later jobs.
+    std::atomic<int> total{0};
+    pool.parallelFor(0, 256, 8, [&](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(total.load(), 256);
+}
+
+TEST(ThreadPool, FirstOfManyConcurrentExceptionsWins)
+{
+    // Every lane throws; exactly one exception must surface (any of
+    // them), the others are dropped, and nothing terminates.
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> started{0};
+        EXPECT_THROW(
+            pool.parallelFor(0, 64, 1,
+                             [&](size_t b, size_t) {
+                                 started.fetch_add(1);
+                                 throw std::out_of_range(
+                                     "lane " + std::to_string(b));
+                             }),
+            std::out_of_range)
+            << round;
+        EXPECT_GE(started.load(), 1) << round;
+    }
+}
+
+namespace {
+
+/** Sets (or unsets, for nullptr) an env var; restores on scope exit. */
+struct ScopedEnv
+{
+    std::string name;
+    std::string saved;
+    bool had;
+
+    ScopedEnv(const char *n, const char *value) : name(n)
+    {
+        const char *old = std::getenv(n);
+        had = old != nullptr;
+        if (had)
+            saved = old;
+        if (value)
+            setenv(n, value, 1);
+        else
+            unsetenv(n);
+    }
+    ~ScopedEnv()
+    {
+        if (had)
+            setenv(name.c_str(), saved.c_str(), 1);
+        else
+            unsetenv(name.c_str());
+    }
+};
+
+unsigned
+hwFallback()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+} // anonymous namespace
+
+TEST(ThreadPool, DefaultThreadsHonorsValidEnv)
+{
+    ScopedEnv env("M2X_THREADS", "8");
+    EXPECT_EQ(ThreadPool::defaultThreads(), 8u);
+}
+
+TEST(ThreadPool, DefaultThreadsClampsHugeValues)
+{
+    ScopedEnv env("M2X_THREADS", "4096");
+    EXPECT_EQ(ThreadPool::defaultThreads(), 1024u);
+}
+
+TEST(ThreadPool, DefaultThreadsRejectsTrailingGarbage)
+{
+    // Regression: strtol(env, nullptr, 10) silently accepted "8x".
+    ScopedEnv env("M2X_THREADS", "8x");
+    EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
+}
+
+TEST(ThreadPool, DefaultThreadsRejectsZeroNegativeAndEmpty)
+{
+    {
+        ScopedEnv env("M2X_THREADS", "0");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
+    }
+    {
+        ScopedEnv env("M2X_THREADS", "-3");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
+    }
+    {
+        ScopedEnv env("M2X_THREADS", "");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
+    }
+    {
+        ScopedEnv env("M2X_THREADS", "threads");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
+    }
+}
+
+TEST(ThreadPool, DefaultThreadsRejectsOverflow)
+{
+    // Regression: ERANGE was not detected, so LONG_MAX saturation
+    // produced a silently-clamped bogus lane count.
+    ScopedEnv env("M2X_THREADS", "99999999999999999999999999");
+    EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
+}
+
+TEST(ThreadPool, DefaultThreadsUnsetUsesHardware)
+{
+    ScopedEnv env("M2X_THREADS", nullptr);
+    EXPECT_EQ(ThreadPool::defaultThreads(), hwFallback());
 }
 
 TEST(ThreadPool, FreeFunctionUsesGlobalPool)
