@@ -1,15 +1,23 @@
 /**
  * @file
- * Packed-domain runtime throughput: packed GEMM (per ISA kernel
- * tier) and PackedLinear forward vs the reference quantized path, at
- * several shapes and thread counts, plus a whole-model
+ * Packed-domain runtime throughput: online activation packing
+ * (functional codec vs the fast-path encoder, per ISA tier), packed
+ * GEMM (per ISA kernel tier) and PackedLinear forward vs the
+ * reference quantized path — with the quantize/GEMM wall-time split
+ * — at several shapes and thread counts, plus a whole-model
  * InferenceSession run. Writes the machine-readable
  * BENCH_runtime.json — the repo's perf trajectory point for the
  * execution runtime, including which SIMD tier ran.
  *
  * Numerical verification precedes every timing loop: the scalar
- * tier must be bit-exact against matmulNt over the unpacked
- * operands, vector tiers within 1e-6 relative of it.
+ * GEMM tier must be bit-exact against matmulNt over the unpacked
+ * operands, vector GEMM tiers within 1e-6 relative of it, and every
+ * encoder tier byte-identical to the functional packer.
+ *
+ * Thread counts are limited to what the machine can actually run in
+ * parallel: on a 1-hardware-thread box multi-thread rows measure
+ * nothing but scheduler noise, so only the 1-thread rows are
+ * emitted (hardware_threads in the JSON records the truth).
  *
  * Usage: throughput_runtime [--quick] [--out PATH]
  *   --quick  one small shape, short timing windows (CI smoke)
@@ -20,6 +28,7 @@
 #include <cmath>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
@@ -119,16 +128,46 @@ requireMatch(const Matrix &got, const Matrix &want, SimdIsa isa,
         requireClose(got, want, rel, what);
 }
 
+/** The machine's true parallel capacity (never the M2X_THREADS knob). */
+unsigned
+hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+/**
+ * Thread counts worth measuring: the usual 1/2/4 ladder plus the
+ * machine width, but never more lanes than the hardware has — an
+ * oversubscribed row reports contention, not scaling.
+ */
 std::vector<unsigned>
 threadCounts(bool quick)
 {
-    std::vector<unsigned> counts =
+    unsigned hw = hardwareThreads();
+    std::vector<unsigned> candidates =
         quick ? std::vector<unsigned>{1, 4}
               : std::vector<unsigned>{1, 2, 4};
-    unsigned hw = ThreadPool::defaultThreads();
-    if (std::find(counts.begin(), counts.end(), hw) == counts.end())
+    std::vector<unsigned> counts;
+    for (unsigned c : candidates)
+        if (c <= hw)
+            counts.push_back(c);
+    if (counts.empty())
+        counts.push_back(1);
+    if (hw > 1 &&
+        std::find(counts.begin(), counts.end(), hw) == counts.end())
         counts.push_back(hw);
     return counts;
+}
+
+void
+requireStreamsEqual(const PackedM2xfpTensor &got,
+                    const PackedM2xfpTensor &want, const char *what)
+{
+    m2x_assert(got.elementStream() == want.elementStream() &&
+               got.scaleStream() == want.scaleStream() &&
+               got.metadataStream() == want.metadataStream(),
+               "%s streams differ from the functional packer", what);
 }
 
 } // anonymous namespace
@@ -175,8 +214,9 @@ main(int argc, char **argv)
                  "  \"bench\": \"throughput_runtime\",\n"
                  "  \"quick\": %s,\n"
                  "  \"hardware_threads\": %u,\n"
+                 "  \"default_threads\": %u,\n"
                  "  \"simd\": {\"active\": \"%s\", \"supported\": [",
-                 quick ? "true" : "false",
+                 quick ? "true" : "false", hardwareThreads(),
                  ThreadPool::defaultThreads(), activeSimdIsaName());
     for (size_t i = 0; i < isas.size(); ++i)
         std::fprintf(out, "%s\"%s\"", i ? ", " : "",
@@ -278,6 +318,89 @@ main(int argc, char **argv)
         }
         std::fprintf(out, "}");
     }
+    std::fprintf(out, "\n  ],\n  \"pack_activations\": [");
+
+    // Online activation packing: the forward hot path's encode side.
+    // The functional ElemEmQuantizer packer is the baseline the
+    // fast-path rows are normalized against; every fast tier is
+    // verified byte-identical before any timing.
+    for (size_t si = 0; si < shapes.size(); ++si) {
+        const Shape &sh = shapes[si];
+        Matrix a = randomMatrix(sh.m, sh.k, 50 + si, 4.0);
+        PackedM2xfpTensor want =
+            PackedM2xfpTensor::packActivations(a, aq);
+        for (SimdIsa isa : isas)
+            requireStreamsEqual(
+                PackedM2xfpTensor::packActivations(a, aq, nullptr,
+                                                   isa),
+                want, simdIsaName(isa));
+
+        double func_s = timeIt(
+            [&] { PackedM2xfpTensor::packActivations(a, aq); },
+            min_s);
+        double bytes =
+            static_cast<double>(sh.m * sh.k) * sizeof(float);
+        std::printf("pack %zux%zu  functional %.3f GB/s\n", sh.m,
+                    sh.k, bytes / func_s * 1e-9);
+        std::fprintf(out,
+                     "%s\n    {\"rows\": %zu, \"cols\": %zu, "
+                     "\"input_bytes\": %zu,\n"
+                     "     \"functional_pack_s\": %.6e, "
+                     "\"functional_gb_per_s\": %.3f,\n"
+                     "     \"results\": [",
+                     si ? "," : "", sh.m, sh.k,
+                     sh.m * sh.k * sizeof(float), func_s,
+                     bytes / func_s * 1e-9);
+
+        double single_thread_s[2] = {0.0, 0.0}; // [scalar, avx2]
+        bool first_entry = true;
+        for (SimdIsa isa : isas) {
+            for (unsigned tc : counts) {
+                ThreadPool pool(tc);
+                PackedM2xfpTensor buf;
+                double s = timeIt(
+                    [&] {
+                        PackedM2xfpTensor::packActivations(
+                            a, aq, &pool, isa, buf);
+                    },
+                    min_s);
+                if (tc == 1)
+                    single_thread_s[isa == SimdIsa::Avx2 ? 1 : 0] =
+                        s;
+                std::printf("  fast/%-6s @%2u threads: %6.2f GB/s "
+                            "(%.2fx functional)\n",
+                            simdIsaName(isa), tc, bytes / s * 1e-9,
+                            func_s / s);
+                std::fprintf(out,
+                             "%s\n      {\"isa\": \"%s\", "
+                             "\"threads\": %u, "
+                             "\"pack_s\": %.6e, "
+                             "\"gb_per_s\": %.3f, "
+                             "\"speedup_vs_functional\": %.3f}",
+                             first_entry ? "" : ",",
+                             simdIsaName(isa), tc, s,
+                             bytes / s * 1e-9, func_s / s);
+                first_entry = false;
+            }
+        }
+        std::fprintf(out, "\n    ]");
+        if (single_thread_s[0] > 0.0)
+            std::fprintf(out,
+                         ",\n     \"scalar_vs_functional_1t\": %.3f",
+                         func_s / single_thread_s[0]);
+        if (single_thread_s[1] > 0.0) {
+            std::printf("  avx2 vs scalar @1 thread: %.2fx, "
+                        "vs functional: %.2fx\n",
+                        single_thread_s[0] / single_thread_s[1],
+                        func_s / single_thread_s[1]);
+            std::fprintf(out,
+                         ",\n     \"avx2_vs_scalar_1t\": %.3f"
+                         ",\n     \"avx2_vs_functional_1t\": %.3f",
+                         single_thread_s[0] / single_thread_s[1],
+                         func_s / single_thread_s[1]);
+        }
+        std::fprintf(out, "}");
+    }
     std::fprintf(out, "\n  ],\n  \"forward\": [");
 
     // Layer-level forward: reference QuantizedLinear (online act
@@ -308,15 +431,32 @@ main(int argc, char **argv)
             PackedLinear packed(w, {}, &pool);
             requireMatch(packed.forward(x), ref_lin.forward(x),
                          packed.simdIsa(), 1e-6, "packed forward");
-            double s = timeIt([&] { packed.forward(x); }, min_s);
+            // Steady-state serving shape: reused workspace and
+            // output buffer, with the quantize/GEMM split
+            // accumulated across every timing rep.
+            PackedLinear::Workspace ws;
+            Matrix y;
+            ForwardBreakdown bd;
+            double s = timeIt(
+                [&] { packed.forward(x, y, &ws, &bd); }, min_s);
+            double split = static_cast<double>(bd.quantizeNanos) +
+                           static_cast<double>(bd.gemmNanos);
+            double qfrac =
+                split > 0.0
+                    ? static_cast<double>(bd.quantizeNanos) / split
+                    : 0.0;
             std::printf("forward %zux%zux%zu @%2u threads: "
-                        "%.2fx reference\n",
-                        sh.m, sh.n, sh.k, counts[ci], ref_s / s);
+                        "%.2fx reference (%.0f%% quantize)\n",
+                        sh.m, sh.n, sh.k, counts[ci], ref_s / s,
+                        100.0 * qfrac);
             std::fprintf(out,
                          "%s\n      {\"threads\": %u, "
                          "\"packed_forward_s\": %.6e, "
+                         "\"quantize_s\": %.6e, "
+                         "\"gemm_s\": %.6e, "
                          "\"speedup_vs_ref\": %.3f}",
-                         ci ? "," : "", counts[ci], s, ref_s / s);
+                         ci ? "," : "", counts[ci], s, s * qfrac,
+                         s * (1.0 - qfrac), ref_s / s);
         }
         std::fprintf(out, "\n    ]}");
     }
@@ -402,13 +542,17 @@ main(int argc, char **argv)
         std::fprintf(out,
                      "%s\n      {\"name\": \"%s\", \"isa\": \"%s\", "
                      "\"calls\": %llu, "
-                     "\"seconds\": %.6e, \"gflops\": %.3f, "
+                     "\"seconds\": %.6e, "
+                     "\"quantize_s\": %.6e, \"gemm_s\": %.6e, "
+                     "\"gflops\": %.3f, "
                      "\"packed_bytes\": %zu}",
                      i ? "," : "", st->name.c_str(),
                      st->isa.c_str(),
                      static_cast<unsigned long long>(
                          st->calls.load()),
-                     st->seconds(), st->gflops(), st->packedBytes);
+                     st->seconds(), st->quantizeSeconds(),
+                     st->gemmSeconds(), st->gflops(),
+                     st->packedBytes);
     }
     std::fprintf(out, "\n    ]\n  }\n}\n");
     std::fclose(out);

@@ -19,6 +19,18 @@ PackedM2xfpTensor::reserveShape(size_t rows, size_t cols)
 }
 
 void
+PackedM2xfpTensor::resizeShape(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    groupsPerRow_ = ceilDiv(cols, groupSize);
+    size_t n_groups = rows * groupsPerRow_;
+    elements_.resize(n_groups * bytesPerGroupElems);
+    scales_.resize(n_groups);
+    meta_.resize(n_groups);
+}
+
+void
 PackedM2xfpTensor::setElementCode(size_t r, size_t c, uint8_t code)
 {
     size_t group = c / groupSize;

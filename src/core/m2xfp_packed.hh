@@ -26,6 +26,11 @@
 
 namespace m2x {
 
+namespace runtime {
+class ThreadPool;
+enum class SimdIsa;
+} // namespace runtime
+
 /** A matrix packed into the three M2XFP byte streams. */
 class PackedM2xfpTensor
 {
@@ -37,6 +42,28 @@ class PackedM2xfpTensor
     /** Pack a row-major matrix as activations (Elem-EM-top1). */
     static PackedM2xfpTensor packActivations(const Matrix &m,
                                              const ElemEmQuantizer &q);
+
+    /** @{
+     * Fast-path online packing: byte-identical streams to
+     * packActivations(m, q), produced by the runtime encoder
+     * (src/runtime/packed_quantize) — per-ISA SIMD kernels,
+     * parallelized over rows on @p pool (null = the global pool).
+     * Requires the fixed-shared-scale paper activation config
+     * (adaptiveScale off — asserted). The into-variant reuses
+     * @p out's stream storage across calls, so a steady-state
+     * forward pass allocates nothing. Defined in the m2x_runtime
+     * library; callers must link m2x::m2x_runtime.
+     */
+    static PackedM2xfpTensor packActivations(const Matrix &m,
+                                             const ElemEmQuantizer &q,
+                                             runtime::ThreadPool *pool,
+                                             runtime::SimdIsa isa);
+    static void packActivations(const Matrix &m,
+                                const ElemEmQuantizer &q,
+                                runtime::ThreadPool *pool,
+                                runtime::SimdIsa isa,
+                                PackedM2xfpTensor &out);
+    /** @} */
 
     /** Pack a row-major matrix as weights (Sg-EM-2bit adaptive). */
     static PackedM2xfpTensor packWeights(const Matrix &m,
@@ -119,6 +146,14 @@ class PackedM2xfpTensor
 
     void setElementCode(size_t r, size_t c, uint8_t code);
     void reserveShape(size_t rows, size_t cols);
+
+    /**
+     * Reshape for the fast-path packer, reusing existing stream
+     * storage when capacity allows. Unlike reserveShape the streams
+     * are not zero-filled: the encoder kernels write every byte of
+     * every group (tail groups included).
+     */
+    void resizeShape(size_t rows, size_t cols);
 };
 
 } // namespace m2x

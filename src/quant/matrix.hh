@@ -59,6 +59,19 @@ class Matrix
     float *data() { return data_.data(); }
     const float *data() const { return data_.data(); }
 
+    /**
+     * Reshape to rows x cols, reusing the existing storage when its
+     * capacity allows (no reallocation on a steady-state serving
+     * loop). Unlike the fill constructor, element values are
+     * unspecified afterwards — callers overwrite every element.
+     */
+    void resize(size_t rows, size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
     /** Transposed copy. */
     Matrix transposed() const;
 

@@ -9,11 +9,23 @@ namespace runtime {
 
 namespace {
 
-/** Shim recording wall time and row counts around a LinearOp. */
+/**
+ * Shim recording wall time, the quantize/GEMM phase split and row
+ * counts around a PackedLinear. The per-layer Workspace persists
+ * across calls so the encode side of the steady-state forward is
+ * allocation-free on the expected single-serving-thread path; a
+ * concurrent forward on the same layer (the old stateless shim
+ * allowed it, so it must stay correct) simply fails to claim the
+ * workspace and pays one per-call scratch allocation instead. The
+ * output matrix itself is still constructed per call — the
+ * LinearOp return-by-value interface forces that one allocation;
+ * callers that hold PackedLinear directly can avoid it with the
+ * forward(x, y&) overload.
+ */
 class TimedLinear : public LinearOp
 {
   public:
-    TimedLinear(std::unique_ptr<LinearOp> inner,
+    TimedLinear(std::unique_ptr<PackedLinear> inner,
                 std::shared_ptr<LayerStats> stats)
         : inner_(std::move(inner)), stats_(std::move(stats))
     {}
@@ -21,8 +33,27 @@ class TimedLinear : public LinearOp
     Matrix
     forward(const Matrix &x) const override
     {
+        ForwardBreakdown bd;
         auto t0 = std::chrono::steady_clock::now();
-        Matrix y = inner_->forward(x);
+        Matrix y;
+        // Claim the shared workspace; a concurrent forward on the
+        // same layer (legal — the pre-workspace shim was stateless)
+        // falls back to per-call scratch rather than racing.
+        struct Release
+        {
+            std::atomic<bool> *flag;
+            ~Release()
+            {
+                if (flag)
+                    flag->store(false, std::memory_order_release);
+            }
+        } release{nullptr};
+        if (!busy_.exchange(true, std::memory_order_acquire)) {
+            release.flag = &busy_;
+            inner_->forward(x, y, &ws_, &bd);
+        } else {
+            inner_->forward(x, y, nullptr, &bd);
+        }
         auto dt = std::chrono::steady_clock::now() - t0;
         stats_->calls.fetch_add(1, std::memory_order_relaxed);
         stats_->rows.fetch_add(x.rows(), std::memory_order_relaxed);
@@ -30,6 +61,10 @@ class TimedLinear : public LinearOp
             std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
                 .count(),
             std::memory_order_relaxed);
+        stats_->quantizeNanos.fetch_add(bd.quantizeNanos,
+                                        std::memory_order_relaxed);
+        stats_->gemmNanos.fetch_add(bd.gemmNanos,
+                                    std::memory_order_relaxed);
         return y;
     }
 
@@ -40,8 +75,10 @@ class TimedLinear : public LinearOp
     }
 
   private:
-    std::unique_ptr<LinearOp> inner_;
+    std::unique_ptr<PackedLinear> inner_;
     std::shared_ptr<LayerStats> stats_;
+    mutable PackedLinear::Workspace ws_;
+    mutable std::atomic<bool> busy_{false};
 };
 
 } // anonymous namespace
@@ -135,6 +172,8 @@ InferenceSession::resetStats()
         st->calls.store(0);
         st->nanos.store(0);
         st->rows.store(0);
+        st->quantizeNanos.store(0);
+        st->gemmNanos.store(0);
     }
 }
 

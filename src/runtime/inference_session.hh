@@ -41,8 +41,21 @@ struct LayerStats
     std::atomic<uint64_t> calls{0};
     std::atomic<uint64_t> nanos{0};
     std::atomic<uint64_t> rows{0}; //!< total activation rows seen
+    /** @{
+     * Forward-pass phase split: online activation packing (the
+     * fast-path encoder) vs the packed GEMM. Their sum is slightly
+     * below nanos (shim overhead, buffer resizing).
+     */
+    std::atomic<uint64_t> quantizeNanos{0};
+    std::atomic<uint64_t> gemmNanos{0};
+    /** @} */
 
     double seconds() const { return 1e-9 * nanos.load(); }
+    double quantizeSeconds() const
+    {
+        return 1e-9 * quantizeNanos.load();
+    }
+    double gemmSeconds() const { return 1e-9 * gemmNanos.load(); }
 
     /** Achieved GEMM throughput over all recorded calls. */
     double
@@ -72,6 +85,13 @@ struct SessionConfig
 /**
  * A loaded model ready to serve forward passes through PackedLinear
  * layers.
+ *
+ * Forward calls on one session are safe from any number of threads,
+ * but the fast path expects a single serving thread (parallelism
+ * lives inside the packed kernels): each layer shim reuses a
+ * per-layer activation-packing workspace across calls, and a
+ * concurrent forward that finds it claimed falls back to per-call
+ * scratch — correct, just not allocation-free.
  */
 class InferenceSession
 {

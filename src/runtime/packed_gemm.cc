@@ -82,7 +82,10 @@ packedMatmulNt(const PackedM2xfpTensor &a, const PackedM2xfpTensor &w,
                "packedMatmulNt: ISA tier '%s' is not available on "
                "this machine", simdIsaName(isa));
     size_t m = a.rows(), n = w.rows(), k = a.cols();
-    c = Matrix(m, n);
+    // Resize in place: a caller-provided output buffer of the right
+    // capacity is reused, not reallocated. Every element of the tile
+    // grid is written, so skipping the zero-fill is safe.
+    c.resize(m, n);
     if (m == 0 || n == 0)
         return;
 

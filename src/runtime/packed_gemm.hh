@@ -42,7 +42,10 @@ namespace runtime {
  * @param a activation-role packed tensor (Elem-EM metadata)
  * @param w weight-role packed tensor (Sg-EM metadata), [N,K] row
  *        layout like matmulNt's b_nk
- * @param c resized to [M,N] and overwritten
+ * @param c resized to [M,N] and overwritten; storage is reused
+ *        (not reallocated) when its capacity already fits, so a
+ *        caller-held output buffer makes the steady state
+ *        allocation-free
  * @param pool thread pool to distribute tiles over; null uses the
  *        process-global pool
  */

@@ -1,5 +1,7 @@
 #include "runtime/packed_linear.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace m2x {
@@ -21,15 +23,40 @@ PackedLinear::PackedLinear(const Matrix &weight, M2xfpConfig cfg,
     weight_ = PackedM2xfpTensor::packWeights(weight, weightQ_);
 }
 
-Matrix
-PackedLinear::forward(const Matrix &x) const
+void
+PackedLinear::forward(const Matrix &x, Matrix &y, Workspace *ws,
+                      ForwardBreakdown *times) const
 {
+    using clock = std::chrono::steady_clock;
+
     m2x_assert(x.cols() == inFeatures_,
                "linear in_features mismatch: %zu vs %zu", x.cols(),
                inFeatures_);
-    PackedM2xfpTensor xa =
-        PackedM2xfpTensor::packActivations(x, actQ_);
-    return packedMatmulNt(xa, weight_, pool_, isa_);
+    Workspace local;
+    Workspace &w = ws ? *ws : local;
+
+    auto t0 = clock::now();
+    PackedM2xfpTensor::packActivations(x, actQ_, pool_, isa_,
+                                       w.packedAct);
+    auto t1 = clock::now();
+    packedMatmulNt(w.packedAct, weight_, y, pool_, isa_);
+    auto t2 = clock::now();
+    if (times) {
+        using std::chrono::duration_cast;
+        using std::chrono::nanoseconds;
+        times->quantizeNanos +=
+            duration_cast<nanoseconds>(t1 - t0).count();
+        times->gemmNanos +=
+            duration_cast<nanoseconds>(t2 - t1).count();
+    }
+}
+
+Matrix
+PackedLinear::forward(const Matrix &x) const
+{
+    Matrix y;
+    forward(x, y);
+    return y;
 }
 
 } // namespace runtime

@@ -19,6 +19,8 @@
 #ifndef M2X_RUNTIME_PACKED_LINEAR_HH__
 #define M2X_RUNTIME_PACKED_LINEAR_HH__
 
+#include <cstdint>
+
 #include "core/m2xfp.hh"
 #include "core/m2xfp_packed.hh"
 #include "gemm/gemm.hh"
@@ -27,10 +29,31 @@
 namespace m2x {
 namespace runtime {
 
+/**
+ * Wall time a forward pass spent in its two phases: online
+ * activation packing (the fast-path encoder) and the packed GEMM.
+ * Accumulating — one instance can integrate over many calls.
+ */
+struct ForwardBreakdown
+{
+    uint64_t quantizeNanos = 0;
+    uint64_t gemmNanos = 0;
+};
+
 /** y = x W^T with W resident in packed M2XFP form. */
 class PackedLinear : public LinearOp
 {
   public:
+    /**
+     * Reusable forward scratch: the packed activation streams. A
+     * caller that keeps one Workspace per layer makes the encode
+     * side of the steady-state forward allocation-free.
+     */
+    struct Workspace
+    {
+        PackedM2xfpTensor packedAct;
+    };
+
     /**
      * Quantize and pack @p weight [out_features, in_features] at
      * construction (offline, like the paper's weight calibration).
@@ -48,6 +71,16 @@ class PackedLinear : public LinearOp
 
     /** Pack x as activations (online) and multiply in packed form. */
     Matrix forward(const Matrix &x) const override;
+
+    /**
+     * Same, writing into the caller-provided output @p y (resized in
+     * place, storage reused). @p ws, when non-null, carries the
+     * packed-activation scratch across calls; @p times, when
+     * non-null, accumulates the quantize/GEMM wall-time split. Both
+     * phases run on the layer's thread pool and ISA tier.
+     */
+    void forward(const Matrix &x, Matrix &y, Workspace *ws = nullptr,
+                 ForwardBreakdown *times = nullptr) const;
 
     size_t inFeatures() const override { return inFeatures_; }
     size_t outFeatures() const override { return outFeatures_; }

@@ -1,0 +1,108 @@
+#include "runtime/packed_quantize.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+const QuantizeKernels &
+quantizeKernels(SimdIsa isa)
+{
+    static const QuantizeKernels scalar{&quantizeActivationRowScalar};
+#ifdef M2X_HAVE_AVX2
+    static const QuantizeKernels avx2{&quantizeActivationRowAvx2};
+    if (isa == SimdIsa::Avx2)
+        return avx2;
+#else
+    (void)isa;
+#endif
+    return scalar;
+}
+
+size_t
+packedQuantizeGrain(size_t rows, size_t lanes)
+{
+    if (rows == 0)
+        return 1;
+    // A serial pool runs inline anyway; one maximal chunk skips the
+    // chunking overhead.
+    if (lanes <= 1)
+        return rows;
+    // Target ~4 chunks per lane; the ceiling keeps tiny remainders
+    // from exploding the chunk count while guaranteeing that any
+    // range of at least 2*lanes rows yields at least 2*lanes chunks.
+    return std::clamp<size_t>(ceilDiv(rows, 4 * lanes), 1, rows);
+}
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x
+
+namespace m2x {
+
+// Fast-path packActivations overloads declared in core/m2xfp_packed.hh
+// but owned by the runtime library: core stays free of threading and
+// dispatch concerns, while the packer keeps private access to the
+// stream storage.
+
+void
+PackedM2xfpTensor::packActivations(const Matrix &m,
+                                   const ElemEmQuantizer &q,
+                                   runtime::ThreadPool *pool,
+                                   runtime::SimdIsa isa,
+                                   PackedM2xfpTensor &out)
+{
+    using namespace runtime;
+
+    const ElemEmConfig &cfg = q.config();
+    m2x_assert(cfg.groupSize == groupSize &&
+               cfg.subgroupSize == subgroupSize && cfg.topK == 1 &&
+               cfg.clampBias,
+               "packed layout requires the paper config (g32/sg8 top1)");
+    m2x_assert(!cfg.adaptiveScale,
+               "fast-path packActivations requires the fixed-shared-"
+               "scale activation config (adaptiveScale off)");
+    m2x_assert(simdIsaAvailable(isa),
+               "packActivations: ISA tier '%s' is not available on "
+               "this machine", simdIsaName(isa));
+
+    out.resizeShape(m.rows(), m.cols());
+    size_t rows = m.rows();
+    size_t gpr = out.groupsPerRow_;
+    if (rows == 0 || gpr == 0)
+        return;
+
+    const detail::QuantizeKernels &kern = detail::quantizeKernels(isa);
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    size_t grain = detail::packedQuantizeGrain(rows, tp.size());
+    const float *src = m.data();
+    size_t cols = m.cols();
+    uint8_t *elems = out.elements_.data();
+    uint8_t *scales = out.scales_.data();
+    uint8_t *meta = out.meta_.data();
+    ScaleRule rule = cfg.rule;
+    tp.parallelFor(0, rows, grain, [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r)
+            kern.quantizeActivationRow(
+                src + r * cols, cols, rule,
+                elems + r * gpr * bytesPerGroupElems,
+                scales + r * gpr, meta + r * gpr);
+    });
+}
+
+PackedM2xfpTensor
+PackedM2xfpTensor::packActivations(const Matrix &m,
+                                   const ElemEmQuantizer &q,
+                                   runtime::ThreadPool *pool,
+                                   runtime::SimdIsa isa)
+{
+    PackedM2xfpTensor t;
+    packActivations(m, q, pool, isa, t);
+    return t;
+}
+
+} // namespace m2x

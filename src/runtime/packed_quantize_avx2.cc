@@ -1,0 +1,196 @@
+/**
+ * @file
+ * AVX2 tier of the fast-path activation encoder.
+ *
+ * Unlike the GEMM tiers, this kernel is held to the *byte-exact*
+ * contract: encoding is elementwise (no reassociated accumulation),
+ * so every vector step below reproduces the scalar oracle exactly.
+ *
+ *   absmax   — abs-mask + lanewise max; _mm256_max_ps(v, acc)
+ *              returns acc when v is NaN, matching std::max's
+ *              NaN-ignoring fold in absMax().
+ *   FP4 RNE  — the threshold ladder of fp4CodeRne() as seven
+ *              ordered-quiet compares (GT/GE picked per tie so ties
+ *              land on the even code); mask subtraction accumulates
+ *              the magnitude, the sign bit is shifted down from the
+ *              scaled float, NaN lanes blend to code 7.
+ *   top-1    — per subgroup (one 8-lane vector) the key
+ *              (mag << 3) | (7 - lane) makes a single horizontal
+ *              max yield the strict-greater, ties-to-lowest-index
+ *              argmax the decoder recomputes.
+ *   pack     — two packus stages + a cross-lane permute restore
+ *              element order, then nibble merge in 16-bit lanes.
+ *
+ * The per-group shared scale (any ScaleRule) and the 4-per-group FP6
+ * re-rounds stay scalar — they are O(groups), not O(elements).
+ *
+ * This translation unit is compiled with -mavx2 -mfma and must only
+ * be entered through the runtime dispatch (simdIsaAvailable guards).
+ */
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/packed_quantize.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+namespace {
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+constexpr size_t subgroupSize = PackedM2xfpTensor::subgroupSize;
+constexpr size_t nSubgroups = groupSize / subgroupSize;
+
+/**
+ * FP4 codes of 8 scaled elements, one per 32-bit lane. Bit-identical
+ * to fp4CodeRne() lane by lane.
+ */
+inline __m256i
+fp4Codes8(__m256 x)
+{
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 a = _mm256_and_ps(x, absmask);
+    __m256i mag = _mm256_setzero_si256();
+    auto step = [&](float thr, int op) {
+        __m256 m = (op == _CMP_GT_OQ)
+                       ? _mm256_cmp_ps(a, _mm256_set1_ps(thr),
+                                       _CMP_GT_OQ)
+                       : _mm256_cmp_ps(a, _mm256_set1_ps(thr),
+                                       _CMP_GE_OQ);
+        mag = _mm256_sub_epi32(mag, _mm256_castps_si256(m));
+    };
+    step(0.25f, _CMP_GT_OQ);
+    step(0.75f, _CMP_GE_OQ);
+    step(1.25f, _CMP_GT_OQ);
+    step(1.75f, _CMP_GE_OQ);
+    step(2.5f, _CMP_GT_OQ);
+    step(3.5f, _CMP_GE_OQ);
+    step(5.0f, _CMP_GT_OQ);
+    __m256i sign = _mm256_and_si256(
+        _mm256_srli_epi32(_mm256_castps_si256(x), 28),
+        _mm256_set1_epi32(8));
+    __m256i code = _mm256_or_si256(sign, mag);
+    // NaN lanes (all ordered compares false, sign whatever the NaN
+    // carries) must match the scalar convention: +max, code 7.
+    __m256i nan =
+        _mm256_castps_si256(_mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+    return _mm256_blendv_epi8(code, _mm256_set1_epi32(7), nan);
+}
+
+} // anonymous namespace
+
+void
+encodeActivationGroupAvx2(const float *in, ScaleRule rule,
+                          uint8_t *elems, uint8_t *scale,
+                          uint8_t *meta)
+{
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+
+    // Step 1: block absmax. NaN lanes never enter the accumulator
+    // (max_ps returns the second operand when the first is NaN), so
+    // the fold matches absMax()'s std::max semantics.
+    __m256 v[4];
+    __m256 acc = _mm256_setzero_ps();
+    for (size_t i = 0; i < 4; ++i) {
+        v[i] = _mm256_loadu_ps(in + 8 * i);
+        acc = _mm256_max_ps(_mm256_and_ps(v[i], absmask), acc);
+    }
+    __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(acc),
+                           _mm256_extractf128_ps(acc, 1));
+    m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    m4 = _mm_max_ss(m4, _mm_movehdup_ps(m4));
+    float amax = _mm_cvtss_f32(m4);
+
+    ScaleE8m0 s =
+        computeSharedScale(amax, Minifloat::fp4e2m1(), rule);
+    *scale = s.code();
+    float inv = s.inverse();
+    __m256 vinv = _mm256_set1_ps(inv);
+
+    // Step 2: FP4 codes, 8 per vector (vector i == subgroup i).
+    __m256i codes[nSubgroups];
+    for (size_t i = 0; i < nSubgroups; ++i)
+        codes[i] = fp4Codes8(_mm256_mul_ps(v[i], vinv));
+
+    // Steps 3-7: top-1 per subgroup via one horizontal max over
+    // (mag << 3) | (7 - lane): larger magnitude wins, equal
+    // magnitude prefers the lower lane — the decoder's exact rule.
+    const __m256i revlane =
+        _mm256_set_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    uint8_t mb = 0;
+    for (size_t sg = 0; sg < nSubgroups; ++sg) {
+        __m256i mag =
+            _mm256_and_si256(codes[sg], _mm256_set1_epi32(7));
+        __m256i key = _mm256_or_si256(_mm256_slli_epi32(mag, 3),
+                                      revlane);
+        __m128i k = _mm_max_epi32(_mm256_castsi256_si128(key),
+                                  _mm256_extracti128_si256(key, 1));
+        k = _mm_max_epi32(
+            k, _mm_shuffle_epi32(k, _MM_SHUFFLE(1, 0, 3, 2)));
+        k = _mm_max_epi32(
+            k, _mm_shuffle_epi32(k, _MM_SHUFFLE(2, 3, 0, 1)));
+        uint32_t best = static_cast<uint32_t>(_mm_cvtsi128_si32(k));
+        size_t idx = 7u - (best & 0x7u);
+        uint32_t mag4 = best >> 3;
+        float a6 =
+            std::fabs(in[sg * subgroupSize + idx]) * inv;
+        uint32_t mag6 = fp6MagRne(a6);
+        mb = static_cast<uint8_t>(
+            mb | ((ElemEmQuantizer::encodeMeta(mag6, mag4) & 0x3u)
+                  << (2 * sg)));
+    }
+    *meta = mb;
+
+    // Nibble pack: 4x8 dword codes -> 32 ordered byte codes -> 16
+    // packed bytes (even element in the low nibble).
+    __m256i p01 = _mm256_packus_epi32(codes[0], codes[1]);
+    __m256i p23 = _mm256_packus_epi32(codes[2], codes[3]);
+    __m256i p = _mm256_packus_epi16(p01, p23);
+    // Dwords now hold [c0:0-3, c1:0-3, c2:0-3, c3:0-3, c0:4-7, ...];
+    // restore element order.
+    p = _mm256_permutevar8x32_epi32(
+        p, _mm256_set_epi32(7, 3, 6, 2, 5, 1, 4, 0));
+    __m256i even =
+        _mm256_and_si256(p, _mm256_set1_epi16(0x00ff));
+    __m256i odd = _mm256_srli_epi16(p, 8);
+    __m256i byte16 =
+        _mm256_or_si256(even, _mm256_slli_epi16(odd, 4));
+    const __m256i take_even = _mm256_setr_epi8(
+        0, 2, 4, 6, 8, 10, 12, 14, -1, -1, -1, -1, -1, -1, -1, -1,
+        0, 2, 4, 6, 8, 10, 12, 14, -1, -1, -1, -1, -1, -1, -1, -1);
+    __m256i packed = _mm256_shuffle_epi8(byte16, take_even);
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(elems),
+                     _mm256_castsi256_si128(packed));
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(elems + 8),
+                     _mm256_extracti128_si256(packed, 1));
+}
+
+void
+quantizeActivationRowAvx2(const float *src, size_t cols,
+                          ScaleRule rule, uint8_t *elems,
+                          uint8_t *scales, uint8_t *meta)
+{
+    constexpr size_t bpg = PackedM2xfpTensor::bytesPerGroupElems;
+    size_t g = 0;
+    for (; (g + 1) * groupSize <= cols; ++g)
+        encodeActivationGroupAvx2(src + g * groupSize, rule,
+                                  elems + g * bpg, scales + g,
+                                  meta + g);
+    if (g * groupSize < cols) {
+        alignas(32) float padded[groupSize] = {};
+        std::memcpy(padded, src + g * groupSize,
+                    (cols - g * groupSize) * sizeof(float));
+        encodeActivationGroupAvx2(padded, rule, elems + g * bpg,
+                                  scales + g, meta + g);
+    }
+}
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x

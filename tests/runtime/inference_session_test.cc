@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 
 #include "core/m2xfp.hh"
 #include "runtime/inference_session.hh"
@@ -104,16 +105,48 @@ TEST(InferenceSession, BatchedForwardAndTimings)
         // Every layer reports the tier it actually executes on.
         EXPECT_EQ(st->isa, simdIsaName(session.simdIsa()))
             << st->name;
+        // The phase split is populated and consistent: quantize +
+        // GEMM account for (most of, never more than) the layer's
+        // wall time.
+        EXPECT_GT(st->quantizeSeconds(), 0.0) << st->name;
+        EXPECT_GT(st->gemmSeconds(), 0.0) << st->name;
+        EXPECT_LE(st->quantizeSeconds() + st->gemmSeconds(),
+                  st->seconds()) << st->name;
     }
     EXPECT_GT(session.linearSeconds(), 0.0);
 
     session.resetStats();
     EXPECT_EQ(session.linearSeconds(), 0.0);
     EXPECT_EQ(stats[0]->calls.load(), 0u);
+    EXPECT_EQ(stats[0]->quantizeNanos.load(), 0u);
+    EXPECT_EQ(stats[0]->gemmNanos.load(), 0u);
     // Weight accounting survives a stats reset.
     EXPECT_GT(session.packedWeightBytes(), 0u);
     EXPECT_LT(session.packedWeightBytes(),
               session.denseWeightBytes() / 7);
+}
+
+TEST(InferenceSession, ConcurrentForwardsStayCorrect)
+{
+    // The per-layer packing workspace is claimed by one forward at
+    // a time; a concurrent forward on the same layer must fall back
+    // to per-call scratch and still produce identical results
+    // (packing is byte-exact and the GEMM is per-element
+    // deterministic on every tier, whatever the interleaving).
+    model::ModelConfig cfg = tinyConfig();
+    InferenceSession session(cfg, {.threads = 1});
+    std::vector<int> toks = randomTokens(6, cfg.vocab, 9);
+    Matrix want = session.forward(toks);
+
+    std::vector<Matrix> got(4);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < got.size(); ++i)
+        threads.emplace_back(
+            [&, i] { got[i] = session.forward(toks); });
+    for (auto &t : threads)
+        t.join();
+    for (const auto &g : got)
+        test::expectMatricesBitExact(g, want);
 }
 
 TEST(InferenceSession, PackedFactoryPluggableWithoutStats)

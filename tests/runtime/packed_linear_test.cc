@@ -87,6 +87,28 @@ TEST(PackedLinear, WeightResidencyIsPacked)
               0.15 * 8.0 * static_cast<double>(packed.denseBytes()));
 }
 
+TEST(PackedLinear, ForwardIntoMatchesReturningOverload)
+{
+    Matrix w = randomMatrix(40, 100, 10, 6.0);
+    for (SimdIsa isa : supportedSimdIsas()) {
+        SCOPED_TRACE(std::string("isa=") + simdIsaName(isa));
+        PackedLinear packed(w, {}, nullptr, isa);
+        PackedLinear::Workspace ws;
+        ForwardBreakdown bd;
+        Matrix y;
+        // Varying row counts through one reused workspace/output:
+        // stale state from a previous (larger) call must never leak.
+        for (size_t rows : {7u, 16u, 3u, 16u}) {
+            Matrix x = randomMatrix(rows, 100, 20 + rows, 4.0);
+            packed.forward(x, y, &ws, &bd);
+            expectMatricesBitExact(y, packed.forward(x));
+        }
+        // The breakdown integrates both phases of every call.
+        EXPECT_GT(bd.quantizeNanos, 0u);
+        EXPECT_GT(bd.gemmNanos, 0u);
+    }
+}
+
 TEST(PackedLinear, ExplicitPoolProducesSameResult)
 {
     // Threading never changes a tile's result, whatever the tier:

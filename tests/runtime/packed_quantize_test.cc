@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Fast-path activation encoder verification. The contract under test
+ * is byte-exactness: for the paper activation config, every kernel
+ * tier of runtime/packed_quantize must produce element/scale/meta
+ * streams identical to the functional ElemEmQuantizer path
+ * (PackedM2xfpTensor::packActivations(m, q)) — same bytes, not just
+ * same decoded values.
+ *
+ *  - The FP4/FP6 rounding ladders are swept against the Minifloat
+ *    RNE oracle over every sign/exponent (all 2^16 high-half bit
+ *    patterns), dense neighborhoods of every rounding boundary, and
+ *    random full bit patterns (NaN/Inf/denormals included).
+ *  - Group encoders (scalar and AVX2) are swept on random and
+ *    adversarial groups: NaN/Inf/denormal inputs, all-zero groups,
+ *    signed zeros, E8M0 clamp boundaries, exact rounding ties.
+ *  - Matrix-level packing is compared across ISA tiers, thread
+ *    counts, ragged tail shapes and all five scale rules, and the
+ *    storage-reusing into-overload is cross-checked against fresh
+ *    packs after shape changes.
+ *
+ * AVX2-specific cases skip (not fail) on machines without the tier;
+ * CI additionally runs the whole runtime label under
+ * M2X_SIMD=scalar.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "runtime/packed_quantize.hh"
+#include "runtime_test_util.hh"
+#include "util/rng.hh"
+
+namespace m2x {
+namespace runtime {
+namespace {
+
+using test::randomMatrix;
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+constexpr size_t bytesPerGroup =
+    PackedM2xfpTensor::bytesPerGroupElems;
+
+/** All five shared-scale rules. */
+const ScaleRule allRules[] = {ScaleRule::Floor, ScaleRule::Ceil,
+                              ScaleRule::Rtn1, ScaleRule::Rtn2,
+                              ScaleRule::Rtne};
+
+ElemEmQuantizer
+quantizerFor(ScaleRule rule)
+{
+    M2xfpConfig cfg;
+    cfg.rule = rule;
+    return makeM2xfpActivationQuantizer(cfg);
+}
+
+/** Expected group bytes from the functional codec. */
+struct GroupBytes
+{
+    uint8_t elems[bytesPerGroup];
+    uint8_t scale;
+    uint8_t meta;
+};
+
+GroupBytes
+functionalGroupBytes(const float *in, const ElemEmQuantizer &q)
+{
+    ElemEmGroup g =
+        q.encodeGroup(std::span<const float>(in, groupSize));
+    GroupBytes b{};
+    b.scale = g.scale.code();
+    for (size_t j = 0; j < groupSize / 2; ++j)
+        b.elems[j] = static_cast<uint8_t>(
+            (g.fp4Codes[2 * j] & 0xfu) |
+            ((g.fp4Codes[2 * j + 1] & 0xfu) << 4));
+    for (size_t s = 0; s < g.meta.size() && s < 4; ++s)
+        b.meta = static_cast<uint8_t>(
+            b.meta | ((g.meta[s] & 0x3u) << (2 * s)));
+    return b;
+}
+
+void
+expectGroupMatches(const float *in, ScaleRule rule, SimdIsa isa,
+                   const char *what)
+{
+    const ElemEmQuantizer q = quantizerFor(rule);
+    GroupBytes want = functionalGroupBytes(in, q);
+    GroupBytes got{};
+    if (isa == SimdIsa::Scalar) {
+        detail::encodeActivationGroupScalar(in, rule, got.elems,
+                                            &got.scale, &got.meta);
+    } else {
+#ifdef M2X_HAVE_AVX2
+        detail::encodeActivationGroupAvx2(in, rule, got.elems,
+                                          &got.scale, &got.meta);
+#else
+        GTEST_FAIL() << "AVX2 tier not compiled in";
+#endif
+    }
+    ASSERT_EQ(got.scale, want.scale)
+        << what << " scale (" << simdIsaName(isa) << ")";
+    ASSERT_EQ(got.meta, want.meta)
+        << what << " meta (" << simdIsaName(isa) << ")";
+    for (size_t j = 0; j < bytesPerGroup; ++j)
+        ASSERT_EQ(got.elems[j], want.elems[j])
+            << what << " element byte " << j << " ("
+            << simdIsaName(isa) << ")";
+}
+
+void
+expectStreamsEqual(const PackedM2xfpTensor &got,
+                   const PackedM2xfpTensor &want, const char *what)
+{
+    ASSERT_EQ(got.rows(), want.rows()) << what;
+    ASSERT_EQ(got.cols(), want.cols()) << what;
+    ASSERT_EQ(got.elementStream(), want.elementStream())
+        << what << ": element stream";
+    ASSERT_EQ(got.scaleStream(), want.scaleStream())
+        << what << ": scale stream";
+    ASSERT_EQ(got.metadataStream(), want.metadataStream())
+        << what << ": metadata stream";
+}
+
+/** Interesting values for adversarial groups. */
+std::vector<float>
+adversarialValues()
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> vals = {
+        0.0f, -0.0f, inf, -inf, qnan, -qnan,
+        std::numeric_limits<float>::max(),
+        -std::numeric_limits<float>::max(),
+        std::numeric_limits<float>::min(),       // min normal
+        -std::numeric_limits<float>::min(),
+        std::numeric_limits<float>::denorm_min(),
+        -std::numeric_limits<float>::denorm_min(),
+        1.0f, -1.0f, 6.0f, -6.0f, 7.5f, 1e38f, -1e38f,
+    };
+    // Every FP4 rounding boundary at several block scales, including
+    // scales that clamp at both ends of the E8M0 range.
+    const float ties[] = {0.25f, 0.75f, 1.25f, 1.75f,
+                          2.5f,  3.5f,  5.0f,  6.0f};
+    const int exps[] = {-149, -130, -127, -20, -1, 0,
+                        1,    20,   126,  127};
+    for (float t : ties) {
+        for (int e : exps) {
+            float v = std::ldexp(t, e);
+            vals.push_back(v);
+            vals.push_back(-v);
+            vals.push_back(std::nextafter(v, 0.0f));
+            vals.push_back(std::nextafter(v, inf));
+        }
+    }
+    return vals;
+}
+
+std::vector<SimdIsa>
+isasUnderTest()
+{
+    return supportedSimdIsas();
+}
+
+TEST(QuantizeLadders, Fp4MatchesMinifloatRne)
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    auto check = [&](float x) {
+        uint32_t want = fp4.encode(x);
+        uint32_t got = detail::fp4CodeRne(x);
+        ASSERT_EQ(got, want)
+            << "x = " << x << " bits = " << std::hex
+            << std::bit_cast<uint32_t>(x);
+    };
+    // Every sign/exponent region: all 2^16 high-half bit patterns
+    // (covers ±0, denormals, ±Inf and a NaN spread).
+    for (uint32_t h = 0; h < 0x10000u; ++h)
+        check(std::bit_cast<float>(h << 16));
+    // Dense neighborhoods of every rounding boundary and FP4 value.
+    const float pts[] = {0.0f, 0.25f, 0.5f, 0.75f, 1.0f, 1.25f,
+                         1.5f, 1.75f, 2.0f, 2.5f,  3.0f, 3.5f,
+                         4.0f, 5.0f,  6.0f};
+    for (float p : pts) {
+        float up = p, dn = p;
+        for (int i = 0; i < 4; ++i) {
+            check(up);
+            check(-up);
+            check(dn);
+            check(-dn);
+            up = std::nextafter(
+                up, std::numeric_limits<float>::infinity());
+            dn = std::nextafter(
+                dn, -std::numeric_limits<float>::infinity());
+        }
+    }
+    // Random full bit patterns: every NaN payload and denormal is a
+    // legal input.
+    Rng rng(7);
+    for (int i = 0; i < 200000; ++i)
+        check(std::bit_cast<float>(
+            static_cast<uint32_t>(rng.next())));
+}
+
+TEST(QuantizeLadders, Fp6MatchesMinifloatRne)
+{
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    auto check = [&](float a) {
+        uint32_t want = fp6.encode(a) & 0x1fu;
+        uint32_t got = detail::fp6MagRne(a);
+        ASSERT_EQ(got, want)
+            << "a = " << a << " bits = " << std::hex
+            << std::bit_cast<uint32_t>(a);
+    };
+    // The encoder only ever feeds it |x| * inv, i.e. non-negative
+    // magnitudes or NaN.
+    for (uint32_t h = 0; h < 0x8000u; ++h)
+        check(std::bit_cast<float>(h << 16));
+    check(std::numeric_limits<float>::quiet_NaN());
+    // Dense sweep of the whole FP6 range plus every half-step tie.
+    for (int n = 0; n <= 8 * 16; ++n) {
+        float v = static_cast<float>(n) / 16.0f; // 0 .. 8, step 1/16
+        float up = v, dn = v;
+        for (int i = 0; i < 3; ++i) {
+            check(up);
+            check(dn);
+            up = std::nextafter(
+                up, std::numeric_limits<float>::infinity());
+            dn = std::nextafter(dn, 0.0f);
+        }
+    }
+    Rng rng(11);
+    for (int i = 0; i < 200000; ++i) {
+        float f = std::bit_cast<float>(
+            static_cast<uint32_t>(rng.next()));
+        check(std::fabs(f));
+    }
+}
+
+TEST(QuantizeGroup, RandomParityEveryIsa)
+{
+    Rng rng(21);
+    for (SimdIsa isa : isasUnderTest()) {
+        for (int it = 0; it < 2000; ++it) {
+            float in[groupSize];
+            double scale = std::ldexp(
+                1.0, static_cast<int>(rng.uniformInt(60)) - 30);
+            for (auto &v : in)
+                v = static_cast<float>(rng.studentT(4.0) * scale);
+            ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+                in, ScaleRule::Floor, isa, "random group"));
+        }
+    }
+}
+
+TEST(QuantizeGroup, AdversarialParityEveryIsa)
+{
+    std::vector<float> vals = adversarialValues();
+    Rng rng(33);
+    for (SimdIsa isa : isasUnderTest()) {
+        // Groups drawn purely from the adversarial pool.
+        for (int it = 0; it < 4000; ++it) {
+            float in[groupSize];
+            for (auto &v : in)
+                v = vals[rng.uniformInt(vals.size())];
+            ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+                in, ScaleRule::Floor, isa, "adversarial group"));
+        }
+        // Whole-group broadcasts of each adversarial value (hits
+        // all-NaN, all-Inf, all-denormal and both E8M0 clamps).
+        for (float v : vals) {
+            float in[groupSize];
+            std::fill(std::begin(in), std::end(in), v);
+            ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+                in, ScaleRule::Floor, isa, "broadcast group"));
+        }
+        // Single non-zero element in every position (top-1 index
+        // coverage), all-zero groups, signed-zero-only groups.
+        float zeros[groupSize] = {};
+        ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+            zeros, ScaleRule::Floor, isa, "all-zero group"));
+        float negzeros[groupSize];
+        std::fill(std::begin(negzeros), std::end(negzeros), -0.0f);
+        ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+            negzeros, ScaleRule::Floor, isa, "neg-zero group"));
+        for (size_t pos = 0; pos < groupSize; ++pos) {
+            float in[groupSize] = {};
+            in[pos] = -3.578f;
+            ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+                in, ScaleRule::Floor, isa, "single element"));
+        }
+    }
+}
+
+TEST(QuantizeGroup, ScaleRuleParityEveryIsa)
+{
+    Rng rng(47);
+    std::vector<float> vals = adversarialValues();
+    for (SimdIsa isa : isasUnderTest()) {
+        for (ScaleRule rule : allRules) {
+            for (int it = 0; it < 300; ++it) {
+                float in[groupSize];
+                for (auto &v : in)
+                    v = (it % 2 == 0)
+                            ? static_cast<float>(rng.studentT(4.0))
+                            : vals[rng.uniformInt(vals.size())];
+                ASSERT_NO_FATAL_FAILURE(expectGroupMatches(
+                    in, rule, isa, scaleRuleName(rule)));
+            }
+        }
+    }
+}
+
+TEST(QuantizeMatrix, ParityAcrossShapesIsasAndThreads)
+{
+    const ElemEmQuantizer q = quantizerFor(ScaleRule::Floor);
+    const struct
+    {
+        size_t rows, cols;
+    } shapes[] = {{1, 1},  {1, 31},  {2, 32},  {3, 33},
+                  {5, 64}, {7, 100}, {16, 192}, {33, 257}};
+    for (const auto &sh : shapes) {
+        Matrix m = randomMatrix(sh.rows, sh.cols,
+                                1000 + sh.rows * 131 + sh.cols, 4.0);
+        PackedM2xfpTensor want =
+            PackedM2xfpTensor::packActivations(m, q);
+        for (SimdIsa isa : isasUnderTest()) {
+            for (unsigned threads : {1u, 4u}) {
+                ThreadPool pool(threads);
+                PackedM2xfpTensor got =
+                    PackedM2xfpTensor::packActivations(m, q, &pool,
+                                                       isa);
+                ASSERT_NO_FATAL_FAILURE(expectStreamsEqual(
+                    got, want, simdIsaName(isa)));
+            }
+        }
+    }
+}
+
+TEST(QuantizeMatrix, AdversarialMatrixParity)
+{
+    const ElemEmQuantizer q = quantizerFor(ScaleRule::Floor);
+    std::vector<float> vals = adversarialValues();
+    Rng rng(59);
+    Matrix m(9, 135); // ragged tail: 5 groups minus 25 elements
+    for (auto &v : m.flat())
+        v = vals[rng.uniformInt(vals.size())];
+    PackedM2xfpTensor want = PackedM2xfpTensor::packActivations(m, q);
+    for (SimdIsa isa : isasUnderTest()) {
+        ThreadPool pool(3);
+        PackedM2xfpTensor got =
+            PackedM2xfpTensor::packActivations(m, q, &pool, isa);
+        ASSERT_NO_FATAL_FAILURE(
+            expectStreamsEqual(got, want, simdIsaName(isa)));
+    }
+}
+
+TEST(QuantizeMatrix, IntoOverloadReusesStorageAcrossShapes)
+{
+    const ElemEmQuantizer q = quantizerFor(ScaleRule::Floor);
+    PackedM2xfpTensor reused;
+    const struct
+    {
+        size_t rows, cols;
+    } shapes[] = {{12, 200}, {3, 33}, {1, 1}, {16, 192}, {5, 64}};
+    for (SimdIsa isa : isasUnderTest()) {
+        for (const auto &sh : shapes) {
+            Matrix m = randomMatrix(
+                sh.rows, sh.cols, 77 + sh.rows * 7 + sh.cols, 4.0);
+            PackedM2xfpTensor::packActivations(m, q, nullptr, isa,
+                                               reused);
+            PackedM2xfpTensor want =
+                PackedM2xfpTensor::packActivations(m, q);
+            ASSERT_NO_FATAL_FAILURE(
+                expectStreamsEqual(reused, want, "reused buffer"));
+        }
+    }
+}
+
+TEST(QuantizeMatrix, EmptyShapes)
+{
+    const ElemEmQuantizer q = quantizerFor(ScaleRule::Floor);
+    for (SimdIsa isa : isasUnderTest()) {
+        Matrix empty_rows(0, 64);
+        PackedM2xfpTensor t = PackedM2xfpTensor::packActivations(
+            empty_rows, q, nullptr, isa);
+        EXPECT_EQ(t.rows(), 0u);
+        EXPECT_EQ(t.totalBytes(), 0u);
+        Matrix empty_cols(4, 0);
+        t = PackedM2xfpTensor::packActivations(empty_cols, q,
+                                               nullptr, isa);
+        EXPECT_EQ(t.rows(), 4u);
+        EXPECT_EQ(t.cols(), 0u);
+        EXPECT_EQ(t.totalBytes(), 0u);
+    }
+}
+
+TEST(QuantizeGrain, Invariants)
+{
+    const size_t rows_cases[] = {0,  1,  2,   3,   7,   8,  15,
+                                 16, 33, 100, 255, 256, 1000};
+    const size_t lanes_cases[] = {1, 2, 3, 4, 8, 16, 64};
+    for (size_t rows : rows_cases) {
+        for (size_t lanes : lanes_cases) {
+            size_t grain =
+                detail::packedQuantizeGrain(rows, lanes);
+            ASSERT_GE(grain, 1u);
+            ASSERT_LE(grain, std::max<size_t>(rows, 1));
+            if (rows == 0)
+                continue;
+            size_t chunks = (rows + grain - 1) / grain;
+            if (lanes >= 2) {
+                ASSERT_GE(chunks,
+                          std::min<size_t>(rows, 2 * lanes))
+                    << "rows " << rows << " lanes " << lanes;
+            } else {
+                ASSERT_EQ(chunks, 1u);
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace runtime
+} // namespace m2x
