@@ -5,7 +5,9 @@
  * GEMM (per ISA kernel tier) and PackedLinear forward vs the
  * reference quantized path — with the quantize/GEMM wall-time split
  * — at several shapes and thread counts, plus a whole-model
- * InferenceSession run. Writes the machine-readable
+ * InferenceSession run and an autoregressive decode run (tokens/s
+ * and resident KV bytes per token, packed M2XFP cache vs the
+ * fp32-cache oracle baseline). Writes the machine-readable
  * BENCH_runtime.json — the repo's perf trajectory point for the
  * execution runtime, including which SIMD tier ran.
  *
@@ -35,6 +37,8 @@
 #include "core/m2xfp.hh"
 #include "gemm/gemm.hh"
 #include "model/config.hh"
+#include "model/transformer.hh"
+#include "runtime/decode_session.hh"
 #include "runtime/inference_session.hh"
 #include "runtime/packed_gemm.hh"
 #include "runtime/packed_linear.hh"
@@ -554,7 +558,150 @@ main(int argc, char **argv)
                      st->gemmSeconds(), st->gflops(),
                      st->packedBytes);
     }
-    std::fprintf(out, "\n    ]\n  }\n}\n");
+    std::fprintf(out, "\n    ]\n  },\n  \"decode\": ");
+
+    // Autoregressive decode: prefill a batch of sequences, then
+    // generate token by token against a persistent KV cache. The
+    // fp32 cache is the bit-exactness oracle (it replicates the
+    // full forward's double-precision attention arithmetic); the
+    // packed cache keeps K/V resident in the M2XFP streams at 4.5
+    // bits/element and fuses LUT decode into the blocked attention
+    // kernels. Parity of both modes against the one-shot forward is
+    // verified on a small model before any timing.
+    {
+        model::ModelConfig vc = model::llama2_7b();
+        vc.nLayers = 1;
+        vc.vocab = 128;
+        std::vector<int> vtoks(12);
+        {
+            Rng rng(123);
+            for (auto &t : vtoks)
+                t = static_cast<int>(rng.uniformInt(vc.vocab));
+        }
+        auto run_split = [&](DecodeSession &s,
+                             std::span<const int> toks) {
+            size_t seq = s.addSequence();
+            Matrix first =
+                s.prefill(seq, toks.subspan(0, toks.size() - 2));
+            Matrix all(toks.size(), first.cols());
+            size_t t0 = 0;
+            auto put = [&](const Matrix &m) {
+                for (size_t r = 0; r < m.rows(); ++r, ++t0)
+                    for (size_t c = 0; c < m.cols(); ++c)
+                        all(t0, c) = m(r, c);
+            };
+            put(first);
+            for (size_t t = toks.size() - 2; t < toks.size(); ++t) {
+                int tok = toks[t];
+                put(s.decode({&tok, 1}));
+            }
+            return all;
+        };
+        {
+            DecodeSession s(vc, {.kvMode = KvCacheMode::Fp32});
+            requireBitExact(run_split(s, vtoks),
+                            s.model().forwardLogits(vtoks),
+                            "fp32-cache decode logits");
+        }
+        {
+            DecodeSession s(vc, {.kvMode = KvCacheMode::Packed});
+            model::TinyTransformer ref(vc);
+            ref.rebuild(packedLinearFactory({}, nullptr, nullptr,
+                                            s.simdIsa()));
+            ref.setKvQuantizers(
+                [] {
+                    return std::make_shared<ElemEmQuantizer>(
+                        makeM2xfpActivationQuantizer());
+                },
+                nullptr);
+            requireClose(run_split(s, vtoks),
+                         ref.forwardLogits(vtoks), 1e-5,
+                         "packed-cache decode logits");
+        }
+
+        model::ModelConfig dc = model::llama2_7b();
+        if (quick) {
+            dc.nLayers = 1;
+            dc.vocab = 128;
+        }
+        size_t batch = quick ? 4 : 8;
+        size_t prefill_tokens = quick ? 8 : 256;
+        size_t decode_steps = quick ? 4 : 32;
+        unsigned dec_threads = ThreadPool::defaultThreads();
+
+        std::fprintf(out,
+                     "{\n"
+                     "    \"model\": \"%s\", \"layers\": %u, "
+                     "\"d_model\": %u,\n"
+                     "    \"batch\": %zu, \"prefill_tokens\": %zu, "
+                     "\"decode_steps\": %zu,\n"
+                     "    \"threads\": %u, \"isa\": \"%s\",\n"
+                     "    \"modes\": [",
+                     dc.name.c_str(), dc.nLayers, dc.dModel, batch,
+                     prefill_tokens, decode_steps, dec_threads,
+                     activeSimdIsaName());
+
+        double tokens_per_s[2] = {0.0, 0.0}; // [fp32, packed]
+        KvCacheMode modes[2] = {KvCacheMode::Fp32,
+                                KvCacheMode::Packed};
+        for (int mi = 0; mi < 2; ++mi) {
+            KvCacheMode mode = modes[mi];
+            DecodeSession s(dc, {.threads = dec_threads,
+                                 .kvMode = mode});
+            Rng rng(321);
+            Stopwatch pre_sw;
+            for (size_t b = 0; b < batch; ++b) {
+                std::vector<int> prompt(prefill_tokens);
+                for (auto &t : prompt)
+                    t = static_cast<int>(rng.uniformInt(dc.vocab));
+                s.prefill(s.addSequence(), prompt);
+            }
+            double prefill_s = pre_sw.seconds();
+
+            std::vector<int> next(batch);
+            Stopwatch dec_sw;
+            for (size_t t = 0; t < decode_steps; ++t) {
+                for (auto &n : next)
+                    n = static_cast<int>(rng.uniformInt(dc.vocab));
+                s.decode(next);
+            }
+            double decode_s = dec_sw.seconds();
+            double tps = static_cast<double>(batch * decode_steps) /
+                         decode_s;
+            tokens_per_s[mi] = tps;
+            double bpt = s.kvBytesPerToken();
+            double bits_per_elem =
+                bpt * 8.0 / (2.0 * dc.nLayers * dc.dModel);
+
+            std::printf("decode/%-6s batch %zu, %zu+%zu tokens "
+                        "@%u threads: %7.1f tok/s, "
+                        "%.0f KV bytes/token (%.2f bits/elem)\n",
+                        kvCacheModeName(mode), batch,
+                        prefill_tokens, decode_steps, dec_threads,
+                        tps, bpt, bits_per_elem);
+            std::fprintf(out,
+                         "%s\n      {\"kv_cache\": \"%s\", "
+                         "\"prefill_s\": %.6e, "
+                         "\"decode_s\": %.6e, "
+                         "\"tokens_per_s\": %.3f, "
+                         "\"attend_s\": %.6e,\n"
+                         "       \"kv_bytes\": %zu, "
+                         "\"kv_bytes_per_token\": %.3f, "
+                         "\"kv_bits_per_element\": %.4f}",
+                         mi ? "," : "", kvCacheModeName(mode),
+                         prefill_s, decode_s, tps,
+                         s.attendSeconds(), s.kvBytes(), bpt,
+                         bits_per_elem);
+        }
+        double ratio = tokens_per_s[1] / tokens_per_s[0];
+        std::printf("decode packed vs fp32 cache: %.2fx tokens/s\n",
+                    ratio);
+        std::fprintf(out,
+                     "\n    ],\n"
+                     "    \"packed_vs_fp32_tokens_per_s\": %.3f\n"
+                     "  }\n}\n",
+                     ratio);
+    }
     std::fclose(out);
     std::printf("\nwrote %s\n", out_path.c_str());
     return 0;

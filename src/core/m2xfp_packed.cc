@@ -106,6 +106,23 @@ PackedM2xfpTensor::fromRawStreams(size_t rows, size_t cols,
 }
 
 PackedM2xfpTensor
+PackedM2xfpTensor::emptyActivations(size_t cols,
+                                    const ElemEmQuantizer &q)
+{
+    const ElemEmConfig &cfg = q.config();
+    m2x_assert(cfg.groupSize == groupSize &&
+               cfg.subgroupSize == subgroupSize && cfg.topK == 1 &&
+               cfg.clampBias,
+               "packed layout requires the paper config (g32/sg8 top1)");
+    m2x_assert(cols > 0, "empty activation tensor needs cols > 0");
+    PackedM2xfpTensor t;
+    t.rows_ = 0;
+    t.cols_ = cols;
+    t.groupsPerRow_ = ceilDiv(cols, groupSize);
+    return t;
+}
+
+PackedM2xfpTensor
 PackedM2xfpTensor::packActivations(const Matrix &m,
                                    const ElemEmQuantizer &q)
 {

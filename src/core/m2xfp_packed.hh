@@ -65,6 +65,29 @@ class PackedM2xfpTensor
                                 PackedM2xfpTensor &out);
     /** @} */
 
+    /** @{
+     * Growable activation-role tensor — the KV-cache substrate. An
+     * empty tensor is created with a fixed column count, then rows
+     * are appended incrementally: each append encodes @p n_rows
+     * contiguous row-major rows (of cols() floats each) through the
+     * fast-path encoder straight onto the tails of the three streams.
+     * Amortized O(1) per row (vector doubling); existing bytes are
+     * never rewritten, so zero-copy group accessors stay valid for
+     * all previously appended rows. Same config restrictions as the
+     * fast-path packActivations (asserted). Multi-row appends
+     * (prefill chunks) distribute the row encodes over @p pool
+     * (null = the global pool) exactly like packActivations;
+     * single-row appends skip the pool. appendActivationRows is
+     * defined in the m2x_runtime library.
+     */
+    static PackedM2xfpTensor emptyActivations(size_t cols,
+                                              const ElemEmQuantizer &q);
+    void appendActivationRows(const float *rows, size_t n_rows,
+                              const ElemEmQuantizer &q,
+                              runtime::SimdIsa isa,
+                              runtime::ThreadPool *pool = nullptr);
+    /** @} */
+
     /** Pack a row-major matrix as weights (Sg-EM-2bit adaptive). */
     static PackedM2xfpTensor packWeights(const Matrix &m,
                                          const SgEmQuantizer &q);

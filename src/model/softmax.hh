@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The attention softmax, shared between the full-forward causal
+ * attention (model/transformer) and the KV-cache attend kernels
+ * (runtime/kv_cache).
+ *
+ * This exact operation sequence — float max subtraction, float exp,
+ * double normalizer accumulated in ascending order, float inverse
+ * applied as a float multiply — IS the bit-exactness contract: the
+ * fp32-cache decode oracle reproduces forwardLogits() bitwise only
+ * because both paths call this one function. Do not fork it.
+ */
+
+#ifndef M2X_MODEL_SOFTMAX_HH__
+#define M2X_MODEL_SOFTMAX_HH__
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace m2x {
+namespace model {
+
+/** In-place softmax over scores[0, valid); valid must be >= 1. */
+inline void
+attentionSoftmax(float *scores, size_t valid)
+{
+    float mx = scores[0];
+    for (size_t j = 1; j < valid; ++j)
+        mx = std::max(mx, scores[j]);
+    double z = 0.0;
+    for (size_t j = 0; j < valid; ++j) {
+        scores[j] = std::exp(scores[j] - mx);
+        z += scores[j];
+    }
+    float inv_z = static_cast<float>(1.0 / z);
+    for (size_t j = 0; j < valid; ++j)
+        scores[j] *= inv_z;
+}
+
+} // namespace model
+} // namespace m2x
+
+#endif // M2X_MODEL_SOFTMAX_HH__

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "model/softmax.hh"
 #include "model/tensor_gen.hh"
 #include "util/logging.hh"
 
@@ -137,9 +138,14 @@ TinyTransformer::rmsNorm(const Matrix &x,
 
 namespace {
 
-/** Rotary position embedding applied in place per head. */
+/**
+ * Rotary position embedding applied in place per head. Row t rotates
+ * by its absolute position positions[t], so a chunk of rows deep in a
+ * sequence gets exactly the rotation the full forward would apply.
+ */
 void
-applyRope(Matrix &x, unsigned n_heads)
+applyRope(Matrix &x, unsigned n_heads,
+          std::span<const size_t> positions)
 {
     size_t t_len = x.rows();
     size_t d = x.cols();
@@ -149,7 +155,7 @@ applyRope(Matrix &x, unsigned n_heads)
             float *base = x.data() + t * d + h * hd;
             for (size_t i = 0; i + 1 < hd; i += 2) {
                 double theta =
-                    static_cast<double>(t) /
+                    static_cast<double>(positions[t]) /
                     std::pow(10000.0,
                              static_cast<double>(i) /
                                  static_cast<double>(hd));
@@ -166,19 +172,20 @@ applyRope(Matrix &x, unsigned n_heads)
 } // anonymous namespace
 
 Matrix
-TinyTransformer::attention(const Block &b, const Matrix &x_normed,
+TinyTransformer::attention(const Block &b, size_t layer,
+                           const Matrix &x_normed,
+                           std::span<const size_t> positions,
+                           AttentionBackend *backend,
                            const std::string &prefix,
                            std::map<std::string, Matrix> *collect) const
 {
-    size_t t_len = x_normed.rows();
-    size_t d = cfg_.dModel;
-    size_t hd = d / cfg_.nHeads;
-
+    // Projection stage: QKV linears, RoPE at the rows' absolute
+    // positions, §6.4 operand quantization.
     Matrix q = b.q->forward(x_normed);
     Matrix k = b.k->forward(x_normed);
     Matrix v = b.v->forward(x_normed);
-    applyRope(q, cfg_.nHeads);
-    applyRope(k, cfg_.nHeads);
+    applyRope(q, cfg_.nHeads, positions);
+    applyRope(k, cfg_.nHeads, positions);
 
     // §6.4 extension: K/V are right-hand GEMM operands and may be
     // quantized with the static-side codec; Q with the dynamic one.
@@ -192,6 +199,40 @@ TinyTransformer::attention(const Block &b, const Matrix &x_normed,
         auto qq = qpQ_();
         q = quantizeRowsGrouped(q, *qq);
     }
+
+    // Score/value stage: the built-in causal implementation, or the
+    // caller's incremental backend (which owns the KV cache).
+    Matrix out;
+    if (backend) {
+        // §6.4 P quantization happens inside the softmax loop, which
+        // an external backend owns — none implements it today, so
+        // running such a model incrementally would silently diverge
+        // from the one-shot forward. Fail loudly instead.
+        m2x_assert(!qpQ_,
+                   "forwardChunk: the post-softmax P quantizer "
+                   "(setKvQuantizers) is not supported by attention "
+                   "backends");
+        out = backend->attend(layer, q, k, v, positions, cfg_.nHeads);
+        m2x_assert(out.rows() == x_normed.rows() &&
+                   out.cols() == cfg_.dModel,
+                   "attention backend returned %zux%zu, want %zux%u",
+                   out.rows(), out.cols(), x_normed.rows(),
+                   cfg_.dModel);
+    } else {
+        out = causalAttend(q, k, v);
+    }
+    if (collect)
+        (*collect)[prefix + "o"] = out;
+    return b.o->forward(out);
+}
+
+Matrix
+TinyTransformer::causalAttend(const Matrix &q, const Matrix &k,
+                              const Matrix &v) const
+{
+    size_t t_len = q.rows();
+    size_t d = cfg_.dModel;
+    size_t hd = d / cfg_.nHeads;
 
     float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
     Matrix out(t_len, d);
@@ -208,18 +249,9 @@ TinyTransformer::attention(const Block &b, const Matrix &x_normed,
                            k(j, off + c);
                 scores[j] = static_cast<float>(dot) * inv_sqrt;
             }
-            // Softmax over the causal prefix.
-            float mx = scores[0];
-            for (size_t j = 1; j < valid; ++j)
-                mx = std::max(mx, scores[j]);
-            double z = 0.0;
-            for (size_t j = 0; j < valid; ++j) {
-                scores[j] = std::exp(scores[j] - mx);
-                z += scores[j];
-            }
-            float inv_z = static_cast<float>(1.0 / z);
-            for (size_t j = 0; j < valid; ++j)
-                scores[j] *= inv_z;
+            // Softmax over the causal prefix — the shared helper is
+            // the bit-exactness contract with the decode runtime.
+            attentionSoftmax(scores.data(), valid);
             // §6.4: optionally quantize the probability row (P).
             if (qpQ_) {
                 auto pq = qpQ_();
@@ -239,17 +271,19 @@ TinyTransformer::attention(const Block &b, const Matrix &x_normed,
             }
         }
     }
-    if (collect)
-        (*collect)[prefix + "o"] = out;
-    return b.o->forward(out);
+    return out;
 }
 
 Matrix
 TinyTransformer::forwardInner(
-    std::span<const int> tokens,
+    std::span<const int> tokens, std::span<const size_t> positions,
+    AttentionBackend *backend,
     std::map<std::string, Matrix> *collect) const
 {
     size_t t_len = tokens.size();
+    m2x_assert(positions.size() == t_len,
+               "positions: %zu entries for %zu tokens",
+               positions.size(), t_len);
     Matrix x(t_len, cfg_.dModel);
     for (size_t t = 0; t < t_len; ++t) {
         int tok = tokens[t];
@@ -273,7 +307,8 @@ TinyTransformer::forwardInner(
         record(p + "q", xn);
         record(p + "k", xn);
         record(p + "v", xn);
-        Matrix attn = attention(b, xn, p, collect);
+        Matrix attn =
+            attention(b, l, xn, positions, backend, p, collect);
         for (size_t i = 0; i < x.size(); ++i)
             x.flat()[i] += attn.flat()[i];
 
@@ -300,17 +335,41 @@ TinyTransformer::forwardInner(
     return head_->forward(xf);
 }
 
+namespace {
+
+/** Positions 0..T-1: the full-forward identity mapping. */
+std::vector<size_t>
+identityPositions(size_t t_len)
+{
+    std::vector<size_t> pos(t_len);
+    for (size_t t = 0; t < t_len; ++t)
+        pos[t] = t;
+    return pos;
+}
+
+} // anonymous namespace
+
 void
 TinyTransformer::collectCalibration(std::span<const int> tokens)
 {
     calib_.clear();
-    forwardInner(tokens, &calib_);
+    forwardInner(tokens, identityPositions(tokens.size()), nullptr,
+                 &calib_);
 }
 
 Matrix
 TinyTransformer::forwardLogits(std::span<const int> tokens) const
 {
-    return forwardInner(tokens, nullptr);
+    return forwardInner(tokens, identityPositions(tokens.size()),
+                        nullptr, nullptr);
+}
+
+Matrix
+TinyTransformer::forwardChunk(std::span<const int> tokens,
+                              std::span<const size_t> positions,
+                              AttentionBackend &backend) const
+{
+    return forwardInner(tokens, positions, &backend, nullptr);
 }
 
 } // namespace model

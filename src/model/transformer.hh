@@ -9,6 +9,14 @@
  * The §6.4 extension — quantizing the attention KV cache (Sg-EM for
  * K/V as static-side operands, Elem-EM for Q and the probability
  * matrix P) — is available via setKvQuantizers().
+ *
+ * Attention is split into a projection stage (QKV linears, RoPE,
+ * §6.4 operand quantization) and a score/value stage behind the
+ * AttentionBackend seam, so the same block computation runs either
+ * as the classic full causal forward (forwardLogits — recomputes the
+ * whole prefix, the built-in backend) or incrementally against an
+ * externally owned KV cache (forwardChunk — one chunk of tokens at
+ * explicit positions, backend supplied by a decode engine).
  */
 
 #ifndef M2X_MODEL_TRANSFORMER_HH__
@@ -40,6 +48,33 @@ using LinearFactory = std::function<std::unique_ptr<LinearOp>(
 LinearFactory fp32LinearFactory();
 
 /**
+ * The attention seam between the transformer's per-block projection
+ * stage and the score/value computation. The full-forward path uses
+ * the built-in causal implementation; incremental decode engines
+ * (src/runtime/decode_session) implement this interface to run the
+ * same block computation against an externally owned KV cache.
+ */
+class AttentionBackend
+{
+  public:
+    virtual ~AttentionBackend() = default;
+
+    /**
+     * Context rows [rows, dModel] for one block's chunk of queries.
+     * @p q/@p k/@p v are the block's projected rows after RoPE and
+     * any §6.4 operand quantization; row i belongs to the token at
+     * absolute position positions[i]. The backend owns causality:
+     * the built-in implementation masks j > i within the chunk, a
+     * KV-cache backend appends k/v and attends over everything
+     * cached so far.
+     */
+    virtual Matrix attend(size_t layer, const Matrix &q,
+                          const Matrix &k, const Matrix &v,
+                          std::span<const size_t> positions,
+                          unsigned n_heads) = 0;
+};
+
+/**
  * A factory applying independent W/A group quantizers. The functors
  * create fresh quantizer instances per layer (they carry per-tensor
  * calibration state).
@@ -68,6 +103,19 @@ class TinyTransformer
 
     /** Logits [T, vocab] for a causal forward pass over tokens. */
     Matrix forwardLogits(std::span<const int> tokens) const;
+
+    /**
+     * Logits [rows, vocab] for one chunk of tokens at the given
+     * absolute @p positions (one per token — they drive RoPE), with
+     * the attention score/value stage delegated to @p backend. This
+     * is the incremental entry point: a decode engine calls it once
+     * per prefill chunk or decode step, with a backend that owns the
+     * KV cache. forwardLogits(tokens) is exactly
+     * forwardChunk(tokens, {0..T-1}, built-in causal backend).
+     */
+    Matrix forwardChunk(std::span<const int> tokens,
+                        std::span<const size_t> positions,
+                        AttentionBackend &backend) const;
 
     /**
      * §6.4 extension: quantize the attention operands. K and V use
@@ -110,10 +158,17 @@ class TinyTransformer
 
     Matrix rmsNorm(const Matrix &x,
                    const std::vector<float> &gain) const;
-    Matrix attention(const Block &b, const Matrix &x_normed,
+    Matrix attention(const Block &b, size_t layer,
+                     const Matrix &x_normed,
+                     std::span<const size_t> positions,
+                     AttentionBackend *backend,
                      const std::string &prefix,
                      std::map<std::string, Matrix> *collect) const;
+    Matrix causalAttend(const Matrix &q, const Matrix &k,
+                        const Matrix &v) const;
     Matrix forwardInner(std::span<const int> tokens,
+                        std::span<const size_t> positions,
+                        AttentionBackend *backend,
                         std::map<std::string, Matrix> *collect) const;
 
     /** Ordered (name, raw weight, op slot) tuples. */

@@ -1,0 +1,174 @@
+#include "runtime/decode_session.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+
+/**
+ * The AttentionBackend gluing forwardChunk to the per-sequence
+ * caches. Two routing modes, reconfigured per session call (the
+ * session is single-driver-threaded by contract):
+ *  - prefill: every chunk row belongs to one sequence — append the
+ *    whole chunk, then attend with the cache's internal parallelism
+ *    (heads / query blocks over the pool);
+ *  - step: chunk row s belongs to sequence s — fan the sequences
+ *    out over the pool, each lane appending + attending its own
+ *    caches (nested attends run inline).
+ */
+class DecodeSession::Backend : public model::AttentionBackend
+{
+  public:
+    explicit Backend(DecodeSession &s) : s_(s) {}
+
+    void
+    beginPrefill(size_t seq)
+    {
+        step_ = false;
+        seq_ = seq;
+    }
+
+    void beginStep() { step_ = true; }
+
+    Matrix
+    attend(size_t layer, const Matrix &q, const Matrix &k,
+           const Matrix &v, std::span<const size_t> positions,
+           unsigned n_heads) override
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        size_t d = q.cols();
+        Matrix ctx(q.rows(), d);
+        if (!step_) {
+            KvCache &c = s_.seqs_[seq_].cache;
+            c.append(layer, k.data(), v.data(), k.rows(),
+                     s_.pool());
+            c.attend(layer, q.data(), q.rows(), positions[0],
+                     n_heads, ctx.data(), s_.pool());
+        } else {
+            ThreadPool &tp =
+                s_.pool() ? *s_.pool() : ThreadPool::global();
+            tp.parallelFor(
+                0, q.rows(), 1, [&](size_t s0, size_t s1) {
+                    for (size_t s = s0; s < s1; ++s) {
+                        KvCache &c = s_.seqs_[s].cache;
+                        c.append(layer, k.data() + s * d,
+                                 v.data() + s * d, 1);
+                        c.attend(layer, q.data() + s * d, 1,
+                                 positions[s], n_heads,
+                                 ctx.data() + s * d, s_.pool());
+                    }
+                });
+        }
+        auto dt = std::chrono::steady_clock::now() - t0;
+        s_.attendNanos_.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count(),
+            std::memory_order_relaxed);
+        return ctx;
+    }
+
+  private:
+    DecodeSession &s_;
+    bool step_ = false;
+    size_t seq_ = 0;
+};
+
+DecodeSession::DecodeSession(const model::ModelConfig &model_cfg,
+                             DecodeConfig cfg)
+    : cfg_(cfg),
+      ownedPool_(cfg.threads
+                     ? std::make_unique<ThreadPool>(cfg.threads)
+                     : nullptr),
+      model_(model_cfg), isa_(cfg.isa)
+{
+    model_.rebuild(packedLinearFactory(cfg.format, ownedPool_.get(),
+                                       &stats_, isa_));
+    backend_ = std::make_unique<Backend>(*this);
+}
+
+DecodeSession::~DecodeSession() = default;
+
+ThreadPool *
+DecodeSession::pool() const
+{
+    return ownedPool_.get();
+}
+
+size_t
+DecodeSession::addSequence()
+{
+    const model::ModelConfig &mc = model_.config();
+    seqs_.push_back(Sequence{KvCache(mc.nLayers, mc.dModel,
+                                     cfg_.kvMode, cfg_.format,
+                                     isa_)});
+    return seqs_.size() - 1;
+}
+
+size_t
+DecodeSession::length(size_t seq) const
+{
+    m2x_assert(seq < seqs_.size(), "sequence %zu out of %zu", seq,
+               seqs_.size());
+    return seqs_[seq].cache.length();
+}
+
+const KvCache &
+DecodeSession::cache(size_t seq) const
+{
+    m2x_assert(seq < seqs_.size(), "sequence %zu out of %zu", seq,
+               seqs_.size());
+    return seqs_[seq].cache;
+}
+
+size_t
+DecodeSession::kvBytes() const
+{
+    size_t bytes = 0;
+    for (const Sequence &s : seqs_)
+        bytes += s.cache.totalBytes();
+    return bytes;
+}
+
+double
+DecodeSession::kvBytesPerToken() const
+{
+    size_t tokens = 0;
+    for (const Sequence &s : seqs_)
+        tokens += s.cache.length();
+    return tokens == 0 ? 0.0
+                       : static_cast<double>(kvBytes()) /
+                             static_cast<double>(tokens);
+}
+
+Matrix
+DecodeSession::prefill(size_t seq, std::span<const int> tokens)
+{
+    m2x_assert(seq < seqs_.size(), "sequence %zu out of %zu", seq,
+               seqs_.size());
+    m2x_assert(!tokens.empty(), "prefill needs at least one token");
+    size_t pos0 = seqs_[seq].cache.length();
+    std::vector<size_t> positions(tokens.size());
+    for (size_t t = 0; t < tokens.size(); ++t)
+        positions[t] = pos0 + t;
+    backend_->beginPrefill(seq);
+    return model_.forwardChunk(tokens, positions, *backend_);
+}
+
+Matrix
+DecodeSession::decode(std::span<const int> next)
+{
+    m2x_assert(!seqs_.empty(), "decode with no sequences");
+    m2x_assert(next.size() == seqs_.size(),
+               "decode: %zu tokens for %zu sequences", next.size(),
+               seqs_.size());
+    std::vector<size_t> positions(seqs_.size());
+    for (size_t s = 0; s < seqs_.size(); ++s)
+        positions[s] = seqs_[s].cache.length();
+    backend_->beginStep();
+    return model_.forwardChunk(next, positions, *backend_);
+}
+
+} // namespace runtime
+} // namespace m2x

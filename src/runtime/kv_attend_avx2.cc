@@ -1,0 +1,91 @@
+/**
+ * @file
+ * AVX2+FMA tier of the KV-cache attention primitives: 4-wide double
+ * FMA chains for the per-head score dots and value accumulations.
+ *
+ * Precision contract: everything accumulates in double. The two
+ * dot chains reassociate the sum and the FMAs fuse the
+ * multiply-add, so results differ from the scalar oracle only at
+ * double ulp level — invisible after the float cast of the score
+ * and orders of magnitude inside the model tolerance.
+ *
+ * This translation unit is compiled with -mavx2 -mfma and must only
+ * be entered through the runtime dispatch (simdIsaAvailable guards).
+ */
+
+#include <immintrin.h>
+
+#include "runtime/kv_attend_kernels.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+namespace {
+
+/** Horizontal sum of a 4-double vector. */
+inline double
+hsumPd(__m256d v)
+{
+    __m128d s = _mm_add_pd(_mm256_castpd256_pd128(v),
+                           _mm256_extractf128_pd(v, 1));
+    s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+    return _mm_cvtsd_f64(s);
+}
+
+/** Widening load: 4 floats -> 4 doubles. */
+inline __m256d
+loadPs4(const float *p)
+{
+    return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+
+} // anonymous namespace
+
+void
+dotHeadsAvx2(const float *q, const float *row, size_t hd,
+             unsigned n_heads, double *out)
+{
+    for (unsigned h = 0; h < n_heads; ++h) {
+        const float *a = q + h * hd;
+        const float *b = row + h * hd;
+        __m256d s0 = _mm256_setzero_pd();
+        __m256d s1 = _mm256_setzero_pd();
+        size_t c = 0;
+        for (; c + 8 <= hd; c += 8) {
+            s0 = _mm256_fmadd_pd(loadPs4(a + c), loadPs4(b + c), s0);
+            s1 = _mm256_fmadd_pd(loadPs4(a + c + 4),
+                                 loadPs4(b + c + 4), s1);
+        }
+        if (c + 4 <= hd) {
+            s0 = _mm256_fmadd_pd(loadPs4(a + c), loadPs4(b + c), s0);
+            c += 4;
+        }
+        double dot = hsumPd(_mm256_add_pd(s0, s1));
+        for (; c < hd; ++c)
+            dot += static_cast<double>(a[c]) * b[c];
+        out[h] = dot;
+    }
+}
+
+void
+accumHeadsAvx2(const double *p, const float *row, size_t hd,
+               unsigned n_heads, double *acc)
+{
+    for (unsigned h = 0; h < n_heads; ++h) {
+        __m256d pv = _mm256_set1_pd(p[h]);
+        const float *vr = row + h * hd;
+        double *ar = acc + h * hd;
+        size_t c = 0;
+        for (; c + 4 <= hd; c += 4)
+            _mm256_storeu_pd(
+                ar + c, _mm256_fmadd_pd(pv, loadPs4(vr + c),
+                                        _mm256_loadu_pd(ar + c)));
+        for (; c < hd; ++c)
+            ar[c] += p[h] * vr[c];
+    }
+}
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Internal per-ISA kernel table for the packed KV-cache attention
+ * (runtime/kv_cache).
+ *
+ * The blocked attend kernel spends its time in two primitives per
+ * cached row: the per-head score dot q_h · k_h and the per-head
+ * value accumulation acc_h += p_h * v_h. Both accumulate in double
+ * precision — the scalar tier with independent plain-C chains, the
+ * AVX2+FMA tier with 4-wide double FMA vectors — so the difference
+ * vs the oracle's single ascending chain stays at double-ulp level
+ * (~1e-16 relative), far below the float rounding of the stored
+ * score, and the model-level tolerance contract (1e-5) is never
+ * stressed. Row decode itself is shared with the packed GEMM
+ * (packed_gemm_kernels.hh decodeActivationRow).
+ *
+ * Not installed API — tests include it for direct kernel access.
+ */
+
+#ifndef M2X_RUNTIME_KV_ATTEND_KERNELS_HH__
+#define M2X_RUNTIME_KV_ATTEND_KERNELS_HH__
+
+#include <cstddef>
+
+#include "runtime/simd.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+/**
+ * Per-head score dots of one query row against one decoded cache
+ * row: out[h] = sum_c q[h*hd + c] * row[h*hd + c] (double
+ * accumulation, result still in double — the caller applies the
+ * float cast and 1/sqrt(hd) scaling in the oracle's order).
+ */
+using DotHeadsFn = void (*)(const float *q, const float *row,
+                            size_t hd, unsigned n_heads,
+                            double *out);
+
+/**
+ * Per-head value accumulation of one decoded cache row:
+ * acc[h*hd + c] += p[h] * row[h*hd + c] for every head and channel,
+ * each channel's chain staying in ascending-row order across calls.
+ */
+using AccumHeadsFn = void (*)(const double *p, const float *row,
+                              size_t hd, unsigned n_heads,
+                              double *acc);
+
+/** The per-ISA primitive set used by KvCache::attend. */
+struct AttendKernels
+{
+    DotHeadsFn dotHeads;
+    AccumHeadsFn accumHeads;
+};
+
+/**
+ * Kernel table for @p isa. Asking for a tier that is not compiled in
+ * returns the scalar table (callers guard with simdIsaAvailable).
+ */
+const AttendKernels &attendKernels(SimdIsa isa);
+
+/** @{ Scalar tier: independent plain-C accumulation chains. */
+void dotHeadsScalar(const float *q, const float *row, size_t hd,
+                    unsigned n_heads, double *out);
+void accumHeadsScalar(const double *p, const float *row, size_t hd,
+                      unsigned n_heads, double *acc);
+/** @} */
+
+#ifdef M2X_HAVE_AVX2
+/** @{ AVX2+FMA tier: 4-wide double FMA chains. */
+void dotHeadsAvx2(const float *q, const float *row, size_t hd,
+                  unsigned n_heads, double *out);
+void accumHeadsAvx2(const double *p, const float *row, size_t hd,
+                    unsigned n_heads, double *acc);
+/** @} */
+#endif // M2X_HAVE_AVX2
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_KV_ATTEND_KERNELS_HH__

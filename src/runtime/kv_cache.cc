@@ -1,0 +1,295 @@
+#include "runtime/kv_cache.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "model/softmax.hh"
+#include "runtime/kv_attend_kernels.hh"
+#include "runtime/packed_gemm_kernels.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+
+namespace detail {
+
+void
+dotHeadsScalar(const float *q, const float *row, size_t hd,
+               unsigned n_heads, double *out)
+{
+    for (unsigned h = 0; h < n_heads; ++h) {
+        const float *a = q + h * hd;
+        const float *b = row + h * hd;
+        // Four independent chains: double-ulp reassociation vs the
+        // oracle's single ascending chain, real ILP instead of one
+        // latency-bound multiply-add at a time.
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        size_t c = 0;
+        for (; c + 4 <= hd; c += 4) {
+            s0 += static_cast<double>(a[c]) * b[c];
+            s1 += static_cast<double>(a[c + 1]) * b[c + 1];
+            s2 += static_cast<double>(a[c + 2]) * b[c + 2];
+            s3 += static_cast<double>(a[c + 3]) * b[c + 3];
+        }
+        for (; c < hd; ++c)
+            s0 += static_cast<double>(a[c]) * b[c];
+        out[h] = (s0 + s1) + (s2 + s3);
+    }
+}
+
+void
+accumHeadsScalar(const double *p, const float *row, size_t hd,
+                 unsigned n_heads, double *acc)
+{
+    for (unsigned h = 0; h < n_heads; ++h) {
+        double ph = p[h];
+        const float *vr = row + h * hd;
+        double *ar = acc + h * hd;
+        for (size_t c = 0; c < hd; ++c)
+            ar[c] += ph * vr[c];
+    }
+}
+
+const AttendKernels &
+attendKernels(SimdIsa isa)
+{
+    static const AttendKernels scalar{&dotHeadsScalar,
+                                      &accumHeadsScalar};
+#ifdef M2X_HAVE_AVX2
+    static const AttendKernels avx2{&dotHeadsAvx2, &accumHeadsAvx2};
+    if (isa == SimdIsa::Avx2)
+        return avx2;
+#else
+    (void)isa;
+#endif
+    return scalar;
+}
+
+} // namespace detail
+
+namespace {
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+
+/** Query rows per packed-attend block (bounds the scores scratch). */
+constexpr size_t attendBlock = 8;
+
+} // anonymous namespace
+
+const char *
+kvCacheModeName(KvCacheMode mode)
+{
+    return mode == KvCacheMode::Fp32 ? "fp32" : "packed";
+}
+
+KvCache::KvCache(size_t n_layers, size_t d_model, KvCacheMode mode,
+                 M2xfpConfig fmt, SimdIsa isa)
+    : mode_(mode), dModel_(d_model), isa_(isa),
+      actQ_(fmt.activationConfig())
+{
+    m2x_assert(n_layers > 0 && d_model > 0,
+               "KvCache needs layers > 0 and d_model > 0 (got "
+               "%zu, %zu)", n_layers, d_model);
+    m2x_assert(simdIsaAvailable(isa),
+               "KvCache: ISA tier '%s' is not available on this "
+               "machine", simdIsaName(isa));
+    layers_.resize(n_layers);
+    if (mode_ == KvCacheMode::Packed) {
+        for (Layer &l : layers_) {
+            l.pk = PackedM2xfpTensor::emptyActivations(d_model, actQ_);
+            l.pv = PackedM2xfpTensor::emptyActivations(d_model, actQ_);
+        }
+    }
+}
+
+void
+KvCache::append(size_t layer, const float *k_rows,
+                const float *v_rows, size_t n, ThreadPool *pool)
+{
+    m2x_assert(layer < layers_.size(), "layer %zu out of %zu", layer,
+               layers_.size());
+    Layer &l = layers_[layer];
+    if (n == 0)
+        return;
+    if (mode_ == KvCacheMode::Fp32) {
+        l.k.insert(l.k.end(), k_rows, k_rows + n * dModel_);
+        l.v.insert(l.v.end(), v_rows, v_rows + n * dModel_);
+    } else {
+        l.pk.appendActivationRows(k_rows, n, actQ_, isa_, pool);
+        l.pv.appendActivationRows(v_rows, n, actQ_, isa_, pool);
+    }
+    l.rows += n;
+}
+
+size_t
+KvCache::totalBytes() const
+{
+    size_t bytes = 0;
+    for (const Layer &l : layers_) {
+        if (mode_ == KvCacheMode::Fp32)
+            bytes += 2 * l.rows * dModel_ * sizeof(float);
+        else
+            bytes += l.pk.totalBytes() + l.pv.totalBytes();
+    }
+    return bytes;
+}
+
+void
+KvCache::attend(size_t layer, const float *q, size_t n_rows,
+                size_t pos0, unsigned n_heads, float *ctx,
+                ThreadPool *pool) const
+{
+    m2x_assert(layer < layers_.size(), "layer %zu out of %zu", layer,
+               layers_.size());
+    m2x_assert(n_heads > 0 && dModel_ % n_heads == 0,
+               "d_model %zu not divisible into %u heads", dModel_,
+               n_heads);
+    const Layer &l = layers_[layer];
+    m2x_assert(pos0 + n_rows <= l.rows,
+               "attend over rows [%zu, %zu) but layer %zu holds only "
+               "%zu (append the chunk first)", pos0, pos0 + n_rows,
+               layer, l.rows);
+    if (n_rows == 0)
+        return;
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    if (mode_ == KvCacheMode::Fp32)
+        attendFp32(l, q, n_rows, pos0, n_heads, ctx, tp);
+    else
+        attendPacked(l, q, n_rows, pos0, n_heads, ctx, tp);
+}
+
+/*
+ * Fp32 mode: the bit-exactness oracle. Heads are fully independent
+ * and every (head, query) output replicates the full forward's
+ * operation sequence — single ascending-order double chains, the
+ * reference softmax — so distributing heads over the pool cannot
+ * change a single ULP.
+ */
+void
+KvCache::attendFp32(const Layer &l, const float *q, size_t n_rows,
+                    size_t pos0, unsigned n_heads, float *ctx,
+                    ThreadPool &pool) const
+{
+    size_t d = dModel_;
+    size_t hd = d / n_heads;
+    float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+    const float *kc = l.k.data();
+    const float *vc = l.v.data();
+
+    pool.parallelFor(0, n_heads, 1, [&](size_t h0, size_t h1) {
+        thread_local std::vector<float> scores;
+        scores.resize(pos0 + n_rows);
+        for (size_t h = h0; h < h1; ++h) {
+            size_t off = h * hd;
+            for (size_t i = 0; i < n_rows; ++i) {
+                const float *qr = q + i * d + off;
+                size_t valid = pos0 + i + 1;
+                for (size_t j = 0; j < valid; ++j) {
+                    double dot = 0.0;
+                    const float *kr = kc + j * d + off;
+                    for (size_t c = 0; c < hd; ++c)
+                        dot += static_cast<double>(qr[c]) * kr[c];
+                    scores[j] = static_cast<float>(dot) * inv_sqrt;
+                }
+                model::attentionSoftmax(scores.data(), valid);
+                for (size_t c = 0; c < hd; ++c) {
+                    double acc = 0.0;
+                    for (size_t j = 0; j < valid; ++j)
+                        acc += static_cast<double>(scores[j]) *
+                               vc[j * d + off + c];
+                    ctx[i * d + off + c] = static_cast<float>(acc);
+                }
+            }
+        }
+    });
+}
+
+/*
+ * Packed mode: the production kernel. Queries are processed in
+ * blocks so each cached row is LUT-decoded once per block (not once
+ * per query), the score dots run four double chains deep, and the
+ * value pass keeps one ascending-j double chain per output channel —
+ * the same summation order as the oracle, so the only numerical
+ * difference vs the functional Elem-EM reference is double-ulp
+ * reassociation inside the score dots.
+ */
+void
+KvCache::attendPacked(const Layer &l, const float *q, size_t n_rows,
+                      size_t pos0, unsigned n_heads, float *ctx,
+                      ThreadPool &pool) const
+{
+    size_t d = dModel_;
+    size_t hd = d / n_heads;
+    float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+    size_t padded_d = l.pk.groupsPerRow() * groupSize;
+    const detail::GemmKernels &gemm = detail::gemmKernels(isa_);
+    const detail::AttendKernels &kern = detail::attendKernels(isa_);
+    size_t n_blocks = ceilDiv(n_rows, attendBlock);
+
+    pool.parallelFor(0, n_blocks, 1, [&](size_t b0, size_t b1) {
+        thread_local std::vector<float> rowbuf;
+        thread_local std::vector<float> scores;
+        thread_local std::vector<double> acc;
+        thread_local std::vector<double> heads;
+        rowbuf.resize(padded_d);
+        heads.resize(n_heads);
+        for (size_t blk = b0; blk < b1; ++blk) {
+            size_t i0 = blk * attendBlock;
+            size_t bn = std::min(attendBlock, n_rows - i0);
+            // Rows visible to the block's last query; earlier
+            // queries mask the tail per-j below.
+            size_t len = pos0 + i0 + bn;
+            scores.resize(bn * n_heads * len);
+
+            // Score pass: decode each cached K row once, dot it
+            // against every (query, head) it is visible to.
+            for (size_t j = 0; j < len; ++j) {
+                gemm.decodeActivationRow(l.pk, j, rowbuf.data());
+                size_t i_start =
+                    j > pos0 + i0 ? j - (pos0 + i0) : 0;
+                for (size_t i = i_start; i < bn; ++i) {
+                    kern.dotHeads(q + (i0 + i) * d, rowbuf.data(),
+                                  hd, n_heads, heads.data());
+                    for (unsigned h = 0; h < n_heads; ++h)
+                        scores[(i * n_heads + h) * len + j] =
+                            static_cast<float>(heads[h]) * inv_sqrt;
+                }
+            }
+
+            for (size_t i = 0; i < bn; ++i) {
+                size_t valid = pos0 + i0 + i + 1;
+                for (unsigned h = 0; h < n_heads; ++h)
+                    model::attentionSoftmax(
+                        scores.data() + (i * n_heads + h) * len,
+                        valid);
+            }
+
+            // Value pass: decode each cached V row once; per output
+            // channel the accumulation stays a single ascending-j
+            // double chain (now fused), like the oracle.
+            acc.assign(bn * d, 0.0);
+            for (size_t j = 0; j < len; ++j) {
+                gemm.decodeActivationRow(l.pv, j, rowbuf.data());
+                size_t i_start =
+                    j > pos0 + i0 ? j - (pos0 + i0) : 0;
+                for (size_t i = i_start; i < bn; ++i) {
+                    for (unsigned h = 0; h < n_heads; ++h)
+                        heads[h] = scores[(i * n_heads + h) * len +
+                                          j];
+                    kern.accumHeads(heads.data(), rowbuf.data(), hd,
+                                    n_heads, acc.data() + i * d);
+                }
+            }
+            for (size_t i = 0; i < bn; ++i)
+                for (size_t c = 0; c < d; ++c)
+                    ctx[(i0 + i) * d + c] =
+                        static_cast<float>(acc[i * d + c]);
+        }
+    });
+}
+
+} // namespace runtime
+} // namespace m2x

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Per-sequence attention KV cache for the autoregressive decode
+ * runtime, with the paper's packed M2XFP streams as the resident
+ * representation.
+ *
+ * One KvCache holds the K and V rows of every layer of ONE sequence.
+ * Rows are appended as they are produced (prefill chunks, then one
+ * row per decode step) and never rewritten, so the cache grows in
+ * amortized O(1) per row. Two storage modes:
+ *
+ *  - KvCacheMode::Fp32 — rows stay dense fp32 (32 bits/element).
+ *    attend() replicates the full-forward causal attention loops
+ *    operation for operation (double-precision dots in ascending-k
+ *    order, the same softmax arithmetic), so prefill + stepwise
+ *    decode against an Fp32 cache reproduces forwardLogits()
+ *    bit-exactly. This mode is the correctness oracle and the
+ *    memory/throughput baseline.
+ *
+ *  - KvCacheMode::Packed — rows are encoded on append through the
+ *    fast-path Elem-EM encoder (runtime/packed_quantize, the same
+ *    per-ISA kernels the linear layers use) into growable packed
+ *    streams at ~4.5 bits/element, a ~7.1x resident-memory
+ *    reduction. attend() dequantizes rows tile-by-tile through the
+ *    DecodeTables-backed per-ISA row decoders — no dense K/V matrix
+ *    is ever materialized — and runs a blocked kernel that decodes
+ *    each cached row once per query block and keeps multiple
+ *    independent double accumulation chains in flight. The decoded
+ *    values are bit-identical to the functional Elem-EM codec, so
+ *    logits agree with a forwardLogits() reference that quantizes
+ *    K/V via setKvQuantizers to the established model-level
+ *    tolerance (1e-5).
+ *
+ * Causality comes from row order: the cache row appended for
+ * position p is row p, and the query at position p attends to rows
+ * 0..p. Chunk boundaries are invisible — appending 17 rows then 3
+ * rows yields the same streams as one 20-row append.
+ */
+
+#ifndef M2X_RUNTIME_KV_CACHE_HH__
+#define M2X_RUNTIME_KV_CACHE_HH__
+
+#include <vector>
+
+#include "core/m2xfp.hh"
+#include "core/m2xfp_packed.hh"
+#include "runtime/simd.hh"
+#include "runtime/thread_pool.hh"
+
+namespace m2x {
+namespace runtime {
+
+/** Resident representation of the cached K/V rows. */
+enum class KvCacheMode
+{
+    Fp32,   //!< dense fp32 rows: bit-exact oracle + baseline
+    Packed, //!< packed M2XFP streams (~4.5 bits/element)
+};
+
+/** Display name ("fp32" / "packed"). */
+const char *kvCacheModeName(KvCacheMode mode);
+
+/** The K/V state of one sequence across all layers. */
+class KvCache
+{
+  public:
+    /**
+     * @param n_layers transformer blocks (one K + one V per block)
+     * @param d_model  row width; must divide evenly into the heads
+     *        at attend() time
+     * @param mode     resident representation
+     * @param fmt      packed-mode codec config (paper layout only)
+     * @param isa      kernel tier for packed-mode encode/decode
+     */
+    KvCache(size_t n_layers, size_t d_model, KvCacheMode mode,
+            M2xfpConfig fmt = {}, SimdIsa isa = activeSimdIsa());
+
+    KvCacheMode mode() const { return mode_; }
+    size_t layers() const { return layers_.size(); }
+    size_t dModel() const { return dModel_; }
+    SimdIsa simdIsa() const { return isa_; }
+
+    /**
+     * Cached rows (== tokens seen) — the same for every layer once a
+     * chunk has been appended to all of them.
+     */
+    size_t length() const
+    {
+        return layers_.empty() ? 0 : layers_[0].rows;
+    }
+
+    /**
+     * Append @p n contiguous row-major rows of K and V (each
+     * dModel() floats) to @p layer. Packed mode encodes them through
+     * the fast-path Elem-EM encoder on this cache's ISA tier —
+     * multi-row appends (prefill chunks) distribute the encodes
+     * over @p pool (null = the global pool), single rows stay
+     * inline.
+     */
+    void append(size_t layer, const float *k_rows,
+                const float *v_rows, size_t n,
+                ThreadPool *pool = nullptr);
+
+    /**
+     * Causal attention of @p n_rows query rows (row-major, dModel()
+     * floats each, first row at absolute position @p pos0) against
+     * this cache's @p layer, writing the context rows to @p ctx
+     * (same shape as q). The chunk's own K/V rows must already be
+     * appended: cache rows [0, pos0 + n_rows) are attended, query
+     * row i masking rows beyond pos0 + i.
+     *
+     * Fp32 mode replicates the full-forward loops bit-exactly and
+     * parallelizes over heads; Packed mode runs the blocked
+     * decode-fused kernel and parallelizes over query blocks.
+     * @p pool follows the runtime convention (null = global pool);
+     * per-lane scratch is thread-local, so steady-state decode
+     * allocates nothing.
+     */
+    void attend(size_t layer, const float *q, size_t n_rows,
+                size_t pos0, unsigned n_heads, float *ctx,
+                ThreadPool *pool = nullptr) const;
+
+    /**
+     * Resident bytes of all cached K/V rows across layers: all three
+     * packed streams in Packed mode, the dense rows in Fp32 mode.
+     */
+    size_t totalBytes() const;
+
+    /** Resident K/V bytes per cached token (0 while empty). */
+    double
+    bytesPerToken() const
+    {
+        size_t len = length();
+        return len == 0 ? 0.0
+                        : static_cast<double>(totalBytes()) /
+                              static_cast<double>(len);
+    }
+
+  private:
+    struct Layer
+    {
+        size_t rows = 0;
+        /** @{
+         * Fp32 mode storage: row-major [rows, dModel] in plain
+         * vectors, deliberately not Matrix — vector growth is
+         * guaranteed to preserve the existing rows, which the
+         * append path depends on (Matrix::resize documents its
+         * contents as unspecified after a resize).
+         */
+        std::vector<float> k, v;
+        /** @} */
+        PackedM2xfpTensor pk, pv; //!< Packed mode storage
+    };
+
+    void attendFp32(const Layer &l, const float *q, size_t n_rows,
+                    size_t pos0, unsigned n_heads, float *ctx,
+                    ThreadPool &pool) const;
+    void attendPacked(const Layer &l, const float *q, size_t n_rows,
+                      size_t pos0, unsigned n_heads, float *ctx,
+                      ThreadPool &pool) const;
+
+    KvCacheMode mode_;
+    size_t dModel_;
+    SimdIsa isa_;
+    ElemEmQuantizer actQ_; //!< packed-mode row codec
+    std::vector<Layer> layers_;
+};
+
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_KV_CACHE_HH__

@@ -161,33 +161,40 @@ decodeActivationGroupAvx2(const PackedM2xfpTensor &t, size_t row,
     splitNibbles(bytes, chunk);
     __m256 scale = _mm256_set1_ps(sval);
     alignas(16) uint8_t codes[groupSize];
+    // Elem-EM top-1 selection in the same pass: the subgroup's
+    // argmax of (code & 7) with ties to the lowest index, found as
+    // a horizontal max over keys (mag << 3) | (7 - lane) — equal
+    // magnitudes then rank by descending (7 - lane), i.e. the
+    // lowest lane wins, exactly the scalar decode's strict-compare
+    // scan. The winning element is re-read from the metadata-
+    // adjusted FP6 table, matching runtime/decode_lut bit for bit.
+    const __m256i lane_rev =
+        _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
     for (unsigned s = 0; s < nSubgroups; ++s) {
         _mm_storel_epi64(
             reinterpret_cast<__m128i *>(codes + subgroupSize * s),
             chunk[s]);
-        __m256 val = decodeFp4x8(_mm256_cvtepu8_epi32(chunk[s]),
-                                 tab.fp4Mag);
+        __m256i c32 = _mm256_cvtepu8_epi32(chunk[s]);
+        __m256 val = decodeFp4x8(c32, tab.fp4Mag);
         _mm256_storeu_ps(out + subgroupSize * s,
                          _mm256_mul_ps(val, scale));
-    }
 
-    // Elem-EM top-1 fix-up: one element per subgroup, recomputed
-    // from the FP4 codes exactly like the scalar decode (strict
-    // compare, ties to the lowest index).
-    for (unsigned s = 0; s < nSubgroups; ++s) {
-        const uint8_t *sc = codes + s * subgroupSize;
-        unsigned best = 0;
-        uint32_t best_mag = sc[0] & 0x7u;
-        for (unsigned i = 1; i < subgroupSize; ++i) {
-            uint32_t m = sc[i] & 0x7u;
-            if (m > best_mag) {
-                best_mag = m;
-                best = i;
-            }
-        }
+        __m256i mag = _mm256_and_si256(c32, _mm256_set1_epi32(7));
+        __m256i key = _mm256_or_si256(_mm256_slli_epi32(mag, 3),
+                                      lane_rev);
+        __m128i mx = _mm_max_epi32(_mm256_castsi256_si128(key),
+                                   _mm256_extracti128_si256(key, 1));
+        mx = _mm_max_epi32(
+            mx, _mm_shuffle_epi32(mx, _MM_SHUFFLE(1, 0, 3, 2)));
+        mx = _mm_max_epi32(
+            mx, _mm_shuffle_epi32(mx, _MM_SHUFFLE(2, 3, 0, 1)));
+        unsigned best =
+            7u - (static_cast<uint32_t>(_mm_cvtsi128_si32(mx)) & 7u);
         uint8_t mcode = (meta >> (2 * s)) & 0x3u;
         out[s * subgroupSize + best] =
-            tab.lut->elemEmValue[sc[best]][mcode] * sval;
+            tab.lut->elemEmValue[codes[s * subgroupSize + best]]
+                                [mcode] *
+            sval;
     }
 }
 

@@ -105,4 +105,57 @@ PackedM2xfpTensor::packActivations(const Matrix &m,
     return t;
 }
 
+void
+PackedM2xfpTensor::appendActivationRows(const float *rows,
+                                        size_t n_rows,
+                                        const ElemEmQuantizer &q,
+                                        runtime::SimdIsa isa,
+                                        runtime::ThreadPool *pool)
+{
+    using namespace runtime;
+
+    const ElemEmConfig &cfg = q.config();
+    m2x_assert(cfg.groupSize == groupSize &&
+               cfg.subgroupSize == subgroupSize && cfg.topK == 1 &&
+               cfg.clampBias && !cfg.adaptiveScale,
+               "appendActivationRows requires the fixed-shared-scale "
+               "paper activation config (g32/sg8 top1)");
+    m2x_assert(simdIsaAvailable(isa),
+               "appendActivationRows: ISA tier '%s' is not available "
+               "on this machine", simdIsaName(isa));
+    m2x_assert(cols_ > 0,
+               "appendActivationRows on a shapeless tensor (create "
+               "via emptyActivations)");
+    if (n_rows == 0)
+        return;
+
+    size_t gpr = groupsPerRow_;
+    size_t old_rows = rows_;
+    rows_ += n_rows;
+    elements_.resize(rows_ * gpr * bytesPerGroupElems);
+    scales_.resize(rows_ * gpr);
+    meta_.resize(rows_ * gpr);
+
+    const detail::QuantizeKernels &kern = detail::quantizeKernels(isa);
+    auto encode = [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+            size_t slot = (old_rows + r) * gpr;
+            kern.quantizeActivationRow(
+                rows + r * cols_, cols_, cfg.rule,
+                elements_.data() + slot * bytesPerGroupElems,
+                scales_.data() + slot, meta_.data() + slot);
+        }
+    };
+    if (n_rows == 1) {
+        // The decode-step shape: one row per token — pool dispatch
+        // would cost more than the encode.
+        encode(0, 1);
+        return;
+    }
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    tp.parallelFor(0, n_rows,
+                   detail::packedQuantizeGrain(n_rows, tp.size()),
+                   encode);
+}
+
 } // namespace m2x

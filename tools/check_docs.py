@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Documentation health check, run by the CI docs job.
+
+Two guarantees:
+  1. Presence: the documentation entry points exist and README links
+     to them (docs/ARCHITECTURE.md and docs/FORMATS.md are part of
+     the repo's acceptance surface, not optional extras).
+  2. Link integrity: every relative markdown link in every tracked
+     .md file points at a path that exists, so file moves and
+     renames cannot silently strand the docs.
+
+Exits non-zero with one line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+REQUIRED_DOCS = [
+    "README.md",
+    "BUILDING.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/FORMATS.md",
+]
+
+# README must reference the docs/ subsystem entry points.
+REQUIRED_README_LINKS = [
+    "docs/ARCHITECTURE.md",
+    "docs/FORMATS.md",
+    "BUILDING.md",
+]
+
+# Inline markdown links: [text](target). Reference-style links are
+# not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Directories that hold no tracked documentation.
+SKIP_DIRS = {"build", "build-asan", ".git"}
+
+
+def md_files():
+    for path in sorted(REPO.rglob("*.md")):
+        rel = path.relative_to(REPO)
+        if rel.parts[0] in SKIP_DIRS:
+            continue
+        yield path
+
+
+def check():
+    problems = []
+
+    for rel in REQUIRED_DOCS:
+        if not (REPO / rel).is_file():
+            problems.append(f"missing required doc: {rel}")
+
+    readme = REPO / "README.md"
+    readme_text = readme.read_text() if readme.is_file() else ""
+    for target in REQUIRED_README_LINKS:
+        if target not in readme_text:
+            problems.append(f"README.md does not link {target}")
+
+    n_links = 0
+    for path in md_files():
+        rel = path.relative_to(REPO)
+        for m in LINK_RE.finditer(path.read_text()):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure same-file anchor
+            n_links += 1
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{rel}: broken relative link -> {m.group(1)}")
+
+    for p in problems:
+        print(f"check_docs: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"check_docs: OK ({n_links} relative links verified, "
+          f"{len(REQUIRED_DOCS)} required docs present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())
