@@ -2,14 +2,18 @@
  * @file
  * Packed-domain runtime throughput: online activation packing
  * (functional codec vs the fast-path encoder, per ISA tier), packed
- * GEMM (per ISA kernel tier) and PackedLinear forward vs the
- * reference quantized path — with the quantize/GEMM wall-time split
- * — at several shapes and thread counts, plus a whole-model
- * InferenceSession run and an autoregressive decode run (tokens/s
- * and resident KV bytes per token, packed M2XFP cache vs the
- * fp32-cache oracle baseline). Writes the machine-readable
- * BENCH_runtime.json — the repo's perf trajectory point for the
- * execution runtime, including which SIMD tier ran.
+ * GEMM (per ISA kernel tier, the cache-blocked panel driver) and
+ * PackedLinear forward vs the reference quantized path — with the
+ * quantize/GEMM wall-time split — at several shapes and thread
+ * counts (1/2/4/8 capped at the hardware width), plus the legacy
+ * tile-at-a-time driver as a trajectory anchor (blocked_vs_pr3_1t),
+ * a per-block-size MC/KC/NC sweep, a whole-model InferenceSession
+ * run and an autoregressive decode run (tokens/s and resident KV
+ * bytes per token, packed M2XFP cache vs the fp32-cache oracle
+ * baseline). Writes the machine-readable BENCH_runtime.json — the
+ * repo's perf trajectory point for the execution runtime, including
+ * which SIMD tier ran — which tools/check_bench_regression.py
+ * compares against the committed baseline in CI.
  *
  * Numerical verification precedes every timing loop: the scalar
  * GEMM tier must be bit-exact against matmulNt over the unpacked
@@ -41,6 +45,7 @@
 #include "runtime/decode_session.hh"
 #include "runtime/inference_session.hh"
 #include "runtime/packed_gemm.hh"
+#include "runtime/packed_gemm_kernels.hh"
 #include "runtime/packed_linear.hh"
 #include "runtime/simd.hh"
 #include "util/logging.hh"
@@ -141,9 +146,10 @@ hardwareThreads()
 }
 
 /**
- * Thread counts worth measuring: the usual 1/2/4 ladder plus the
- * machine width, but never more lanes than the hardware has — an
- * oversubscribed row reports contention, not scaling.
+ * Thread counts worth measuring: the 1/2/4/8 ladder plus the machine
+ * width, but never more lanes than the hardware has — an
+ * oversubscribed row reports contention, not scaling, so a
+ * 1-hardware-thread box honestly emits only 1-thread rows.
  */
 std::vector<unsigned>
 threadCounts(bool quick)
@@ -151,7 +157,7 @@ threadCounts(bool quick)
     unsigned hw = hardwareThreads();
     std::vector<unsigned> candidates =
         quick ? std::vector<unsigned>{1, 4}
-              : std::vector<unsigned>{1, 2, 4};
+              : std::vector<unsigned>{1, 2, 4, 8};
     std::vector<unsigned> counts;
     for (unsigned c : candidates)
         if (c <= hw)
@@ -194,8 +200,11 @@ main(int argc, char **argv)
 
     bench::banner("RUNTIME", "packed-domain execution throughput");
     double min_s = quick ? 0.02 : 0.2;
+    // The quick shape is one of the full-run shapes so the smoke
+    // rows match the committed baseline's section/shape/isa/threads
+    // keys and check_bench_regression.py can compare them.
     std::vector<Shape> shapes =
-        quick ? std::vector<Shape>{{32, 192, 192}}
+        quick ? std::vector<Shape>{{16, 192, 192}}
               : std::vector<Shape>{{16, 192, 192},
                                    {64, 512, 192},
                                    {64, 192, 512},
@@ -241,11 +250,19 @@ main(int argc, char **argv)
         Matrix w_deq = pw.unpackWeights(wq);
 
         // Verify before timing: the scalar tier is the bit-exact
-        // oracle, every vector tier is held to 1e-6 relative.
+        // oracle, every vector tier is held to 1e-6 relative — the
+        // legacy PR3 tiled driver included, since it anchors the
+        // blocked_vs_pr3 ratio below.
         Matrix ref_out = matmulNt(a_deq, w_deq);
-        for (SimdIsa isa : isas)
+        for (SimdIsa isa : isas) {
             requireMatch(packedMatmulNt(pa, pw, nullptr, isa),
                          ref_out, isa, 1e-6, "packed GEMM");
+            Matrix tiled;
+            detail::packedMatmulNtTiled(pa, pw, tiled, nullptr,
+                                        isa);
+            requireMatch(tiled, ref_out, isa, 1e-6,
+                         "PR3 tiled GEMM");
+        }
 
         // Reference: dense GEMM on already-dequantized operands.
         double ref_s =
@@ -256,6 +273,20 @@ main(int argc, char **argv)
             [&] {
                 matmulNt(pa.unpackActivations(aq),
                          pw.unpackWeights(wq));
+            },
+            min_s);
+        // The PR3 tile-at-a-time driver on its best tier (AVX2 —
+        // that is exactly what PR3 shipped), 1 thread: the committed
+        // trajectory point the blocked rework is measured against.
+        SimdIsa pr3_isa = simdIsaAvailable(SimdIsa::Avx2)
+                              ? SimdIsa::Avx2
+                              : SimdIsa::Scalar;
+        ThreadPool pool1(1);
+        Matrix tiled_out;
+        double pr3_s = timeIt(
+            [&] {
+                detail::packedMatmulNtTiled(pa, pw, tiled_out,
+                                            &pool1, pr3_isa);
             },
             min_s);
 
@@ -280,7 +311,8 @@ main(int argc, char **argv)
             pw.totalBytes(), dense_a, dense_w, pw.bitsPerElement(),
             ref_s, gflops(sh.m, sh.n, sh.k, ref_s), unpack_s);
 
-        double single_thread_s[2] = {0.0, 0.0}; // [scalar, avx2]
+        // Indexed by SimdIsa: [scalar, avx2, avx512].
+        double single_thread_s[3] = {0.0, 0.0, 0.0};
         bool first_entry = true;
         for (SimdIsa isa : isas) {
             for (unsigned tc : counts) {
@@ -289,8 +321,7 @@ main(int argc, char **argv)
                     [&] { packedMatmulNt(pa, pw, &pool, isa); },
                     min_s);
                 if (tc == 1)
-                    single_thread_s[isa == SimdIsa::Avx2 ? 1 : 0] =
-                        s;
+                    single_thread_s[static_cast<size_t>(isa)] = s;
                 std::printf("  packed/%-6s @%2u threads: %6.1f GF  "
                             "(%.2fx ref, %.2fx unpack+ref)\n",
                             simdIsaName(isa), tc,
@@ -311,6 +342,26 @@ main(int argc, char **argv)
             }
         }
         std::fprintf(out, "\n    ]");
+        std::fprintf(out,
+                     ",\n     \"pr3_isa\": \"%s\", "
+                     "\"pr3_tiled_1t_s\": %.6e",
+                     simdIsaName(pr3_isa), pr3_s);
+        // Blocked-vs-PR3 at 1 thread compares the blocked driver on
+        // its best tier against the tile-at-a-time driver on its
+        // best tier — the honest "did the rework pay off" number.
+        double best_1t = 0.0;
+        for (size_t t = 3; t-- > 0;)
+            if (single_thread_s[t] > 0.0) {
+                best_1t = single_thread_s[t];
+                break;
+            }
+        if (best_1t > 0.0) {
+            double r = pr3_s / best_1t;
+            std::printf("  blocked vs PR3 tiled @1 thread: %.2fx\n",
+                        r);
+            std::fprintf(out,
+                         ",\n     \"blocked_vs_pr3_1t\": %.3f", r);
+        }
         if (single_thread_s[1] > 0.0) {
             double ratio =
                 single_thread_s[0] / single_thread_s[1];
@@ -320,9 +371,73 @@ main(int argc, char **argv)
                          ",\n     \"avx2_vs_scalar_1t\": %.3f",
                          ratio);
         }
+        if (single_thread_s[2] > 0.0) {
+            double ratio =
+                single_thread_s[0] / single_thread_s[2];
+            std::printf("  avx512 vs scalar @1 thread: %.2fx\n",
+                        ratio);
+            std::fprintf(out,
+                         ",\n     \"avx512_vs_scalar_1t\": %.3f",
+                         ratio);
+        }
         std::fprintf(out, "}");
     }
-    std::fprintf(out, "\n  ],\n  \"pack_activations\": [");
+
+    // Per-block-size sweep: the blocked driver's MC/KC/NC space on
+    // the best available tier at 1 thread — the data behind the
+    // default blocking choices (and the M2X_GEMM_MC/KC/NC knobs).
+    std::fprintf(out, "\n  ],\n  \"gemm_block_sweep\": {");
+    {
+        Shape sw = quick ? Shape{16, 192, 192}
+                         : Shape{512, 512, 512};
+        SimdIsa sweep_isa = isas.back();
+        Matrix a = randomMatrix(sw.m, sw.k, 70, 4.0);
+        Matrix w = randomMatrix(sw.n, sw.k, 71, 6.0);
+        PackedM2xfpTensor spa =
+            PackedM2xfpTensor::packActivations(a, aq);
+        PackedM2xfpTensor spw =
+            PackedM2xfpTensor::packWeights(w, wq);
+        struct Cfg
+        {
+            size_t mc, kc, nc;
+        };
+        std::vector<Cfg> cfgs =
+            quick ? std::vector<Cfg>{{32, 128, 32}, {64, 256, 64}}
+                  : std::vector<Cfg>{{32, 128, 32},
+                                     {64, 256, 64},
+                                     {128, 256, 128},
+                                     {256, 256, 256},
+                                     {128, 512, 256}};
+        ThreadPool sweep_pool(1);
+        std::fprintf(out,
+                     "\n    \"m\": %zu, \"n\": %zu, \"k\": %zu, "
+                     "\"isa\": \"%s\", \"threads\": 1,\n"
+                     "    \"rows\": [",
+                     sw.m, sw.n, sw.k, simdIsaName(sweep_isa));
+        Matrix sweep_out;
+        for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+            detail::GemmBlocking blk = detail::normalizeBlocking(
+                sweep_isa, cfgs[ci].mc, cfgs[ci].kc, cfgs[ci].nc);
+            double s = timeIt(
+                [&] {
+                    detail::packedMatmulNtBlocked(
+                        spa, spw, sweep_out, &sweep_pool, sweep_isa,
+                        blk);
+                },
+                min_s);
+            std::printf("block sweep mc=%3zu kc=%3zu nc=%3zu: "
+                        "%6.1f GF\n",
+                        blk.mc, blk.kc, blk.nc,
+                        gflops(sw.m, sw.n, sw.k, s));
+            std::fprintf(out,
+                         "%s\n      {\"mc\": %zu, \"kc\": %zu, "
+                         "\"nc\": %zu, \"gemm_s\": %.6e, "
+                         "\"gflops\": %.3f}",
+                         ci ? "," : "", blk.mc, blk.kc, blk.nc, s,
+                         gflops(sw.m, sw.n, sw.k, s));
+        }
+        std::fprintf(out, "\n    ]\n  },\n  \"pack_activations\": [");
+    }
 
     // Online activation packing: the forward hot path's encode side.
     // The functional ElemEmQuantizer packer is the baseline the
@@ -356,7 +471,8 @@ main(int argc, char **argv)
                      sh.m * sh.k * sizeof(float), func_s,
                      bytes / func_s * 1e-9);
 
-        double single_thread_s[2] = {0.0, 0.0}; // [scalar, avx2]
+        // Indexed by SimdIsa: [scalar, avx2, avx512].
+        double single_thread_s[3] = {0.0, 0.0, 0.0};
         bool first_entry = true;
         for (SimdIsa isa : isas) {
             for (unsigned tc : counts) {
@@ -369,8 +485,7 @@ main(int argc, char **argv)
                     },
                     min_s);
                 if (tc == 1)
-                    single_thread_s[isa == SimdIsa::Avx2 ? 1 : 0] =
-                        s;
+                    single_thread_s[static_cast<size_t>(isa)] = s;
                 std::printf("  fast/%-6s @%2u threads: %6.2f GB/s "
                             "(%.2fx functional)\n",
                             simdIsaName(isa), tc, bytes / s * 1e-9,
@@ -402,6 +517,17 @@ main(int argc, char **argv)
                          ",\n     \"avx2_vs_functional_1t\": %.3f",
                          single_thread_s[0] / single_thread_s[1],
                          func_s / single_thread_s[1]);
+        }
+        if (single_thread_s[2] > 0.0) {
+            std::printf("  avx512 vs scalar @1 thread: %.2fx, "
+                        "vs functional: %.2fx\n",
+                        single_thread_s[0] / single_thread_s[2],
+                        func_s / single_thread_s[2]);
+            std::fprintf(out,
+                         ",\n     \"avx512_vs_scalar_1t\": %.3f"
+                         ",\n     \"avx512_vs_functional_1t\": %.3f",
+                         single_thread_s[0] / single_thread_s[2],
+                         func_s / single_thread_s[2]);
         }
         std::fprintf(out, "}");
     }

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * AVX-512 (F) tier of the KV-cache attention primitives: 8-wide
+ * double FMA chains for the per-head score dots and value
+ * accumulations.
+ *
+ * Precision contract: everything accumulates in double, exactly as
+ * the AVX2 tier — wider lanes only reassociate further, so results
+ * still differ from the scalar oracle only at double ulp level,
+ * invisible after the float cast of the score and orders of
+ * magnitude inside the model tolerance.
+ *
+ * This translation unit is compiled with -mavx2 -mfma -mavx512f
+ * -mavx512bw and must only be entered through the runtime dispatch
+ * (simdIsaAvailable guards).
+ */
+
+#include <immintrin.h>
+
+#include "runtime/kv_attend_kernels.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+namespace {
+
+/** Widening load: 8 floats -> 8 doubles. */
+inline __m512d
+loadPs8(const float *p)
+{
+    return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+}
+
+} // anonymous namespace
+
+void
+dotHeadsAvx512(const float *q, const float *row, size_t hd,
+               unsigned n_heads, double *out)
+{
+    for (unsigned h = 0; h < n_heads; ++h) {
+        const float *a = q + h * hd;
+        const float *b = row + h * hd;
+        __m512d s0 = _mm512_setzero_pd();
+        __m512d s1 = _mm512_setzero_pd();
+        size_t c = 0;
+        for (; c + 16 <= hd; c += 16) {
+            s0 = _mm512_fmadd_pd(loadPs8(a + c), loadPs8(b + c), s0);
+            s1 = _mm512_fmadd_pd(loadPs8(a + c + 8),
+                                 loadPs8(b + c + 8), s1);
+        }
+        if (c + 8 <= hd) {
+            s0 = _mm512_fmadd_pd(loadPs8(a + c), loadPs8(b + c), s0);
+            c += 8;
+        }
+        double dot = _mm512_reduce_add_pd(_mm512_add_pd(s0, s1));
+        for (; c < hd; ++c)
+            dot += static_cast<double>(a[c]) * b[c];
+        out[h] = dot;
+    }
+}
+
+void
+accumHeadsAvx512(const double *p, const float *row, size_t hd,
+                 unsigned n_heads, double *acc)
+{
+    for (unsigned h = 0; h < n_heads; ++h) {
+        __m512d pv = _mm512_set1_pd(p[h]);
+        const float *vr = row + h * hd;
+        double *ar = acc + h * hd;
+        size_t c = 0;
+        for (; c + 8 <= hd; c += 8)
+            _mm512_storeu_pd(
+                ar + c, _mm512_fmadd_pd(pv, loadPs8(vr + c),
+                                        _mm512_loadu_pd(ar + c)));
+        for (; c < hd; ++c)
+            ar[c] += p[h] * vr[c];
+    }
+}
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x

@@ -76,6 +76,15 @@ void accumHeadsAvx2(const double *p, const float *row, size_t hd,
 /** @} */
 #endif // M2X_HAVE_AVX2
 
+#ifdef M2X_HAVE_AVX512
+/** @{ AVX-512 tier: 8-wide double FMA chains. */
+void dotHeadsAvx512(const float *q, const float *row, size_t hd,
+                    unsigned n_heads, double *out);
+void accumHeadsAvx512(const double *p, const float *row, size_t hd,
+                      unsigned n_heads, double *acc);
+/** @} */
+#endif // M2X_HAVE_AVX512
+
 } // namespace detail
 } // namespace runtime
 } // namespace m2x

@@ -62,9 +62,14 @@ attendKernels(SimdIsa isa)
     static const AttendKernels avx2{&dotHeadsAvx2, &accumHeadsAvx2};
     if (isa == SimdIsa::Avx2)
         return avx2;
-#else
-    (void)isa;
 #endif
+#ifdef M2X_HAVE_AVX512
+    static const AttendKernels avx512{&dotHeadsAvx512,
+                                      &accumHeadsAvx512};
+    if (isa == SimdIsa::Avx512)
+        return avx512;
+#endif
+    (void)isa;
     return scalar;
 }
 

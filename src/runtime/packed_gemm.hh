@@ -14,14 +14,18 @@
  * they are verified against the scalar oracle to tight tolerance.
  *
  * What *is* different from the reference is the execution: operands
- * stay packed in memory (4.5 bits/element) and are dequantized
- * tile-by-tile with the decode LUTs, fused into the K-loop — no full
- * dequantized matrix is ever materialized. Output tiles are
- * independent, so the M×N tile grid is distributed over a
- * ThreadPool, and each tile keeps an MT×NT block of independent
- * accumulators, which breaks the serial dependence chain that limits
- * the reference kernel to one (latency-bound) fused multiply-add at
- * a time.
+ * stay packed in memory (4.5 bits/element) and the driver is a
+ * cache-blocked panel GEMM (Goto-style, see packed_gemm_kernels.hh).
+ * Each NC×KC block of W is LUT-decoded **once** into an L2-resident
+ * k-major panel and reused across the full M dimension — never once
+ * per output tile — while an MR×NR register-tile microkernel per ISA
+ * sweeps KC-deep slices into a persistent double accumulator (one
+ * unbroken summation chain per output, which is what keeps the
+ * scalar tier bit-exact under blocking). No full dequantized matrix
+ * is ever materialized. (jc, ic) block pairs are independent and are
+ * distributed over a ThreadPool with panel-friendly chunking
+ * (detail::packedGemmGrain). Block sizes default per ISA and can be
+ * overridden with M2X_GEMM_MC / M2X_GEMM_KC / M2X_GEMM_NC.
  */
 
 #ifndef M2X_RUNTIME_PACKED_GEMM_HH__

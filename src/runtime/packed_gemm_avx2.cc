@@ -207,6 +207,87 @@ decodeActivationRowAvx2(const PackedM2xfpTensor &t, size_t row,
 }
 
 void
+decodeWeightRowAvx2(const PackedM2xfpTensor &t, size_t row,
+                    float *out)
+{
+    for (size_t g = 0; g < t.groupsPerRow(); ++g)
+        decodeWeightGroupAvx2(t, row, g, out + g * groupSize);
+}
+
+void
+microKernelAvx2(const double *a, size_t a_stride, const double *ws,
+                size_t nr, size_t p0, size_t p1, size_t mr_cur,
+                double *acc, size_t acc_stride)
+{
+    // Broadcast-form register tile, MR=4 x NR=8: per depth step the
+    // sliver contributes two 4-wide W vectors and each A row one
+    // broadcast, feeding 8 independent FMA chains — enough to cover
+    // the FMA latency at two issues per cycle. The accumulators
+    // live in acc across KC slices; they are staged through
+    // registers for the sweep and stored back at the end.
+    m2x_assert(nr == 8, "microKernelAvx2 expects nr=8, got %zu", nr);
+    if (mr_cur == 4) {
+        double *r0 = acc;
+        double *r1 = acc + acc_stride;
+        double *r2 = acc + 2 * acc_stride;
+        double *r3 = acc + 3 * acc_stride;
+        __m256d c0l = _mm256_loadu_pd(r0);
+        __m256d c0h = _mm256_loadu_pd(r0 + 4);
+        __m256d c1l = _mm256_loadu_pd(r1);
+        __m256d c1h = _mm256_loadu_pd(r1 + 4);
+        __m256d c2l = _mm256_loadu_pd(r2);
+        __m256d c2h = _mm256_loadu_pd(r2 + 4);
+        __m256d c3l = _mm256_loadu_pd(r3);
+        __m256d c3h = _mm256_loadu_pd(r3 + 4);
+        const double *a0 = a;
+        const double *a1 = a + a_stride;
+        const double *a2 = a + 2 * a_stride;
+        const double *a3 = a + 3 * a_stride;
+        for (size_t p = p0; p < p1; ++p) {
+            const double *wp = ws + p * 8;
+            __m256d wl = _mm256_loadu_pd(wp);
+            __m256d wh = _mm256_loadu_pd(wp + 4);
+            __m256d av = _mm256_broadcast_sd(a0 + p);
+            c0l = _mm256_fmadd_pd(av, wl, c0l);
+            c0h = _mm256_fmadd_pd(av, wh, c0h);
+            av = _mm256_broadcast_sd(a1 + p);
+            c1l = _mm256_fmadd_pd(av, wl, c1l);
+            c1h = _mm256_fmadd_pd(av, wh, c1h);
+            av = _mm256_broadcast_sd(a2 + p);
+            c2l = _mm256_fmadd_pd(av, wl, c2l);
+            c2h = _mm256_fmadd_pd(av, wh, c2h);
+            av = _mm256_broadcast_sd(a3 + p);
+            c3l = _mm256_fmadd_pd(av, wl, c3l);
+            c3h = _mm256_fmadd_pd(av, wh, c3h);
+        }
+        _mm256_storeu_pd(r0, c0l);
+        _mm256_storeu_pd(r0 + 4, c0h);
+        _mm256_storeu_pd(r1, c1l);
+        _mm256_storeu_pd(r1 + 4, c1h);
+        _mm256_storeu_pd(r2, c2l);
+        _mm256_storeu_pd(r2 + 4, c2h);
+        _mm256_storeu_pd(r3, c3l);
+        _mm256_storeu_pd(r3 + 4, c3h);
+        return;
+    }
+    // Ragged edge (mr_cur < 4): per-row two-accumulator sweep.
+    for (size_t ii = 0; ii < mr_cur; ++ii) {
+        double *r = acc + ii * acc_stride;
+        const double *ar = a + ii * a_stride;
+        __m256d cl = _mm256_loadu_pd(r);
+        __m256d ch = _mm256_loadu_pd(r + 4);
+        for (size_t p = p0; p < p1; ++p) {
+            const double *wp = ws + p * 8;
+            __m256d av = _mm256_broadcast_sd(ar + p);
+            cl = _mm256_fmadd_pd(av, _mm256_loadu_pd(wp), cl);
+            ch = _mm256_fmadd_pd(av, _mm256_loadu_pd(wp + 4), ch);
+        }
+        _mm256_storeu_pd(r, cl);
+        _mm256_storeu_pd(r + 4, ch);
+    }
+}
+
+void
 computeTileAvx2(const PackedM2xfpTensor &w, const float *abuf,
                 size_t padded_k, size_t i0, size_t mt, size_t j0,
                 size_t nt, size_t k, Matrix &c)

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * AVX-512 (F+BW) tier of the packed GEMM: full-table vector LUT
+ * decode of the M2XFP weight streams and an 8x16 broadcast-form FMA
+ * microkernel over 8-wide double accumulators.
+ *
+ * Decode: the 16-entry FP4 E2M1 value table fits one zmm register,
+ * so a single vpermps (_mm512_permutexvar_ps) decodes 16 codes at
+ * once — no sign-split needed, unlike the AVX2 tier's 8-entry
+ * magnitude permute. The four Sg-EM subgroup scales of a group are
+ * staged in one xmm and expanded to per-lane scale vectors with a
+ * second permutexvar, keeping the multiply order identical to the
+ * scalar decode (value * (sval * mult)), so the decoded floats are
+ * bit-identical to runtime/decode_lut (asserted by
+ * tests/runtime/simd_test.cc). Activation-role row decode is shared
+ * with the AVX2 tier: its Elem-EM top-1 fix-up is already
+ * vectorized there and bit-identical, and re-deriving it per ISA
+ * would only add surface for drift.
+ *
+ * Accumulate: per depth step the k-major sliver contributes two
+ * 8-wide W vectors and each of the 8 A rows one broadcast — 16
+ * independent FMA chains across 19 live zmm registers, deep enough
+ * to cover the FMA latency at two issues per cycle. Lane partials
+ * persist in the block accumulator across KC slices; the summation
+ * order differs from the scalar oracle, so parity is
+ * tolerance-checked, never assumed bit-exact.
+ *
+ * This translation unit is compiled with -mavx2 -mfma -mavx512f
+ * -mavx512bw and must only be entered through the runtime dispatch
+ * (simdIsaAvailable guards).
+ */
+
+#include <immintrin.h>
+
+#include "runtime/decode_lut.hh"
+#include "runtime/packed_gemm_kernels.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+namespace detail {
+
+namespace {
+
+constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
+
+/** Scalar tables plus their vector-register forms. */
+struct Avx512Tables
+{
+    const DecodeTables *lut;
+    __m512 fp4Value;     //!< the full 16-entry FP4 table
+    __m512i sgIdxLo;     //!< lane -> subgroup index, elements 0..15
+    __m512i sgIdxHi;     //!< same for elements 16..31
+};
+
+const Avx512Tables &
+tables()
+{
+    static const Avx512Tables t = [] {
+        const DecodeTables &lut = DecodeTables::get();
+        return Avx512Tables{
+            &lut, _mm512_loadu_ps(lut.fp4Value),
+            _mm512_set_epi32(1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0,
+                             0, 0, 0),
+            _mm512_set_epi32(3, 3, 3, 3, 3, 3, 3, 3, 2, 2, 2, 2, 2,
+                             2, 2, 2)};
+    }();
+    return t;
+}
+
+/**
+ * Split one group's 16 packed bytes into 32 interleaved 4-bit codes
+ * (element order: byte i's low nibble is element 2i), returned as
+ * two 16-code chunks.
+ */
+inline void
+splitNibbles(const uint8_t *bytes, __m128i chunk[2])
+{
+    __m128i raw = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(bytes));
+    __m128i mask = _mm_set1_epi8(0x0f);
+    __m128i lo = _mm_and_si128(raw, mask);
+    __m128i hi = _mm_and_si128(_mm_srli_epi16(raw, 4), mask);
+    chunk[0] = _mm_unpacklo_epi8(lo, hi); // codes 0..15
+    chunk[1] = _mm_unpackhi_epi8(lo, hi); // codes 16..31
+}
+
+} // anonymous namespace
+
+void
+decodeWeightGroupAvx512(const PackedM2xfpTensor &t, size_t row,
+                        size_t group, float *out)
+{
+    const Avx512Tables &tab = tables();
+    float sval = tab.lut->e8m0Value[t.scaleCode(row, group)];
+    uint8_t meta = t.groupMetaByte(row, group);
+
+    // The four subgroup scales, premultiplied exactly like the
+    // scalar decode, then fanned out to their 8-lane spans.
+    __m128 s4 = _mm_setr_ps(
+        sval * tab.lut->sgEmMult[meta & 0x3u],
+        sval * tab.lut->sgEmMult[(meta >> 2) & 0x3u],
+        sval * tab.lut->sgEmMult[(meta >> 4) & 0x3u],
+        sval * tab.lut->sgEmMult[(meta >> 6) & 0x3u]);
+    __m512 s16 = _mm512_castps128_ps512(s4);
+    __m512 scale_lo = _mm512_permutexvar_ps(tab.sgIdxLo, s16);
+    __m512 scale_hi = _mm512_permutexvar_ps(tab.sgIdxHi, s16);
+
+    __m128i chunk[2];
+    splitNibbles(t.groupElementBytes(row, group), chunk);
+    __m512 val_lo = _mm512_permutexvar_ps(
+        _mm512_cvtepu8_epi32(chunk[0]), tab.fp4Value);
+    __m512 val_hi = _mm512_permutexvar_ps(
+        _mm512_cvtepu8_epi32(chunk[1]), tab.fp4Value);
+    _mm512_storeu_ps(out, _mm512_mul_ps(val_lo, scale_lo));
+    _mm512_storeu_ps(out + 16, _mm512_mul_ps(val_hi, scale_hi));
+}
+
+void
+decodeWeightRowAvx512(const PackedM2xfpTensor &t, size_t row,
+                      float *out)
+{
+    for (size_t g = 0; g < t.groupsPerRow(); ++g)
+        decodeWeightGroupAvx512(t, row, g, out + g * groupSize);
+}
+
+void
+microKernelAvx512(const double *a, size_t a_stride, const double *ws,
+                  size_t nr, size_t p0, size_t p1, size_t mr_cur,
+                  double *acc, size_t acc_stride)
+{
+    m2x_assert(nr == 16, "microKernelAvx512 expects nr=16, got %zu",
+               nr);
+    if (mr_cur == 8) {
+        __m512d c_lo[8], c_hi[8];
+        for (size_t ii = 0; ii < 8; ++ii) {
+            const double *r = acc + ii * acc_stride;
+            c_lo[ii] = _mm512_loadu_pd(r);
+            c_hi[ii] = _mm512_loadu_pd(r + 8);
+        }
+        for (size_t p = p0; p < p1; ++p) {
+            const double *wp = ws + p * 16;
+            __m512d wl = _mm512_loadu_pd(wp);
+            __m512d wh = _mm512_loadu_pd(wp + 8);
+            // Fully unrolled 8-row broadcast sweep: the fixed trip
+            // count lets the compiler keep all 16 accumulators in
+            // registers.
+            c_lo[0] = _mm512_fmadd_pd(_mm512_set1_pd(a[p]), wl,
+                                      c_lo[0]);
+            c_hi[0] = _mm512_fmadd_pd(_mm512_set1_pd(a[p]), wh,
+                                      c_hi[0]);
+            c_lo[1] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[a_stride + p]), wl, c_lo[1]);
+            c_hi[1] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[a_stride + p]), wh, c_hi[1]);
+            c_lo[2] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[2 * a_stride + p]), wl, c_lo[2]);
+            c_hi[2] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[2 * a_stride + p]), wh, c_hi[2]);
+            c_lo[3] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[3 * a_stride + p]), wl, c_lo[3]);
+            c_hi[3] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[3 * a_stride + p]), wh, c_hi[3]);
+            c_lo[4] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[4 * a_stride + p]), wl, c_lo[4]);
+            c_hi[4] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[4 * a_stride + p]), wh, c_hi[4]);
+            c_lo[5] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[5 * a_stride + p]), wl, c_lo[5]);
+            c_hi[5] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[5 * a_stride + p]), wh, c_hi[5]);
+            c_lo[6] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[6 * a_stride + p]), wl, c_lo[6]);
+            c_hi[6] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[6 * a_stride + p]), wh, c_hi[6]);
+            c_lo[7] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[7 * a_stride + p]), wl, c_lo[7]);
+            c_hi[7] = _mm512_fmadd_pd(
+                _mm512_set1_pd(a[7 * a_stride + p]), wh, c_hi[7]);
+        }
+        for (size_t ii = 0; ii < 8; ++ii) {
+            double *r = acc + ii * acc_stride;
+            _mm512_storeu_pd(r, c_lo[ii]);
+            _mm512_storeu_pd(r + 8, c_hi[ii]);
+        }
+        return;
+    }
+    // Ragged edge (mr_cur < 8): per-row two-accumulator sweep.
+    for (size_t ii = 0; ii < mr_cur; ++ii) {
+        double *r = acc + ii * acc_stride;
+        const double *ar = a + ii * a_stride;
+        __m512d cl = _mm512_loadu_pd(r);
+        __m512d ch = _mm512_loadu_pd(r + 8);
+        for (size_t p = p0; p < p1; ++p) {
+            const double *wp = ws + p * 16;
+            __m512d av = _mm512_set1_pd(ar[p]);
+            cl = _mm512_fmadd_pd(av, _mm512_loadu_pd(wp), cl);
+            ch = _mm512_fmadd_pd(av, _mm512_loadu_pd(wp + 8), ch);
+        }
+        _mm512_storeu_pd(r, cl);
+        _mm512_storeu_pd(r + 8, ch);
+    }
+}
+
+} // namespace detail
+} // namespace runtime
+} // namespace m2x

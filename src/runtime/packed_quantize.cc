@@ -17,9 +17,13 @@ quantizeKernels(SimdIsa isa)
     static const QuantizeKernels avx2{&quantizeActivationRowAvx2};
     if (isa == SimdIsa::Avx2)
         return avx2;
-#else
-    (void)isa;
 #endif
+#ifdef M2X_HAVE_AVX512
+    static const QuantizeKernels avx512{&quantizeActivationRowAvx512};
+    if (isa == SimdIsa::Avx512)
+        return avx512;
+#endif
+    (void)isa;
     return scalar;
 }
 

@@ -99,6 +99,18 @@ void encodeActivationGroupAvx2(const float *in, ScaleRule rule,
                                uint8_t *meta);
 #endif // M2X_HAVE_AVX2
 
+#ifdef M2X_HAVE_AVX512
+/** AVX-512 tier: 16-lane mask-ladder FP4 RNE, vpmovdb nibble pack.
+ *  Held to the same byte-exact contract as every other tier. */
+void quantizeActivationRowAvx512(const float *src, size_t cols,
+                                 ScaleRule rule, uint8_t *elems,
+                                 uint8_t *scales, uint8_t *meta);
+
+void encodeActivationGroupAvx512(const float *in, ScaleRule rule,
+                                 uint8_t *elems, uint8_t *scale,
+                                 uint8_t *meta);
+#endif // M2X_HAVE_AVX512
+
 /**
  * parallelFor grain (rows per chunk) for @p rows distributed over
  * @p lanes. Invariants (property-tested):

@@ -21,9 +21,24 @@ cpuHasAvx2()
 #endif
 }
 
+bool
+cpuHasAvx512()
+{
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    // The kernels are compiled -mavx512f -mavx512bw and also lean on
+    // the AVX2 tier (shared decode helpers), so demand all of it.
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") && cpuHasAvx2();
+#else
+    return false;
+#endif
+}
+
 SimdIsa
 bestAvailableIsa()
 {
+    if (simdIsaAvailable(SimdIsa::Avx512))
+        return SimdIsa::Avx512;
     return simdIsaAvailable(SimdIsa::Avx2) ? SimdIsa::Avx2
                                            : SimdIsa::Scalar;
 }
@@ -34,6 +49,8 @@ const char *
 simdIsaName(SimdIsa isa)
 {
     switch (isa) {
+      case SimdIsa::Avx512:
+        return "avx512";
       case SimdIsa::Avx2:
         return "avx2";
       case SimdIsa::Scalar:
@@ -54,6 +71,12 @@ simdIsaAvailable(SimdIsa isa)
 #else
         return false;
 #endif
+      case SimdIsa::Avx512:
+#ifdef M2X_HAVE_AVX512
+        return cpuHasAvx512();
+#else
+        return false;
+#endif
     }
     return false;
 }
@@ -64,6 +87,8 @@ supportedSimdIsas()
     std::vector<SimdIsa> isas{SimdIsa::Scalar};
     if (simdIsaAvailable(SimdIsa::Avx2))
         isas.push_back(SimdIsa::Avx2);
+    if (simdIsaAvailable(SimdIsa::Avx512))
+        isas.push_back(SimdIsa::Avx512);
     return isas;
 }
 
@@ -84,8 +109,18 @@ resolveSimdIsa(const char *env)
                  "scalar fallback");
         return SimdIsa::Scalar;
     }
+    if (std::strcmp(env, "avx512") == 0) {
+        if (simdIsaAvailable(SimdIsa::Avx512))
+            return SimdIsa::Avx512;
+        SimdIsa fb = bestAvailableIsa();
+        m2x_warn("M2X_SIMD=avx512 requested but AVX-512 is "
+                 "unavailable (not compiled in, or unsupported CPU); "
+                 "falling back to the best remaining tier '%s'",
+                 simdIsaName(fb));
+        return fb;
+    }
     m2x_warn("ignoring unknown M2X_SIMD value '%s' "
-             "(want scalar|avx2|auto)", env);
+             "(want scalar|avx2|avx512|auto)", env);
     return bestAvailableIsa();
 }
 

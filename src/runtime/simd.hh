@@ -5,15 +5,18 @@
  *
  * The runtime carries one microkernel implementation per ISA tier:
  * a portable scalar tier that is the bit-exact oracle (identical to
- * matmulNt over the unpacked operands), and an AVX2+FMA tier whose
- * LUT decode and accumulation are vectorized (verified against the
- * scalar tier to tight tolerance, since vector accumulation changes
- * the summation order). The tier is chosen once per process, from
- * cpuid, and can be pinned with the M2X_SIMD environment variable:
+ * matmulNt over the unpacked operands), an AVX2+FMA tier, and an
+ * AVX-512 tier (F+BW) whose LUT decode and accumulation are
+ * vectorized (verified against the scalar tier to tight tolerance,
+ * since vector accumulation changes the summation order). The tier
+ * is chosen once per process, from cpuid, and can be pinned with the
+ * M2X_SIMD environment variable:
  *
  *   M2X_SIMD=scalar   force the scalar fallback
- *   M2X_SIMD=avx2     force AVX2 (warns and falls back if the CPU or
- *                     build cannot run it)
+ *   M2X_SIMD=avx2     force AVX2 (warns and falls back to the best
+ *                     remaining tier if the CPU or build cannot run
+ *                     it)
+ *   M2X_SIMD=avx512   force AVX-512 (same graceful downgrade)
  *   M2X_SIMD=auto     (or unset) best tier the machine supports
  *
  * Code that wants a specific tier regardless of the environment
@@ -33,9 +36,11 @@ namespace runtime {
 enum class SimdIsa {
     Scalar, //!< portable fallback; bit-exact GEMM oracle
     Avx2,   //!< AVX2+FMA microkernels (x86-64)
+    Avx512, //!< AVX-512 F+BW microkernels (x86-64)
 };
 
-/** Stable lowercase name ("scalar", "avx2") for logs and JSON. */
+/** Stable lowercase name ("scalar", "avx2", "avx512") for logs and
+ *  JSON. */
 const char *simdIsaName(SimdIsa isa);
 
 /** True when the tier is compiled in AND this CPU can run it. */

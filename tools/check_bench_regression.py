@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_runtime.json, run by CI bench smoke.
+
+Compares a freshly generated BENCH_runtime.json against the committed
+baseline and fails when any machine-normalized throughput ratio drops
+by more than the threshold (default 15%). Only ratio metrics are
+compared — speedup-vs-reference numbers measured on the *same* run of
+the *same* machine — never absolute seconds, so a slower CI runner
+cannot fail the gate but a genuinely regressed kernel will.
+
+Rows are matched by (section, shape, isa, threads); rows present in
+only one file (a quick run's subset, a tier the runner lacks, thread
+counts the runner cannot honestly measure) are skipped. At least one
+row must match, otherwise the comparison is vacuous and the gate
+fails loudly instead of green-washing.
+
+Escape hatch: set M2X_BENCH_BASELINE_SKIP=1 to skip the comparison
+(documented in BUILDING.md — for intentional perf-trajectory resets
+where the baseline itself is being recommitted).
+
+Usage:
+  tools/check_bench_regression.py --fresh NEW.json \
+      [--baseline BENCH_runtime.json] [--threshold 0.15]
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# section -> (shape keys, per-row keys, ratio metrics). The shape keys
+# identify the outer entry, the row keys identify one measurement in
+# its "results" list, and the metrics are the machine-normalized
+# ratios compared across runs.
+GEMM = (("m", "n", "k"), ("isa", "threads"),
+        ("speedup_vs_ref_gemm", "speedup_vs_unpack_gemm"))
+PACK = (("rows", "cols"), ("isa", "threads"),
+        ("speedup_vs_functional",))
+FWD = (("m", "n", "k"), ("threads",), ("speedup_vs_ref",))
+
+
+def row_index(doc, section, shape_keys, row_keys, metrics):
+    """(section, shape..., row...) -> {metric: value}."""
+    out = {}
+    for entry in doc.get(section, []):
+        shape = tuple(entry[k] for k in shape_keys)
+        for row in entry.get("results", []):
+            key = (section, shape, tuple(row[k] for k in row_keys))
+            out[key] = {m: row[m] for m in metrics if m in row}
+    return out
+
+
+def ratio_rows(doc):
+    rows = row_index(doc, "gemm", *GEMM)
+    rows.update(row_index(doc, "pack_activations", *PACK))
+    rows.update(row_index(doc, "forward", *FWD))
+    # Per-shape GEMM trajectory ratios (1-thread, best tiers).
+    for entry in doc.get("gemm", []):
+        shape = tuple(entry[k] for k in GEMM[0])
+        summary = {
+            m: entry[m]
+            for m in ("blocked_vs_pr3_1t", "avx2_vs_scalar_1t",
+                      "avx512_vs_scalar_1t") if m in entry
+        }
+        if summary:
+            rows[("gemm", shape, ("summary",))] = summary
+    # Whole-model and decode sections are single rows. Their shape
+    # keys carry the full workload (quick mode shrinks the model and
+    # the token counts), so a quick run never matches — and never
+    # falsely gates against — a full-run baseline row.
+    model = doc.get("model", {})
+    if "speedup_vs_ref" in model:
+        rows[("model",
+              (model.get("name"), model.get("batch"),
+               model.get("seq_len")),
+              (model.get("isa"), model.get("threads")))] = {
+                  "speedup_vs_ref": model["speedup_vs_ref"]
+              }
+    dec = doc.get("decode", {})
+    if "packed_vs_fp32_tokens_per_s" in dec:
+        rows[("decode",
+              (dec.get("model"), dec.get("layers"), dec.get("batch"),
+               dec.get("prefill_tokens"), dec.get("decode_steps")),
+              (dec.get("isa"), dec.get("threads")))] = {
+                  "packed_vs_fp32_tokens_per_s":
+                      dec["packed_vs_fp32_tokens_per_s"]
+              }
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="freshly generated BENCH_runtime.json")
+    ap.add_argument("--baseline",
+                    default=str(REPO / "BENCH_runtime.json"),
+                    help="committed baseline (default: repo root)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max fractional drop before failing "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    if os.environ.get("M2X_BENCH_BASELINE_SKIP"):
+        print("check_bench_regression: M2X_BENCH_BASELINE_SKIP set "
+              "- skipping baseline comparison")
+        return 0
+
+    fresh = ratio_rows(json.load(open(args.fresh)))
+    base = ratio_rows(json.load(open(args.baseline)))
+
+    matched = 0
+    failures = []
+    for key, base_metrics in sorted(base.items()):
+        fresh_metrics = fresh.get(key)
+        if fresh_metrics is None:
+            continue
+        for metric, base_v in base_metrics.items():
+            fresh_v = fresh_metrics.get(metric)
+            if fresh_v is None or base_v <= 0:
+                continue
+            matched += 1
+            drop = 1.0 - fresh_v / base_v
+            tag = "/".join(str(p) for p in
+                           (key[0], *key[1], *key[2], metric))
+            if drop > args.threshold:
+                failures.append(
+                    f"FAIL {tag}: {base_v:.3f} -> {fresh_v:.3f} "
+                    f"({100 * drop:.1f}% drop > "
+                    f"{100 * args.threshold:.0f}%)")
+            else:
+                print(f"  ok {tag}: {base_v:.3f} -> {fresh_v:.3f}")
+
+    if matched == 0:
+        print("check_bench_regression: no comparable rows between "
+              f"{args.fresh} and {args.baseline} - the gate would be "
+              "vacuous. Regenerate the baseline on comparable "
+              "hardware or set M2X_BENCH_BASELINE_SKIP=1.")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} regression(s) past the "
+              f"{100 * args.threshold:.0f}% threshold:")
+        for f in failures:
+            print(" ", f)
+        print("If the drop is intentional, recommit the baseline "
+              "and/or set M2X_BENCH_BASELINE_SKIP=1 for this run "
+              "(see BUILDING.md).")
+        return 1
+    print(f"check_bench_regression: {matched} matched metric(s), "
+          "no regression past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
