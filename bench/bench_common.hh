@@ -8,8 +8,9 @@
 #ifndef M2X_BENCH_COMMON_HH__
 #define M2X_BENCH_COMMON_HH__
 
-#include <chrono>
 #include <cstdio>
+
+#include "runtime/telemetry.hh"
 
 namespace m2x {
 namespace bench {
@@ -33,21 +34,24 @@ banner(const char *exp_id, const char *what)
     std::fflush(stdout);
 }
 
-/** Wall-clock helper. */
+/**
+ * Wall-clock helper on the shared telemetry clock
+ * (runtime::telemetry::nowNanos — monotonic steady_clock), so bench
+ * timings and trace spans share one time base.
+ */
 class Stopwatch
 {
   public:
-    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    Stopwatch() : start_(runtime::telemetry::nowNanos()) {}
     double
     seconds() const
     {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - start_)
-            .count();
+        return 1e-9 * static_cast<double>(
+                          runtime::telemetry::nowNanos() - start_);
     }
 
   private:
-    std::chrono::steady_clock::time_point start_;
+    uint64_t start_;
 };
 
 } // namespace bench

@@ -25,9 +25,18 @@
  * nothing but scheduler noise, so only the 1-thread rows are
  * emitted (hardware_threads in the JSON records the truth).
  *
- * Usage: throughput_runtime [--quick] [--out PATH]
+ * The decode section runs with the telemetry metrics registry
+ * enabled: per-step latency lands in the `decode.step_ns` histogram
+ * and the JSON gains `step_latency_p50/p95/p99_s` plus thread-pool
+ * busy-time/utilization per mode (see docs/OBSERVABILITY.md). The
+ * earlier sections run with telemetry in its default (off) state so
+ * their rows keep measuring the uninstrumented hot path.
+ *
+ * Usage: throughput_runtime [--quick] [--out PATH] [--trace PATH]
  *   --quick  one small shape, short timing windows (CI smoke)
  *   --out    output path (default BENCH_runtime.json)
+ *   --trace  also collect a Chrome trace_event JSON of the run
+ *            (equivalent to M2X_TRACE=PATH; load it in Perfetto)
  */
 
 #include <algorithm>
@@ -48,6 +57,7 @@
 #include "runtime/packed_gemm_kernels.hh"
 #include "runtime/packed_linear.hh"
 #include "runtime/simd.hh"
+#include "runtime/telemetry.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -187,16 +197,23 @@ main(int argc, char **argv)
 {
     bool quick = false;
     std::string out_path = "BENCH_runtime.json";
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
-            m2x_fatal("usage: %s [--quick] [--out PATH]", argv[0]);
+            m2x_fatal("usage: %s [--quick] [--out PATH] "
+                      "[--trace PATH]", argv[0]);
         }
     }
+    if (!trace_path.empty())
+        runtime::telemetry::traceStart(trace_path);
 
     bench::banner("RUNTIME", "packed-domain execution throughput");
     double min_s = quick ? 0.02 : 0.2;
@@ -770,6 +787,13 @@ main(int argc, char **argv)
         double tokens_per_s[2] = {0.0, 0.0}; // [fp32, packed]
         KvCacheMode modes[2] = {KvCacheMode::Fp32,
                                 KvCacheMode::Packed};
+        // The decode loops run with the metrics registry on: the
+        // per-step latency distribution comes straight from the
+        // decode.step_ns histogram and lane utilization from the
+        // pool.lane*.busy_ns counters. Restored to the prior state
+        // afterwards (off unless M2X_METRICS was set).
+        bool metrics_were_on = telemetry::metricsEnabled();
+        telemetry::setMetricsEnabled(true);
         for (int mi = 0; mi < 2; ++mi) {
             KvCacheMode mode = modes[mi];
             DecodeSession s(dc, {.threads = dec_threads,
@@ -784,6 +808,10 @@ main(int argc, char **argv)
             }
             double prefill_s = pre_sw.seconds();
 
+            // Zero the metric values (prefill included) so the
+            // histogram and busy counters describe the decode loop
+            // alone.
+            telemetry::MetricRegistry::global().reset();
             std::vector<int> next(batch);
             Stopwatch dec_sw;
             for (size_t t = 0; t < decode_steps; ++t) {
@@ -799,26 +827,55 @@ main(int argc, char **argv)
             double bits_per_elem =
                 bpt * 8.0 / (2.0 * dc.nLayers * dc.dModel);
 
+            const telemetry::Histogram *sh =
+                telemetry::MetricRegistry::global().findHistogram(
+                    "decode.step_ns");
+            m2x_assert(sh && sh->count() == decode_steps,
+                       "decode.step_ns histogram missing or "
+                       "miscounted");
+            double p50 = 1e-9 * sh->quantile(0.50);
+            double p95 = 1e-9 * sh->quantile(0.95);
+            double p99 = 1e-9 * sh->quantile(0.99);
+            double pool_busy_s =
+                1e-9 * static_cast<double>(
+                           telemetry::MetricRegistry::global()
+                               .counterSumByPrefix("pool.lane"));
+            double pool_util =
+                decode_s > 0.0
+                    ? pool_busy_s / (decode_s * dec_threads)
+                    : 0.0;
+
             std::printf("decode/%-6s batch %zu, %zu+%zu tokens "
                         "@%u threads: %7.1f tok/s, "
-                        "%.0f KV bytes/token (%.2f bits/elem)\n",
+                        "%.0f KV bytes/token (%.2f bits/elem)\n"
+                        "    step latency p50/p95/p99: "
+                        "%.3f/%.3f/%.3f ms, pool utilization "
+                        "%.0f%%\n",
                         kvCacheModeName(mode), batch,
                         prefill_tokens, decode_steps, dec_threads,
-                        tps, bpt, bits_per_elem);
+                        tps, bpt, bits_per_elem, p50 * 1e3,
+                        p95 * 1e3, p99 * 1e3, 100.0 * pool_util);
             std::fprintf(out,
                          "%s\n      {\"kv_cache\": \"%s\", "
                          "\"prefill_s\": %.6e, "
                          "\"decode_s\": %.6e, "
                          "\"tokens_per_s\": %.3f, "
                          "\"attend_s\": %.6e,\n"
+                         "       \"step_latency_p50_s\": %.6e, "
+                         "\"step_latency_p95_s\": %.6e, "
+                         "\"step_latency_p99_s\": %.6e,\n"
+                         "       \"pool_busy_s\": %.6e, "
+                         "\"pool_utilization\": %.4f,\n"
                          "       \"kv_bytes\": %zu, "
                          "\"kv_bytes_per_token\": %.3f, "
                          "\"kv_bits_per_element\": %.4f}",
                          mi ? "," : "", kvCacheModeName(mode),
                          prefill_s, decode_s, tps,
-                         s.attendSeconds(), s.kvBytes(), bpt,
+                         s.attendSeconds(), p50, p95, p99,
+                         pool_busy_s, pool_util, s.kvBytes(), bpt,
                          bits_per_elem);
         }
+        telemetry::setMetricsEnabled(metrics_were_on);
         double ratio = tokens_per_s[1] / tokens_per_s[0];
         std::printf("decode packed vs fp32 cache: %.2fx tokens/s\n",
                     ratio);
@@ -830,5 +887,10 @@ main(int argc, char **argv)
     }
     std::fclose(out);
     std::printf("\nwrote %s\n", out_path.c_str());
+    if (!trace_path.empty()) {
+        size_t n = runtime::telemetry::traceStop();
+        std::printf("wrote %zu trace events to %s\n", n,
+                    trace_path.c_str());
+    }
     return 0;
 }

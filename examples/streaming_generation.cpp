@@ -7,16 +7,23 @@
  * with the dense fp32 cache — the bit-exact oracle baseline — to
  * show the resident-memory and throughput trade.
  *
- *   $ ./streaming_generation
+ *   $ ./streaming_generation [--trace PATH]
+ *
+ * With --trace (or M2X_TRACE=PATH), the run writes a Chrome
+ * trace_event JSON of every decode step, attend, quantize, and GEMM
+ * span — open it at https://ui.perfetto.dev to see where the tokens
+ * go (see docs/OBSERVABILITY.md).
  */
 
-#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "model/config.hh"
 #include "runtime/decode_session.hh"
+#include "runtime/telemetry.hh"
 #include "util/rng.hh"
 
 using namespace m2x;
@@ -24,22 +31,21 @@ using namespace m2x::runtime;
 
 namespace {
 
-/** Seconds since construction. */
+/** Seconds since construction (on the shared telemetry clock). */
 class Stopwatch
 {
   public:
-    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    Stopwatch() : start_(telemetry::nowNanos()) {}
 
     double
     seconds() const
     {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - start_)
-            .count();
+        return 1e-9 *
+               static_cast<double>(telemetry::nowNanos() - start_);
     }
 
   private:
-    std::chrono::steady_clock::time_point start_;
+    uint64_t start_;
 };
 
 /** Greedy sampling: the arg-max logit of one row. */
@@ -56,8 +62,21 @@ argmaxRow(const Matrix &logits, size_t row)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--trace PATH]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (!trace_path.empty())
+        telemetry::traceStart(trace_path);
+
     model::ModelConfig cfg = model::llama2_7b();
     const size_t batch = 4;
     const size_t prompt_len = 32;
@@ -116,6 +135,13 @@ main()
         for (size_t t = 0; t < generated[0].size(); ++t)
             std::printf(" %d", generated[0][t]);
         std::printf("\n\n");
+    }
+
+    if (!trace_path.empty()) {
+        size_t n = telemetry::traceStop();
+        std::printf("wrote %zu trace events to %s "
+                    "(load at https://ui.perfetto.dev)\n",
+                    n, trace_path.c_str());
     }
     return 0;
 }

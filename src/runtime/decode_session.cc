@@ -1,11 +1,24 @@
 #include "runtime/decode_session.hh"
 
-#include <chrono>
-
+#include "runtime/telemetry.hh"
 #include "util/logging.hh"
 
 namespace m2x {
 namespace runtime {
+
+namespace {
+
+/** @{ Cached decode metric handles (null while metrics off). */
+std::atomic<telemetry::Histogram *> stepSlot{nullptr};
+std::atomic<telemetry::Histogram *> prefillSlot{nullptr};
+std::atomic<telemetry::Counter *> stepTokensSlot{nullptr};
+std::atomic<telemetry::Gauge *> kvBytesSlot{nullptr};
+std::atomic<telemetry::Gauge *> kvTokensSlot{nullptr};
+std::atomic<telemetry::Gauge *> kvBytesPerTokSlot{nullptr};
+std::atomic<telemetry::Gauge *> sequencesSlot{nullptr};
+/** @} */
+
+} // anonymous namespace
 
 /**
  * The AttentionBackend gluing forwardChunk to the per-sequence
@@ -37,7 +50,13 @@ class DecodeSession::Backend : public model::AttentionBackend
            const Matrix &v, std::span<const size_t> positions,
            unsigned n_heads) override
     {
-        auto t0 = std::chrono::steady_clock::now();
+        telemetry::TraceSpan span("decode.attend");
+        if (span.active()) {
+            span.arg("layer", layer);
+            span.arg("rows", q.rows());
+            span.arg("mode", step_ ? "step" : "prefill");
+        }
+        uint64_t t0 = telemetry::nowNanos();
         size_t d = q.cols();
         Matrix ctx(q.rows(), d);
         if (!step_) {
@@ -52,6 +71,16 @@ class DecodeSession::Backend : public model::AttentionBackend
             tp.parallelFor(
                 0, q.rows(), 1, [&](size_t s0, size_t s1) {
                     for (size_t s = s0; s < s1; ++s) {
+                        // Per-sequence span: in step mode each lane
+                        // attends its own cache, so the trace shows
+                        // the per-sequence cost on its lane's track.
+                        telemetry::TraceSpan seq_span(
+                            "decode.attend.seq");
+                        if (seq_span.active()) {
+                            seq_span.arg("seq", s);
+                            seq_span.arg("layer", layer);
+                            seq_span.arg("pos", positions[s]);
+                        }
                         KvCache &c = s_.seqs_[s].cache;
                         c.append(layer, k.data() + s * d,
                                  v.data() + s * d, 1);
@@ -61,11 +90,8 @@ class DecodeSession::Backend : public model::AttentionBackend
                     }
                 });
         }
-        auto dt = std::chrono::steady_clock::now() - t0;
-        s_.attendNanos_.fetch_add(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
-                .count(),
-            std::memory_order_relaxed);
+        s_.attendNanos_.fetch_add(telemetry::nowNanos() - t0,
+                                  std::memory_order_relaxed);
         return ctx;
     }
 
@@ -153,7 +179,23 @@ DecodeSession::prefill(size_t seq, std::span<const int> tokens)
     for (size_t t = 0; t < tokens.size(); ++t)
         positions[t] = pos0 + t;
     backend_->beginPrefill(seq);
-    return model_.forwardChunk(tokens, positions, *backend_);
+    telemetry::TraceSpan span("decode.prefill");
+    if (span.active()) {
+        span.arg("seq", seq);
+        span.arg("tokens", tokens.size());
+        span.arg("pos0", pos0);
+    }
+    uint64_t t0 = telemetry::metricsEnabled()
+                      ? telemetry::nowNanos()
+                      : 0;
+    Matrix out = model_.forwardChunk(tokens, positions, *backend_);
+    if (t0) {
+        if (auto *h = telemetry::cachedHistogram(
+                prefillSlot, "decode.prefill_ns"))
+            h->record(telemetry::nowNanos() - t0);
+        updateKvGauges();
+    }
+    return out;
 }
 
 Matrix
@@ -167,7 +209,48 @@ DecodeSession::decode(std::span<const int> next)
     for (size_t s = 0; s < seqs_.size(); ++s)
         positions[s] = seqs_[s].cache.length();
     backend_->beginStep();
-    return model_.forwardChunk(next, positions, *backend_);
+    telemetry::TraceSpan span("decode.step");
+    if (span.active()) {
+        span.arg("batch", next.size());
+        span.arg("pos0", positions[0]);
+    }
+    uint64_t t0 = telemetry::metricsEnabled()
+                      ? telemetry::nowNanos()
+                      : 0;
+    Matrix out = model_.forwardChunk(next, positions, *backend_);
+    if (t0) {
+        if (auto *h = telemetry::cachedHistogram(stepSlot,
+                                                 "decode.step_ns"))
+            h->record(telemetry::nowNanos() - t0);
+        if (auto *c = telemetry::cachedCounter(
+                stepTokensSlot, "decode.step_tokens"))
+            c->add(next.size());
+        updateKvGauges();
+    }
+    return out;
+}
+
+void
+DecodeSession::updateKvGauges() const
+{
+    size_t tokens = 0;
+    for (const Sequence &s : seqs_)
+        tokens += s.cache.length();
+    size_t bytes = kvBytes();
+    if (auto *g = telemetry::cachedGauge(kvBytesSlot,
+                                         "decode.kv_bytes"))
+        g->set(static_cast<double>(bytes));
+    if (auto *g = telemetry::cachedGauge(kvTokensSlot,
+                                         "decode.kv_tokens"))
+        g->set(static_cast<double>(tokens));
+    if (auto *g = telemetry::cachedGauge(
+            kvBytesPerTokSlot, "decode.kv_bytes_per_token"))
+        g->set(tokens ? static_cast<double>(bytes) /
+                            static_cast<double>(tokens)
+                      : 0.0);
+    if (auto *g = telemetry::cachedGauge(sequencesSlot,
+                                         "decode.sequences"))
+        g->set(static_cast<double>(seqs_.size()));
 }
 
 } // namespace runtime

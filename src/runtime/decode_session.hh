@@ -140,6 +140,12 @@ class DecodeSession
 
     ThreadPool *pool() const;
 
+    /**
+     * Refresh the decode.kv_* occupancy gauges in the telemetry
+     * registry (no-op cost while metrics are off; callers gate it).
+     */
+    void updateKvGauges() const;
+
     DecodeConfig cfg_;
     std::unique_ptr<ThreadPool> ownedPool_; //!< when threads != 0
     model::TinyTransformer model_;

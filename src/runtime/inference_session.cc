@@ -1,13 +1,15 @@
 #include "runtime/inference_session.hh"
 
-#include <chrono>
-
 #include "runtime/packed_linear.hh"
+#include "runtime/telemetry.hh"
 
 namespace m2x {
 namespace runtime {
 
 namespace {
+
+/** Cached session metric handle (null while metrics off). */
+std::atomic<telemetry::Histogram *> sessionForwardSlot{nullptr};
 
 /**
  * Shim recording wall time, the quantize/GEMM phase split and row
@@ -34,7 +36,12 @@ class TimedLinear : public LinearOp
     forward(const Matrix &x) const override
     {
         ForwardBreakdown bd;
-        auto t0 = std::chrono::steady_clock::now();
+        telemetry::TraceSpan span("linear.forward");
+        if (span.active()) {
+            span.arg("layer", stats_->name.c_str());
+            span.arg("rows", x.rows());
+        }
+        uint64_t t0 = telemetry::nowNanos();
         Matrix y;
         // Claim the shared workspace; a concurrent forward on the
         // same layer (legal — the pre-workspace shim was stateless)
@@ -54,13 +61,10 @@ class TimedLinear : public LinearOp
         } else {
             inner_->forward(x, y, nullptr, &bd);
         }
-        auto dt = std::chrono::steady_clock::now() - t0;
         stats_->calls.fetch_add(1, std::memory_order_relaxed);
         stats_->rows.fetch_add(x.rows(), std::memory_order_relaxed);
-        stats_->nanos.fetch_add(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
-                .count(),
-            std::memory_order_relaxed);
+        stats_->nanos.fetch_add(telemetry::nowNanos() - t0,
+                                std::memory_order_relaxed);
         stats_->quantizeNanos.fetch_add(bd.quantizeNanos,
                                         std::memory_order_relaxed);
         stats_->gemmNanos.fetch_add(bd.gemmNanos,
@@ -124,7 +128,18 @@ InferenceSession::~InferenceSession() = default;
 Matrix
 InferenceSession::forward(std::span<const int> tokens)
 {
-    return model_.forwardLogits(tokens);
+    telemetry::TraceSpan span("session.forward");
+    if (span.active())
+        span.arg("tokens", tokens.size());
+    uint64_t t0 = telemetry::metricsEnabled()
+                      ? telemetry::nowNanos()
+                      : 0;
+    Matrix logits = model_.forwardLogits(tokens);
+    if (t0)
+        if (auto *h = telemetry::cachedHistogram(
+                sessionForwardSlot, "session.forward_ns"))
+            h->record(telemetry::nowNanos() - t0);
+    return logits;
 }
 
 std::vector<Matrix>

@@ -7,6 +7,7 @@
 
 #include "runtime/decode_lut.hh"
 #include "runtime/packed_gemm_kernels.hh"
+#include "runtime/telemetry.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -197,6 +198,18 @@ packedMatmulNtBlocked(const PackedM2xfpTensor &a,
     size_t n_tasks = n_ic * n_jc;
     size_t grain = detail::packedGemmGrain(n_ic, n_jc, tp.size());
     size_t sliver_stride = padded_k * nr;
+    telemetry::TraceSpan span("gemm.packed");
+    if (span.active()) {
+        span.arg("m", m);
+        span.arg("n", n);
+        span.arg("k", k);
+        span.arg("isa", simdIsaName(isa));
+        span.arg("mc", mc);
+        span.arg("kc", kc);
+        span.arg("nc", nc);
+        span.arg("tasks", n_tasks);
+        span.arg("grain", grain);
+    }
     tp.parallelFor(
         0, n_tasks, grain,
         [&](size_t t0, size_t t1) {

@@ -1,11 +1,20 @@
 #include "runtime/packed_linear.hh"
 
-#include <chrono>
-
+#include "runtime/telemetry.hh"
 #include "util/logging.hh"
 
 namespace m2x {
 namespace runtime {
+
+namespace {
+
+/** @{ Cached forward-phase metric handles (null while metrics off). */
+std::atomic<telemetry::Histogram *> quantizeSlot{nullptr};
+std::atomic<telemetry::Histogram *> gemmSlot{nullptr};
+std::atomic<telemetry::Counter *> forwardRowsSlot{nullptr};
+/** @} */
+
+} // anonymous namespace
 
 PackedLinear::PackedLinear(const Matrix &weight, M2xfpConfig cfg,
                            ThreadPool *pool, SimdIsa isa)
@@ -27,27 +36,42 @@ void
 PackedLinear::forward(const Matrix &x, Matrix &y, Workspace *ws,
                       ForwardBreakdown *times) const
 {
-    using clock = std::chrono::steady_clock;
-
     m2x_assert(x.cols() == inFeatures_,
                "linear in_features mismatch: %zu vs %zu", x.cols(),
                inFeatures_);
     Workspace local;
     Workspace &w = ws ? *ws : local;
 
-    auto t0 = clock::now();
+    // One nowNanos pair per phase feeds every consumer — the trace
+    // span, the registry histogram, and the caller's accumulating
+    // ForwardBreakdown — so all three always agree. When telemetry
+    // is off and no breakdown was asked for, the clock is not read.
+    const bool timed = times || telemetry::traceEnabled() ||
+                       telemetry::metricsEnabled();
+
+    uint64_t t0 = timed ? telemetry::nowNanos() : 0;
     PackedM2xfpTensor::packActivations(x, actQ_, pool_, isa_,
                                        w.packedAct);
-    auto t1 = clock::now();
+    uint64_t t1 = timed ? telemetry::nowNanos() : 0;
+    telemetry::traceComplete("linear.quantize", t0, t1);
     packedMatmulNt(w.packedAct, weight_, y, pool_, isa_);
-    auto t2 = clock::now();
+    uint64_t t2 = timed ? telemetry::nowNanos() : 0;
+    telemetry::traceComplete("linear.gemm", t1, t2);
+
     if (times) {
-        using std::chrono::duration_cast;
-        using std::chrono::nanoseconds;
-        times->quantizeNanos +=
-            duration_cast<nanoseconds>(t1 - t0).count();
-        times->gemmNanos +=
-            duration_cast<nanoseconds>(t2 - t1).count();
+        times->quantizeNanos += t1 - t0;
+        times->gemmNanos += t2 - t1;
+    }
+    if (telemetry::metricsEnabled()) {
+        if (auto *h = telemetry::cachedHistogram(
+                quantizeSlot, "linear.quantize_ns"))
+            h->record(t1 - t0);
+        if (auto *h = telemetry::cachedHistogram(gemmSlot,
+                                                 "linear.gemm_ns"))
+            h->record(t2 - t1);
+        if (auto *c = telemetry::cachedCounter(
+                forwardRowsSlot, "linear.forward_rows"))
+            c->add(x.rows());
     }
 }
 

@@ -33,6 +33,12 @@ namespace runtime {
  * Wall time a forward pass spent in its two phases: online
  * activation packing (the fast-path encoder) and the packed GEMM.
  * Accumulating — one instance can integrate over many calls.
+ *
+ * This is a per-caller view over the same measurements the
+ * telemetry layer exports process-wide: each phase is timed once
+ * and the interval feeds the `linear.quantize`/`linear.gemm` trace
+ * spans, the `linear.*_ns` registry histograms, and this struct —
+ * see runtime/telemetry.hh and docs/OBSERVABILITY.md.
  */
 struct ForwardBreakdown
 {

@@ -1,0 +1,656 @@
+#include "runtime/telemetry.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace m2x {
+namespace runtime {
+namespace telemetry {
+
+namespace detail {
+
+std::atomic<bool> traceEnabledFlag{false};
+std::atomic<bool> metricsEnabledFlag{false};
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Trace collection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** One buffered span. @c name must be a string literal. */
+struct TraceEvent
+{
+    const char *name;
+    uint64_t t0;      //!< nowNanos at span begin
+    uint64_t dur;     //!< nanoseconds
+    std::string args; //!< preformatted JSON fragment (may be empty)
+};
+
+/**
+ * Per-thread event buffer. Owned jointly by the writing thread (a
+ * thread_local shared_ptr) and the global registry, so a worker
+ * thread exiting before the flush cannot strand its events. The
+ * mutex is per-buffer and uncontended on the hot path (only the
+ * owning thread appends; the flusher takes it briefly).
+ */
+struct ThreadBuf
+{
+    std::mutex mutex;
+    uint32_t tid = 0;
+    std::string threadName;
+    std::vector<TraceEvent> events;
+};
+
+/** Global trace collection state. */
+struct TraceState
+{
+    std::mutex mutex; //!< guards bufs/path/startNanos/nextTid
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    std::string path;
+    uint64_t startNanos = 0;
+    uint32_t nextTid = 1;
+};
+
+/**
+ * Intentionally leaked: spans may end and the exit-time flush may
+ * run during static destruction, after a function-local static
+ * would already be gone.
+ */
+TraceState &
+traceState()
+{
+    static TraceState *state = new TraceState;
+    return *state;
+}
+
+/** The calling thread's buffer, registered on first use. */
+ThreadBuf &
+threadBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> buf;
+    if (!buf) {
+        auto b = std::make_shared<ThreadBuf>();
+        TraceState &st = traceState();
+        std::lock_guard<std::mutex> lock(st.mutex);
+        b->tid = st.nextTid++;
+        st.bufs.push_back(b);
+        buf = std::move(b);
+    }
+    return *buf;
+}
+
+void
+appendEvent(const char *name, uint64_t t0, uint64_t t1,
+            std::string args)
+{
+    // A span that straddles traceStop() is dropped rather than left
+    // to linger in a buffer the flush has already drained.
+    if (!traceEnabled())
+        return;
+    ThreadBuf &b = threadBuf();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    b.events.push_back(
+        {name, t0, t1 - t0, std::move(args)});
+}
+
+/** Minimal JSON string escaping (quotes, backslash, control). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+namespace detail {
+
+size_t
+pendingTraceEvents()
+{
+    TraceState &st = traceState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    size_t n = 0;
+    for (const auto &b : st.bufs) {
+        std::lock_guard<std::mutex> blk(b->mutex);
+        n += b->events.size();
+    }
+    return n;
+}
+
+} // namespace detail
+
+void
+setMetricsEnabled(bool enabled)
+{
+    detail::metricsEnabledFlag.store(enabled,
+                                     std::memory_order_relaxed);
+}
+
+void
+traceStart(const std::string &path)
+{
+    TraceState &st = traceState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    for (const auto &b : st.bufs) {
+        std::lock_guard<std::mutex> blk(b->mutex);
+        b->events.clear();
+    }
+    st.path = path;
+    st.startNanos = nowNanos();
+    detail::traceEnabledFlag.store(true, std::memory_order_relaxed);
+}
+
+size_t
+traceStop()
+{
+    TraceState &st = traceState();
+    std::lock_guard<std::mutex> lock(st.mutex);
+    if (!traceEnabled())
+        return 0;
+    detail::traceEnabledFlag.store(false,
+                                   std::memory_order_relaxed);
+
+    FILE *f = std::fopen(st.path.c_str(), "w");
+    if (!f) {
+        m2x_warn("telemetry: cannot open trace output '%s'",
+                 st.path.c_str());
+        for (const auto &b : st.bufs) {
+            std::lock_guard<std::mutex> blk(b->mutex);
+            b->events.clear();
+        }
+        return 0;
+    }
+
+    std::fprintf(f, "{\"traceEvents\": [\n");
+    std::fprintf(f,
+                 "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+                 "\"process_name\", \"args\": {\"name\": \"m2x\"}}");
+    size_t written = 0;
+    for (const auto &b : st.bufs) {
+        std::lock_guard<std::mutex> blk(b->mutex);
+        if (!b->threadName.empty() && !b->events.empty())
+            std::fprintf(f,
+                         ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": "
+                         "%" PRIu32 ", \"name\": \"thread_name\", "
+                         "\"args\": {\"name\": \"%s\"}}",
+                         b->tid,
+                         escapeJson(b->threadName).c_str());
+        for (const TraceEvent &e : b->events) {
+            // Timestamps are microseconds relative to traceStart —
+            // small enough that the double keeps full nanosecond
+            // resolution.
+            double ts =
+                1e-3 * static_cast<double>(e.t0 - st.startNanos);
+            double dur = 1e-3 * static_cast<double>(e.dur);
+            std::fprintf(f,
+                         ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": "
+                         "%" PRIu32 ", \"ts\": %.3f, \"dur\": %.3f, "
+                         "\"cat\": \"m2x\", \"name\": \"%s\", "
+                         "\"args\": {%s}}",
+                         b->tid, ts, dur, e.name, e.args.c_str());
+            ++written;
+        }
+        b->events.clear();
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return written;
+}
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    ThreadBuf &b = threadBuf();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    b.threadName = name;
+}
+
+void
+traceComplete(const char *name, uint64_t t0_ns, uint64_t t1_ns)
+{
+    if (!traceEnabled())
+        return;
+    appendEvent(name, t0_ns, t1_ns, std::string());
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+void
+TraceSpan::argInt(const char *key, int64_t value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %lld",
+                  args_.empty() ? "" : ", ", key,
+                  static_cast<long long>(value));
+    args_ += buf;
+}
+
+void
+TraceSpan::arg(const char *key, double value)
+{
+    if (!name_)
+        return;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6g",
+                  args_.empty() ? "" : ", ", key, value);
+    args_ += buf;
+}
+
+void
+TraceSpan::arg(const char *key, const char *value)
+{
+    if (!name_)
+        return;
+    args_ += args_.empty() ? "\"" : ", \"";
+    args_ += key;
+    args_ += "\": \"";
+    args_ += escapeJson(value);
+    args_ += "\"";
+}
+
+uint64_t
+TraceSpan::finish()
+{
+    if (!name_)
+        return 0;
+    uint64_t t1 = nowNanos();
+    appendEvent(name_, t0_, t1, std::move(args_));
+    name_ = nullptr;
+    return t1 - t0_;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+void
+Gauge::set(double v)
+{
+    bits_.store(std::bit_cast<uint64_t>(v),
+                std::memory_order_relaxed);
+}
+
+double
+Gauge::value() const
+{
+    return std::bit_cast<double>(
+        bits_.load(std::memory_order_relaxed));
+}
+
+void
+Gauge::reset()
+{
+    bits_.store(0, std::memory_order_relaxed);
+}
+
+size_t
+Histogram::bucketIndex(uint64_t v)
+{
+    if (v < 16)
+        return static_cast<size_t>(v);
+    // Octave o = floor(log2 v) >= 4; 16 linear sub-buckets each.
+    unsigned o = 63u - static_cast<unsigned>(std::countl_zero(v));
+    uint64_t sub = (v >> (o - 4)) & 15u;
+    return 16 + (o - 4) * subBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t
+Histogram::bucketLow(size_t index)
+{
+    if (index < 16)
+        return index;
+    unsigned o = 4 + static_cast<unsigned>((index - 16) / subBuckets);
+    uint64_t sub = (index - 16) % subBuckets;
+    return (16u + sub) << (o - 4);
+}
+
+uint64_t
+Histogram::bucketHigh(size_t index)
+{
+    if (index < 16)
+        return index + 1;
+    unsigned o = 4 + static_cast<unsigned>((index - 16) / subBuckets);
+    return bucketLow(index) + (uint64_t{1} << (o - 4));
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    buckets_[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+Histogram::minValue() const
+{
+    uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t
+Histogram::maxValue() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) /
+                        static_cast<double>(n);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest 0-based rank, then locate its bucket. The extreme
+    // ranks are tracked exactly — no bucket interpolation needed.
+    uint64_t target = static_cast<uint64_t>(
+        std::llround(q * static_cast<double>(n - 1)));
+    if (target == 0)
+        return static_cast<double>(minValue());
+    if (target == n - 1)
+        return static_cast<double>(maxValue());
+    uint64_t cum = 0;
+    for (size_t i = 0; i < nBuckets; ++i) {
+        uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+        if (c == 0)
+            continue;
+        if (cum + c > target) {
+            double lo = static_cast<double>(bucketLow(i));
+            double hi = static_cast<double>(bucketHigh(i));
+            double within =
+                (static_cast<double>(target - cum) + 0.5) /
+                static_cast<double>(c);
+            double v = lo + (hi - lo) * within;
+            // The exact extremes bound every order statistic; the
+            // clamp also makes a single-sample histogram exact.
+            return std::clamp(v,
+                              static_cast<double>(minValue()),
+                              static_cast<double>(maxValue()));
+        }
+        cum += c;
+    }
+    return static_cast<double>(maxValue());
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    // Leaked for the same static-destruction reason as the trace
+    // state: cached handles in long-lived objects may record during
+    // teardown.
+    static MetricRegistry *reg = new MetricRegistry;
+    return *reg;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+const Counter *
+MetricRegistry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+MetricRegistry::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+MetricRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void
+MetricRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : counters_)
+        kv.second->reset();
+    for (auto &kv : gauges_)
+        kv.second->reset();
+    for (auto &kv : histograms_)
+        kv.second->reset();
+}
+
+uint64_t
+MetricRegistry::counterSumByPrefix(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t sum = 0;
+    for (const auto &kv : counters_)
+        if (kv.first.compare(0, prefix.size(), prefix) == 0)
+            sum += kv.second->value();
+    return sum;
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        snap.counters.emplace_back(kv.first, kv.second->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &kv : gauges_)
+        snap.gauges.emplace_back(kv.first, kv.second->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &kv : histograms_) {
+        const Histogram &h = *kv.second;
+        snap.histograms.push_back({kv.first, h.count(), h.sum(),
+                                   h.minValue(), h.maxValue(),
+                                   h.quantile(0.50),
+                                   h.quantile(0.95),
+                                   h.quantile(0.99)});
+    }
+    return snap;
+}
+
+std::string
+MetricRegistry::snapshotJson() const
+{
+    MetricsSnapshot snap = snapshot();
+    std::string out = "{\"counters\": {";
+    char buf[160];
+    bool first = true;
+    for (const auto &kv : snap.counters) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu",
+                      first ? "" : ", ",
+                      escapeJson(kv.first).c_str(),
+                      static_cast<unsigned long long>(kv.second));
+        out += buf;
+        first = false;
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto &kv : snap.gauges) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %.9g",
+                      first ? "" : ", ",
+                      escapeJson(kv.first).c_str(), kv.second);
+        out += buf;
+        first = false;
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto &h : snap.histograms) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\"%s\": {\"count\": %llu, \"sum\": %llu, "
+            "\"min\": %llu, \"max\": %llu, ",
+            first ? "" : ", ", escapeJson(h.name).c_str(),
+            static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.sum),
+            static_cast<unsigned long long>(h.min),
+            static_cast<unsigned long long>(h.max));
+        out += buf;
+        double mean =
+            h.count ? static_cast<double>(h.sum) /
+                          static_cast<double>(h.count)
+                    : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "\"mean\": %.9g, \"p50\": %.9g, "
+                      "\"p95\": %.9g, \"p99\": %.9g}",
+                      mean, h.p50, h.p95, h.p99);
+        out += buf;
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Environment initialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+flushTraceAtExit()
+{
+    size_t n = traceStop();
+    if (n)
+        m2x_inform("telemetry: wrote %zu trace event(s) to %s",
+                   n, traceState().path.c_str());
+}
+
+/**
+ * Reads M2X_TRACE / M2X_METRICS once at load time, so a traced run
+ * needs no code changes; the atexit hook flushes whatever was still
+ * being collected when the process ends.
+ */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *t = std::getenv("M2X_TRACE");
+        if (t && *t)
+            traceStart(t);
+        const char *m = std::getenv("M2X_METRICS");
+        if (m && *m && std::strcmp(m, "0") != 0)
+            setMetricsEnabled(true);
+        std::atexit(flushTraceAtExit);
+    }
+};
+
+EnvInit envInit;
+
+} // anonymous namespace
+
+} // namespace telemetry
+} // namespace runtime
+} // namespace m2x

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Runtime telemetry: trace spans, a metrics registry, and latency
+ * histograms for the packed execution engine.
+ *
+ * Two independent layers share one monotonic clock (nowNanos, the
+ * steady_clock helper every runtime and bench timing site routes
+ * through, so timestamps can never go backwards):
+ *
+ *  - **Tracing** — scoped spans (TraceSpan / traceComplete) recorded
+ *    into per-thread buffers and written as Chrome `trace_event`
+ *    JSON (loadable in Perfetto / chrome://tracing). Enabled with
+ *    `M2X_TRACE=<path>` (flushed at process exit) or
+ *    programmatically with traceStart()/traceStop(). When disabled
+ *    — the default — every span site costs exactly one relaxed
+ *    atomic load and a predictable branch: no clock read, no
+ *    allocation, no stored event.
+ *
+ *  - **Metrics** — named counters, gauges, and log-bucketed latency
+ *    histograms (exact count/sum/min/max, p50/p95/p99 quantile
+ *    extraction) in a process-global MetricRegistry, snapshot-
+ *    exportable as JSON. Enabled with `M2X_METRICS=1` or
+ *    setMetricsEnabled(true). Instrumentation sites create registry
+ *    entries lazily and only while enabled, so a disabled run leaves
+ *    the registry empty; recording is lock-free (atomics only).
+ *
+ * Span and metric names are documented in docs/OBSERVABILITY.md;
+ * histogram values are raw uint64 with the unit in the name suffix
+ * (`_ns` = nanoseconds).
+ */
+
+#ifndef M2X_RUNTIME_TELEMETRY_HH__
+#define M2X_RUNTIME_TELEMETRY_HH__
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace m2x {
+namespace runtime {
+namespace telemetry {
+
+/**
+ * Monotonic nanoseconds since an arbitrary process epoch — the one
+ * clock every runtime span, stat counter, and bench stopwatch uses
+ * (std::chrono::steady_clock; never the wall clock, never
+ * high_resolution_clock, which may alias a non-monotonic clock).
+ */
+inline uint64_t
+nowNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+namespace detail {
+
+/** @{
+ * Global enable flags. Relaxed loads: a toggle only needs to become
+ * visible eventually, and instrumentation sites must stay free of
+ * ordering cost. Defined in telemetry.cc; initialized from
+ * M2X_TRACE / M2X_METRICS before main().
+ */
+extern std::atomic<bool> traceEnabledFlag;
+extern std::atomic<bool> metricsEnabledFlag;
+/** @} */
+
+/** Trace events buffered but not yet flushed (tests). */
+size_t pendingTraceEvents();
+
+} // namespace detail
+
+/** True while a trace is being collected. */
+inline bool
+traceEnabled()
+{
+    return detail::traceEnabledFlag.load(std::memory_order_relaxed);
+}
+
+/** True while metric recording is on. */
+inline bool
+metricsEnabled()
+{
+    return detail::metricsEnabledFlag.load(
+        std::memory_order_relaxed);
+}
+
+/** Turn metric recording on/off (M2X_METRICS=1 does this at load). */
+void setMetricsEnabled(bool enabled);
+
+/**
+ * Start collecting a trace to be written to @p path (overwrites any
+ * in-progress collection: buffered events are dropped, the
+ * timestamp origin resets). `M2X_TRACE=<path>` calls this before
+ * main() and registers an exit-time flush.
+ */
+void traceStart(const std::string &path);
+
+/**
+ * Stop collecting, write the Chrome trace_event JSON, and clear the
+ * buffers. Returns the number of events written (0 when no trace
+ * was active). Idempotent — the exit-time flush after an explicit
+ * traceStop() is a no-op.
+ */
+size_t traceStop();
+
+/**
+ * Name the calling thread in the trace ("pool-worker-3"); shown as
+ * the track name in Perfetto. Cheap; safe to call when tracing is
+ * off (the name is kept for a later traceStart).
+ */
+void setCurrentThreadName(const std::string &name);
+
+/**
+ * Record a complete span [t0_ns, t1_ns] (nowNanos timestamps) for
+ * code that already measures its own interval. No-op (one relaxed
+ * load) when tracing is off.
+ */
+void traceComplete(const char *name, uint64_t t0_ns,
+                   uint64_t t1_ns);
+
+/**
+ * RAII trace span: records [construction, destruction) on the
+ * calling thread. @p name must be a string literal (stored by
+ * pointer). When tracing is off the constructor is one relaxed load
+ * and every other member is an inert branch.
+ *
+ *   TraceSpan span("gemm.packed");
+ *   if (span.active()) {
+ *       span.arg("m", m);
+ *       span.arg("isa", simdIsaName(isa));
+ *   }
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            t0_ = nowNanos();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (name_)
+            finish();
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** True when the span is being recorded (gate arg formatting). */
+    bool active() const { return name_ != nullptr; }
+
+    /** @{
+     * Attach a key/value argument (shown in the Perfetto detail
+     * pane). No-ops when inactive, so callers may skip the active()
+     * check for cheap values.
+     */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    void
+    arg(const char *key, T value)
+    {
+        if (name_)
+            argInt(key, static_cast<int64_t>(value));
+    }
+    void arg(const char *key, double value);
+    void arg(const char *key, const char *value);
+    /** @} */
+
+    /**
+     * End the span now instead of at destruction; returns its
+     * duration in nanoseconds (0 when inactive).
+     */
+    uint64_t finish();
+
+  private:
+    void argInt(const char *key, int64_t value);
+
+    const char *name_ = nullptr;
+    uint64_t t0_ = 0;
+    std::string args_; //!< preformatted JSON fragment, built lazily
+};
+
+/** Monotonically increasing event count. Lock-free. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. Lock-free. */
+class Gauge
+{
+  public:
+    void set(double v);
+    double value() const;
+    void reset();
+
+  private:
+    /** Double bits; avoids relying on std::atomic<double>. */
+    std::atomic<uint64_t> bits_{0};
+};
+
+/**
+ * Log-bucketed histogram of uint64 values (typically nanoseconds).
+ *
+ * Bucket layout: values 0..15 get exact unit buckets; every larger
+ * octave [2^o, 2^(o+1)) is split into 16 linear sub-buckets, so a
+ * bucket's relative width is at most 1/16 (6.25%) of its lower
+ * bound — the bound on quantile error. count/sum/min/max are exact.
+ * record() is lock-free (one atomic add per bucket + the exact
+ * aggregates); quantile()/snapshot readers expect a quiesced
+ * histogram (concurrent records may or may not be included).
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t subBuckets = 16;
+    /** 0..15 exact + 16 sub-buckets per octave for o in [4, 63]. */
+    static constexpr size_t nBuckets = 16 + (64 - 4) * subBuckets;
+
+    void record(uint64_t value);
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Exact sum of all recorded values. */
+    uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t minValue() const; //!< exact; 0 when empty
+    uint64_t maxValue() const; //!< exact; 0 when empty
+    double mean() const;       //!< sum/count; 0 when empty
+
+    /**
+     * Value at quantile @p q in [0, 1] (0.5 = p50). Nearest-rank
+     * into the bucket array, linearly interpolated inside the
+     * bucket and clamped to the exact [min, max] — so a
+     * single-sample histogram returns the sample exactly, and any
+     * result is within one bucket width (≤ 1/16 relative) of the
+     * true order statistic. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    void reset();
+
+    /** @{ Bucket geometry, exposed for the unit tests. */
+    static size_t bucketIndex(uint64_t v);
+    static uint64_t bucketLow(size_t index);
+    static uint64_t bucketHigh(size_t index); //!< exclusive
+    /** @} */
+
+  private:
+    std::array<std::atomic<uint64_t>, nBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
+    std::atomic<uint64_t> max_{0};
+};
+
+/** One histogram's aggregates, as exported in a snapshot. */
+struct HistogramSnapshot
+{
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** A point-in-time copy of every registered metric. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+
+/**
+ * Process-global name → metric table. Lookup/creation takes a
+ * mutex; the returned references are stable for the process
+ * lifetime, so hot paths resolve once and then record lock-free.
+ * Instrumentation sites must create entries only while
+ * metricsEnabled() (the cached* helpers below enforce this), which
+ * keeps the registry empty — zero entries, zero overhead beyond the
+ * flag check — in an un-instrumented run.
+ */
+class MetricRegistry
+{
+  public:
+    static MetricRegistry &global();
+
+    /** @{ Find-or-create; the reference never moves. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+    /** @} */
+
+    /** @{ Lookup without creation; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+    /** @} */
+
+    /** Registered entries across all three kinds. */
+    size_t size() const;
+
+    /** Zero every metric's values; registrations stay. */
+    void reset();
+
+    /** Sum of every counter whose name starts with @p prefix. */
+    uint64_t counterSumByPrefix(const std::string &prefix) const;
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * The snapshot as a JSON object:
+     *   {"counters": {name: value, ...},
+     *    "gauges": {name: value, ...},
+     *    "histograms": {name: {"count": n, "sum": s, "min": m,
+     *                          "max": M, "mean": x,
+     *                          "p50": a, "p95": b, "p99": c}, ...}}
+     */
+    std::string snapshotJson() const;
+
+  private:
+    MetricRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** @{
+ * Lazily resolved, cached metric handles for instrumentation sites:
+ * nullptr (one relaxed load) while metrics are off; on the first
+ * enabled call the name is registered and the pointer cached in
+ * @p slot. The benign race on the slot resolves to the same stable
+ * registry entry.
+ */
+inline Counter *
+cachedCounter(std::atomic<Counter *> &slot, const char *name)
+{
+    if (!metricsEnabled())
+        return nullptr;
+    Counter *c = slot.load(std::memory_order_acquire);
+    if (!c) {
+        c = &MetricRegistry::global().counter(name);
+        slot.store(c, std::memory_order_release);
+    }
+    return c;
+}
+
+inline Gauge *
+cachedGauge(std::atomic<Gauge *> &slot, const char *name)
+{
+    if (!metricsEnabled())
+        return nullptr;
+    Gauge *g = slot.load(std::memory_order_acquire);
+    if (!g) {
+        g = &MetricRegistry::global().gauge(name);
+        slot.store(g, std::memory_order_release);
+    }
+    return g;
+}
+
+inline Histogram *
+cachedHistogram(std::atomic<Histogram *> &slot, const char *name)
+{
+    if (!metricsEnabled())
+        return nullptr;
+    Histogram *h = slot.load(std::memory_order_acquire);
+    if (!h) {
+        h = &MetricRegistry::global().histogram(name);
+        slot.store(h, std::memory_order_release);
+    }
+    return h;
+}
+/** @} */
+
+} // namespace telemetry
+} // namespace runtime
+} // namespace m2x
+
+#endif // M2X_RUNTIME_TELEMETRY_HH__

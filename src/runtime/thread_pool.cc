@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <string>
 
+#include "runtime/telemetry.hh"
 #include "util/logging.hh"
 
 namespace m2x {
@@ -13,6 +15,53 @@ namespace {
 
 /** True while the current thread is executing a job body. */
 thread_local bool in_job = false;
+
+/** @{
+ * Cached pool metric handles (see telemetry::cachedCounter): null —
+ * and unregistered — until metrics are enabled.
+ *
+ *  - pool.jobs_submitted / pool.jobs_completed: jobs that ran on the
+ *    workers; pool.jobs_inline: top-level parallelFor calls that ran
+ *    serially (serial pool, tiny range, or contended job slot).
+ *  - pool.queue_wait_ns: post-to-pickup latency per worker per job.
+ *  - pool.task_run_ns: per-lane busy interval per job (workers and
+ *    the participating caller alike).
+ *  - pool.lane<N>.busy_ns counters (lane 0 = callers) accumulate the
+ *    same intervals per lane for utilization reporting.
+ */
+std::atomic<telemetry::Counter *> jobsSubmittedSlot{nullptr};
+std::atomic<telemetry::Counter *> jobsCompletedSlot{nullptr};
+std::atomic<telemetry::Counter *> jobsInlineSlot{nullptr};
+std::atomic<telemetry::Counter *> lane0BusySlot{nullptr};
+std::atomic<telemetry::Histogram *> queueWaitSlot{nullptr};
+std::atomic<telemetry::Histogram *> taskRunSlot{nullptr};
+/** @} */
+
+/** Record one lane-busy interval (histogram + per-lane counter). */
+void
+recordLaneBusy(telemetry::Counter *&lane_busy, unsigned lane,
+               uint64_t busy_ns)
+{
+    if (!lane_busy)
+        lane_busy = &telemetry::MetricRegistry::global().counter(
+            "pool.lane" + std::to_string(lane) + ".busy_ns");
+    lane_busy->add(busy_ns);
+    if (auto *h = telemetry::cachedHistogram(taskRunSlot,
+                                             "pool.task_run_ns"))
+        h->record(busy_ns);
+}
+
+/** Lane-busy for the calling thread (lane 0), via the cached slot. */
+void
+recordCallerBusy(uint64_t busy_ns)
+{
+    if (auto *c = telemetry::cachedCounter(lane0BusySlot,
+                                           "pool.lane0.busy_ns"))
+        c->add(busy_ns);
+    if (auto *h = telemetry::cachedHistogram(taskRunSlot,
+                                             "pool.task_run_ns"))
+        h->record(busy_ns);
+}
 
 /** Marks the current thread in-job; restores the flag on unwind. */
 struct InJobScope
@@ -61,7 +110,7 @@ ThreadPool::ThreadPool(unsigned n_threads)
 {
     workers_.reserve(nLanes_ - 1);
     for (unsigned i = 0; i + 1 < nLanes_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -102,9 +151,12 @@ ThreadPool::runChunks(Job &job)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned lane)
 {
+    telemetry::setCurrentThreadName("pool-worker-" +
+                                    std::to_string(lane));
     uint64_t seen = 0;
+    telemetry::Counter *lane_busy = nullptr;
     for (;;) {
         Job *job;
         {
@@ -117,9 +169,22 @@ ThreadPool::workerLoop()
             seen = generation_;
             job = job_;
         }
+        // Sampled once per job so the begin/end bookkeeping stays
+        // paired even if metrics are toggled mid-job.
+        const bool instrument = telemetry::metricsEnabled();
+        uint64_t t0 = 0;
+        if (instrument) {
+            t0 = telemetry::nowNanos();
+            if (auto *h = telemetry::cachedHistogram(
+                    queueWaitSlot, "pool.queue_wait_ns"))
+                h->record(t0 - job->postNanos);
+        }
         in_job = true;
         runChunks(*job);
         in_job = false;
+        if (instrument)
+            recordLaneBusy(lane_busy, lane,
+                           telemetry::nowNanos() - t0);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--pending_ == 0)
@@ -144,10 +209,32 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
                                           std::defer_lock);
     if (workers_.empty() || end - begin <= grain || in_job ||
         !job_lock.try_lock()) {
+        // Only a top-level inline call is a "job" worth accounting;
+        // nested calls already run inside an accounted interval.
+        const bool instrument =
+            telemetry::metricsEnabled() && !in_job;
+        uint64_t t0 = 0;
+        if (instrument) {
+            t0 = telemetry::nowNanos();
+            if (auto *c = telemetry::cachedCounter(
+                    jobsInlineSlot, "pool.jobs_inline"))
+                c->add();
+        }
         InJobScope scope;
         for (size_t b = begin; b < end; b += grain)
             body(b, std::min(b + grain, end));
+        if (instrument)
+            recordCallerBusy(telemetry::nowNanos() - t0);
         return;
+    }
+
+    const bool instrument = telemetry::metricsEnabled();
+    telemetry::TraceSpan span("pool.run");
+    if (span.active()) {
+        span.arg("begin", begin);
+        span.arg("end", end);
+        span.arg("grain", grain);
+        span.arg("lanes", nLanes_);
     }
 
     Job job;
@@ -155,6 +242,12 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     job.next.store(begin, std::memory_order_relaxed);
     job.end = end;
     job.grain = grain;
+    if (instrument) {
+        job.postNanos = telemetry::nowNanos();
+        if (auto *c = telemetry::cachedCounter(
+                jobsSubmittedSlot, "pool.jobs_submitted"))
+            c->add();
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;
@@ -169,13 +262,20 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     // drain below always runs.
     {
         InJobScope scope;
+        uint64_t t0 = instrument ? telemetry::nowNanos() : 0;
         runChunks(job);
+        if (instrument)
+            recordCallerBusy(telemetry::nowNanos() - t0);
     }
     {
         std::unique_lock<std::mutex> lock(mutex_);
         done_.wait(lock, [&] { return pending_ == 0; });
         job_ = nullptr;
     }
+    if (instrument)
+        if (auto *c = telemetry::cachedCounter(
+                jobsCompletedSlot, "pool.jobs_completed"))
+            c->add();
     // Exception-safe drain contract: a body throw on *any* lane —
     // worker or caller — surfaces here, on the calling thread, after
     // the workers have let go of the job.

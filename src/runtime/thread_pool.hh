@@ -94,12 +94,14 @@ class ThreadPool
         std::atomic<size_t> next{0};
         size_t end = 0;
         size_t grain = 1;
+        /** nowNanos at post time (0 unless metrics are on). */
+        uint64_t postNanos = 0;
         /** First body exception; owned by the failed CAS winner. */
         std::atomic<bool> failed{false};
         std::exception_ptr error;
     };
 
-    void workerLoop();
+    void workerLoop(unsigned lane);
     static void runChunks(Job &job);
 
     unsigned nLanes_;

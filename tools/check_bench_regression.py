@@ -112,11 +112,13 @@ def main():
     base = ratio_rows(json.load(open(args.baseline)))
 
     matched = 0
+    matched_rows = 0
     failures = []
     for key, base_metrics in sorted(base.items()):
         fresh_metrics = fresh.get(key)
         if fresh_metrics is None:
             continue
+        matched_rows += 1
         for metric, base_v in base_metrics.items():
             fresh_v = fresh_metrics.get(metric)
             if fresh_v is None or base_v <= 0:
@@ -131,7 +133,11 @@ def main():
                     f"({100 * drop:.1f}% drop > "
                     f"{100 * args.threshold:.0f}%)")
             else:
-                print(f"  ok {tag}: {base_v:.3f} -> {fresh_v:.3f}")
+                # Per-row delta on success too, so CI logs show
+                # exactly what the gate compared and by how much
+                # each ratio moved (+ = faster than baseline).
+                print(f"  ok {tag}: {base_v:.3f} -> {fresh_v:.3f} "
+                      f"({100 * -drop:+.1f}%)")
 
     if matched == 0:
         print("check_bench_regression: no comparable rows between "
@@ -148,8 +154,9 @@ def main():
               "and/or set M2X_BENCH_BASELINE_SKIP=1 for this run "
               "(see BUILDING.md).")
         return 1
-    print(f"check_bench_regression: {matched} matched metric(s), "
-          "no regression past the threshold")
+    print(f"check_bench_regression: {matched} metric(s) across "
+          f"{matched_rows} matched row(s), no regression past the "
+          f"{100 * args.threshold:.0f}% threshold")
     return 0
 
 

@@ -25,12 +25,14 @@ REQUIRED_DOCS = [
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
     "docs/FORMATS.md",
+    "docs/OBSERVABILITY.md",
 ]
 
 # README must reference the docs/ subsystem entry points.
 REQUIRED_README_LINKS = [
     "docs/ARCHITECTURE.md",
     "docs/FORMATS.md",
+    "docs/OBSERVABILITY.md",
     "BUILDING.md",
 ]
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validator for Chrome trace_event JSON written by the telemetry
+layer (M2X_TRACE / --trace), run by the CI traced-decode smoke leg.
+
+Checks, in order:
+  1. The file parses as JSON and has the {"traceEvents": [...]}
+     object form Perfetto and chrome://tracing load.
+  2. Every event is well-formed for its phase: "X" complete events
+     carry name/pid/tid and non-negative numeric ts/dur; "B"/"E"
+     duration events (the writer emits only "X", but the format
+     allows both) balance per (pid, tid) stack; "M" metadata events
+     carry a name.
+  3. The expected span names are present (--require, repeatable;
+     substring match over event names), so a refactor that silently
+     drops the decode/GEMM instrumentation fails CI rather than
+     shipping an empty trace.
+
+Usage:
+  tools/check_trace.py TRACE.json [--require NAME ...]
+          [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace_event JSON file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="event name that must appear at least once")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of span events (default 1)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{args.trace}: not readable as JSON: {e}")
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return fail(f"{args.trace}: no traceEvents array")
+    elif isinstance(doc, list):
+        events = doc  # the bare-array form is also loadable
+    else:
+        return fail(f"{args.trace}: root is neither object nor array")
+
+    problems = []
+    names = set()
+    spans = 0
+    open_stacks = {}  # (pid, tid) -> [names] for B/E balancing
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph in ("X", "B", "E", "M") and ph != "E":
+            if not isinstance(name, str) or not name:
+                problems.append(f"event {i}: ph={ph} without a name")
+                continue
+        if ph == "X":
+            spans += 1
+            names.add(name)
+            for field in ("ts", "dur"):
+                v = ev.get(field)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(
+                        f"event {i} ({name}): bad {field}: {v!r}")
+            for field in ("pid", "tid"):
+                if not isinstance(ev.get(field), int):
+                    problems.append(
+                        f"event {i} ({name}): missing {field}")
+        elif ph == "B":
+            spans += 1
+            names.add(name)
+            key = (ev.get("pid"), ev.get("tid"))
+            open_stacks.setdefault(key, []).append(name)
+        elif ph == "E":
+            key = (ev.get("pid"), ev.get("tid"))
+            stack = open_stacks.get(key)
+            if not stack:
+                problems.append(
+                    f"event {i}: E without matching B on {key}")
+            else:
+                stack.pop()
+        elif ph == "M":
+            pass
+        elif ph is None:
+            problems.append(f"event {i}: no ph field")
+        # Other phases (counters, flows, ...) are legal; ignored.
+
+    for key, stack in open_stacks.items():
+        if stack:
+            problems.append(
+                f"{len(stack)} unclosed B event(s) on {key}: "
+                f"{stack[:4]}")
+
+    if spans < args.min_events:
+        problems.append(
+            f"only {spans} span event(s), expected at least "
+            f"{args.min_events}")
+    for req in args.require:
+        if not any(req in n for n in names):
+            problems.append(f"required span name absent: {req}")
+
+    for p in problems:
+        print(f"check_trace: {args.trace}: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"check_trace: OK ({spans} span events, "
+          f"{len(names)} distinct names, "
+          f"{len(args.require)} required names present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
