@@ -13,6 +13,15 @@
  * trace_event JSON of every decode step, attend, quantize, and GEMM
  * span — open it at https://ui.perfetto.dev to see where the tokens
  * go (see docs/OBSERVABILITY.md).
+ *
+ *   $ ./streaming_generation --mixed [--trace PATH]
+ *
+ * --mixed switches from the fixed batch to mixed traffic through the
+ * continuous-batching ServingEngine: requests arrive staggered over
+ * the run with ragged prompt and generation lengths, the scheduler
+ * admits them against a fixed page arena, re-batches whatever is
+ * active each step, and preempts under memory pressure (see
+ * docs/SERVING.md).
  */
 
 #include <cstdio>
@@ -23,6 +32,7 @@
 
 #include "model/config.hh"
 #include "runtime/decode_session.hh"
+#include "runtime/serving.hh"
 #include "runtime/telemetry.hh"
 #include "util/rng.hh"
 
@@ -59,17 +69,100 @@ argmaxRow(const Matrix &logits, size_t row)
     return static_cast<int>(best);
 }
 
+/**
+ * Mixed traffic through the scheduler: requests arrive staggered
+ * (one submitted every couple of scheduler steps) with ragged
+ * prompt/generation lengths, against a deliberately small page
+ * arena so admission stalls and preemption are visible in the
+ * printed lifecycle.
+ */
+int
+runMixed(const model::ModelConfig &cfg)
+{
+    struct Spec
+    {
+        size_t arriveStep, promptLen, maxNew;
+    };
+    const std::vector<Spec> traffic = {
+        {0, 48, 24}, {1, 12, 40}, {3, 96, 16},  {4, 24, 8},
+        {6, 64, 32}, {8, 8, 12},  {10, 160, 20}, {11, 40, 28},
+    };
+
+    // admitFreeFraction 0: admission packs the arena tight, so the
+    // active set's growth forces visible preemption instead of being
+    // absorbed by the default watermark headroom.
+    ServingEngine engine(cfg, {.kvMode = KvCacheMode::Packed,
+                               .pageRows = 16,
+                               .arenaPages = 144,
+                               .maxBatch = 6,
+                               .admitFreeFraction = 0.0});
+    std::printf("[mixed traffic] packed arena: %zu pages x %zu "
+                "rows (%.1f KiB resident budget)\n",
+                engine.arena().capacityPages(),
+                engine.arena().pageRows(),
+                static_cast<double>(engine.arena().capacityPages() *
+                                    engine.arena().pageBytes()) /
+                    1024.0);
+
+    Rng rng(7);
+    size_t submitted = 0, step = 0;
+    Stopwatch total;
+    while (submitted < traffic.size() || !engine.idle()) {
+        while (submitted < traffic.size() &&
+               traffic[submitted].arriveStep <= step) {
+            const Spec &s = traffic[submitted];
+            std::vector<int> prompt(s.promptLen);
+            for (auto &t : prompt)
+                t = static_cast<int>(rng.uniformInt(cfg.vocab));
+            size_t id = engine.submit(std::move(prompt), s.maxNew);
+            std::printf("  step %3zu: + request %zu (prompt %zu, "
+                        "gen %zu)\n",
+                        step, id, s.promptLen, s.maxNew);
+            ++submitted;
+        }
+        engine.step();
+        ++step;
+    }
+    double wall = total.seconds();
+
+    size_t tokens = 0;
+    for (size_t id = 0; id < engine.requestCount(); ++id) {
+        const RequestStats &st = engine.stats(id);
+        tokens += st.generated;
+        std::printf("  request %zu: %-8s prompt %3zu  gen %2zu  "
+                    "ttft %6.1f ms  preempted %zux\n",
+                    id, requestStateName(st.state), st.promptTokens,
+                    st.generated, st.ttftSeconds() * 1e3,
+                    st.preemptions);
+    }
+    std::printf("\n  %zu tokens in %.3f s (%.0f tokens/s), "
+                "%zu scheduler steps, %zu preemptions\n",
+                tokens, wall,
+                static_cast<double>(tokens) / wall,
+                engine.stepCount(), engine.preemptionCount());
+    std::printf("  arena: peak occupancy %.0f%%, high water %zu "
+                "pages, %zu live at exit\n",
+                engine.occupancyPeak() * 100.0,
+                engine.arena().highWaterPages(),
+                engine.arena().livePages());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string trace_path;
+    bool mixed = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--mixed") == 0) {
+            mixed = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--trace PATH]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--mixed] [--trace PATH]\n",
                          argv[0]);
             return 1;
         }
@@ -85,6 +178,17 @@ main(int argc, char **argv)
     std::printf("model %s: %u layers, d_model %u, vocab %u\n\n",
                 cfg.name.c_str(), cfg.nLayers, cfg.dModel,
                 cfg.vocab);
+
+    if (mixed) {
+        int rc = runMixed(cfg);
+        if (!trace_path.empty()) {
+            size_t n = telemetry::traceStop();
+            std::printf("wrote %zu trace events to %s "
+                        "(load at https://ui.perfetto.dev)\n",
+                        n, trace_path.c_str());
+        }
+        return rc;
+    }
 
     for (KvCacheMode mode :
          {KvCacheMode::Packed, KvCacheMode::Fp32}) {

@@ -122,6 +122,27 @@ PackedM2xfpTensor::emptyActivations(size_t cols,
     return t;
 }
 
+void
+PackedM2xfpTensor::reserveActivationRows(size_t rows)
+{
+    m2x_assert(cols_ > 0, "reserveActivationRows on a shapeless "
+               "tensor (create via emptyActivations)");
+    elements_.reserve(rows * groupsPerRow_ * bytesPerGroupElems);
+    scales_.reserve(rows * groupsPerRow_);
+    meta_.reserve(rows * groupsPerRow_);
+}
+
+void
+PackedM2xfpTensor::clearActivationRows()
+{
+    rows_ = 0;
+    // clear() keeps vector capacity, so the next append round
+    // re-fills the recycled streams without reallocating.
+    elements_.clear();
+    scales_.clear();
+    meta_.clear();
+}
+
 PackedM2xfpTensor
 PackedM2xfpTensor::packActivations(const Matrix &m,
                                    const ElemEmQuantizer &q)

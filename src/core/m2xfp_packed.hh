@@ -88,6 +88,18 @@ class PackedM2xfpTensor
                               runtime::ThreadPool *pool = nullptr);
     /** @} */
 
+    /** @{
+     * Storage-recycling hooks for pooled owners (the KV page arena):
+     * reserveActivationRows pre-sizes the three stream capacities
+     * for @p rows rows so subsequent appends never reallocate, and
+     * clearActivationRows drops the rows while keeping the stream
+     * capacity, so a recycled tensor refills allocation-free. Only
+     * meaningful on growable activation tensors (emptyActivations).
+     */
+    void reserveActivationRows(size_t rows);
+    void clearActivationRows();
+    /** @} */
+
     /** Pack a row-major matrix as weights (Sg-EM-2bit adaptive). */
     static PackedM2xfpTensor packWeights(const Matrix &m,
                                          const SgEmQuantizer &q);

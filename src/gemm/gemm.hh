@@ -41,6 +41,19 @@ class LinearOp
     /** y[M, out] = op(x[M, in]) */
     virtual Matrix forward(const Matrix &x) const = 0;
 
+    /**
+     * Same, writing into caller storage: @p y is resized in place
+     * (capacity reused), so a caller keeping one output per layer
+     * slot makes the steady-state forward allocation-free. The base
+     * implementation merely move-assigns forward()'s fresh matrix —
+     * implementations with a native into-style path override this.
+     */
+    virtual void
+    forwardInto(const Matrix &x, Matrix &y) const
+    {
+        y = forward(x);
+    }
+
     virtual size_t inFeatures() const = 0;
     virtual size_t outFeatures() const = 0;
 };

@@ -122,7 +122,17 @@ Matrix
 TinyTransformer::rmsNorm(const Matrix &x,
                          const std::vector<float> &gain) const
 {
-    Matrix out(x.rows(), x.cols());
+    Matrix out;
+    rmsNormInto(x, gain, out);
+    return out;
+}
+
+void
+TinyTransformer::rmsNormInto(const Matrix &x,
+                             const std::vector<float> &gain,
+                             Matrix &out) const
+{
+    out.resize(x.rows(), x.cols());
     for (size_t r = 0; r < x.rows(); ++r) {
         double ss = 0.0;
         for (float v : x.row(r))
@@ -133,7 +143,6 @@ TinyTransformer::rmsNorm(const Matrix &x,
         for (size_t c = 0; c < x.cols(); ++c)
             out(r, c) = x(r, c) * inv * gain[c];
     }
-    return out;
 }
 
 namespace {
@@ -171,38 +180,38 @@ applyRope(Matrix &x, unsigned n_heads,
 
 } // anonymous namespace
 
-Matrix
+void
 TinyTransformer::attention(const Block &b, size_t layer,
                            const Matrix &x_normed,
                            std::span<const size_t> positions,
                            AttentionBackend *backend,
                            const std::string &prefix,
-                           std::map<std::string, Matrix> *collect) const
+                           std::map<std::string, Matrix> *collect,
+                           ForwardScratch &s) const
 {
     // Projection stage: QKV linears, RoPE at the rows' absolute
     // positions, §6.4 operand quantization.
-    Matrix q = b.q->forward(x_normed);
-    Matrix k = b.k->forward(x_normed);
-    Matrix v = b.v->forward(x_normed);
-    applyRope(q, cfg_.nHeads, positions);
-    applyRope(k, cfg_.nHeads, positions);
+    b.q->forwardInto(x_normed, s.q);
+    b.k->forwardInto(x_normed, s.k);
+    b.v->forwardInto(x_normed, s.v);
+    applyRope(s.q, cfg_.nHeads, positions);
+    applyRope(s.k, cfg_.nHeads, positions);
 
     // §6.4 extension: K/V are right-hand GEMM operands and may be
     // quantized with the static-side codec; Q with the dynamic one.
     if (kvQ_) {
         auto kq = kvQ_();
-        k = quantizeRowsGrouped(k, *kq);
+        s.k = quantizeRowsGrouped(s.k, *kq);
         auto vq = kvQ_();
-        v = quantizeRowsGrouped(v, *vq);
+        s.v = quantizeRowsGrouped(s.v, *vq);
     }
     if (qpQ_) {
         auto qq = qpQ_();
-        q = quantizeRowsGrouped(q, *qq);
+        s.q = quantizeRowsGrouped(s.q, *qq);
     }
 
     // Score/value stage: the built-in causal implementation, or the
     // caller's incremental backend (which owns the KV cache).
-    Matrix out;
     if (backend) {
         // §6.4 P quantization happens inside the softmax loop, which
         // an external backend owns — none implements it today, so
@@ -212,18 +221,19 @@ TinyTransformer::attention(const Block &b, size_t layer,
                    "forwardChunk: the post-softmax P quantizer "
                    "(setKvQuantizers) is not supported by attention "
                    "backends");
-        out = backend->attend(layer, q, k, v, positions, cfg_.nHeads);
-        m2x_assert(out.rows() == x_normed.rows() &&
-                   out.cols() == cfg_.dModel,
+        s.attnOut = backend->attend(layer, s.q, s.k, s.v, positions,
+                                    cfg_.nHeads);
+        m2x_assert(s.attnOut.rows() == x_normed.rows() &&
+                   s.attnOut.cols() == cfg_.dModel,
                    "attention backend returned %zux%zu, want %zux%u",
-                   out.rows(), out.cols(), x_normed.rows(),
-                   cfg_.dModel);
+                   s.attnOut.rows(), s.attnOut.cols(),
+                   x_normed.rows(), cfg_.dModel);
     } else {
-        out = causalAttend(q, k, v);
+        s.attnOut = causalAttend(s.q, s.k, s.v);
     }
     if (collect)
-        (*collect)[prefix + "o"] = out;
-    return b.o->forward(out);
+        (*collect)[prefix + "o"] = s.attnOut;
+    b.o->forwardInto(s.attnOut, s.attnProj);
 }
 
 Matrix
@@ -299,35 +309,34 @@ TinyTransformer::forwardInner(
             (*collect)[name] = input;
     };
 
+    ForwardScratch s;
     for (size_t l = 0; l < blocks_.size(); ++l) {
         const Block &b = blocks_[l];
         std::string p = "layer" + std::to_string(l) + ".";
 
-        Matrix xn = rmsNorm(x, b.attnNormGain);
-        record(p + "q", xn);
-        record(p + "k", xn);
-        record(p + "v", xn);
-        Matrix attn =
-            attention(b, l, xn, positions, backend, p, collect);
+        rmsNormInto(x, b.attnNormGain, s.xn);
+        record(p + "q", s.xn);
+        record(p + "k", s.xn);
+        record(p + "v", s.xn);
+        attention(b, l, s.xn, positions, backend, p, collect, s);
         for (size_t i = 0; i < x.size(); ++i)
-            x.flat()[i] += attn.flat()[i];
+            x.flat()[i] += s.attnProj.flat()[i];
 
-        Matrix mn = rmsNorm(x, b.mlpNormGain);
-        record(p + "gate", mn);
-        record(p + "up", mn);
-        Matrix g = b.gate->forward(mn);
-        Matrix u = b.up->forward(mn);
-        // SwiGLU: silu(g) * u
-        Matrix act(g.rows(), g.cols());
-        for (size_t i = 0; i < g.size(); ++i) {
-            float gv = g.flat()[i];
+        rmsNormInto(x, b.mlpNormGain, s.mn);
+        record(p + "gate", s.mn);
+        record(p + "up", s.mn);
+        b.gate->forwardInto(s.mn, s.g);
+        b.up->forwardInto(s.mn, s.u);
+        // SwiGLU: silu(g) * u, written back over g in place.
+        for (size_t i = 0; i < s.g.size(); ++i) {
+            float gv = s.g.flat()[i];
             float silu = gv / (1.0f + std::exp(-gv));
-            act.flat()[i] = silu * u.flat()[i];
+            s.g.flat()[i] = silu * s.u.flat()[i];
         }
-        record(p + "down", act);
-        Matrix mlp = b.down->forward(act);
+        record(p + "down", s.g);
+        b.down->forwardInto(s.g, s.mlp);
         for (size_t i = 0; i < x.size(); ++i)
-            x.flat()[i] += mlp.flat()[i];
+            x.flat()[i] += s.mlp.flat()[i];
     }
 
     Matrix xf = rmsNorm(x, finalNormGain_);

@@ -156,14 +156,35 @@ class TinyTransformer
     std::function<std::shared_ptr<GroupQuantizer>()> kvQ_;
     std::function<std::shared_ptr<GroupQuantizer>()> qpQ_;
 
+    /**
+     * Per-forward reused buffers: every norm output and linear-layer
+     * output of the block loop lands in one of these (via the
+     * into-style LinearOp entry point), so a forwardInner call
+     * allocates each buffer at most once and a steady-state chunk
+     * stream — decode steps over a fixed active set — allocates no
+     * layer outputs at all.
+     */
+    struct ForwardScratch
+    {
+        Matrix xn, mn;            // pre-attention / pre-MLP norms
+        Matrix q, k, v;           // attention projections
+        Matrix attnOut, attnProj; // score/value output, o-projection
+        Matrix g, u, mlp;         // SwiGLU gate/up, down projection
+    };
+
     Matrix rmsNorm(const Matrix &x,
                    const std::vector<float> &gain) const;
-    Matrix attention(const Block &b, size_t layer,
-                     const Matrix &x_normed,
-                     std::span<const size_t> positions,
-                     AttentionBackend *backend,
-                     const std::string &prefix,
-                     std::map<std::string, Matrix> *collect) const;
+    void rmsNormInto(const Matrix &x, const std::vector<float> &gain,
+                     Matrix &out) const;
+    /** One block's attention half; the o-projection lands in
+     * @p s.attnProj. */
+    void attention(const Block &b, size_t layer,
+                   const Matrix &x_normed,
+                   std::span<const size_t> positions,
+                   AttentionBackend *backend,
+                   const std::string &prefix,
+                   std::map<std::string, Matrix> *collect,
+                   ForwardScratch &s) const;
     Matrix causalAttend(const Matrix &q, const Matrix &k,
                         const Matrix &v) const;
     Matrix forwardInner(std::span<const int> tokens,

@@ -20,98 +20,19 @@ std::atomic<telemetry::Gauge *> sequencesSlot{nullptr};
 
 } // anonymous namespace
 
-/**
- * The AttentionBackend gluing forwardChunk to the per-sequence
- * caches. Two routing modes, reconfigured per session call (the
- * session is single-driver-threaded by contract):
- *  - prefill: every chunk row belongs to one sequence — append the
- *    whole chunk, then attend with the cache's internal parallelism
- *    (heads / query blocks over the pool);
- *  - step: chunk row s belongs to sequence s — fan the sequences
- *    out over the pool, each lane appending + attending its own
- *    caches (nested attends run inline).
- */
-class DecodeSession::Backend : public model::AttentionBackend
-{
-  public:
-    explicit Backend(DecodeSession &s) : s_(s) {}
-
-    void
-    beginPrefill(size_t seq)
-    {
-        step_ = false;
-        seq_ = seq;
-    }
-
-    void beginStep() { step_ = true; }
-
-    Matrix
-    attend(size_t layer, const Matrix &q, const Matrix &k,
-           const Matrix &v, std::span<const size_t> positions,
-           unsigned n_heads) override
-    {
-        telemetry::TraceSpan span("decode.attend");
-        if (span.active()) {
-            span.arg("layer", layer);
-            span.arg("rows", q.rows());
-            span.arg("mode", step_ ? "step" : "prefill");
-        }
-        uint64_t t0 = telemetry::nowNanos();
-        size_t d = q.cols();
-        Matrix ctx(q.rows(), d);
-        if (!step_) {
-            KvCache &c = s_.seqs_[seq_].cache;
-            c.append(layer, k.data(), v.data(), k.rows(),
-                     s_.pool());
-            c.attend(layer, q.data(), q.rows(), positions[0],
-                     n_heads, ctx.data(), s_.pool());
-        } else {
-            ThreadPool &tp =
-                s_.pool() ? *s_.pool() : ThreadPool::global();
-            tp.parallelFor(
-                0, q.rows(), 1, [&](size_t s0, size_t s1) {
-                    for (size_t s = s0; s < s1; ++s) {
-                        // Per-sequence span: in step mode each lane
-                        // attends its own cache, so the trace shows
-                        // the per-sequence cost on its lane's track.
-                        telemetry::TraceSpan seq_span(
-                            "decode.attend.seq");
-                        if (seq_span.active()) {
-                            seq_span.arg("seq", s);
-                            seq_span.arg("layer", layer);
-                            seq_span.arg("pos", positions[s]);
-                        }
-                        KvCache &c = s_.seqs_[s].cache;
-                        c.append(layer, k.data() + s * d,
-                                 v.data() + s * d, 1);
-                        c.attend(layer, q.data() + s * d, 1,
-                                 positions[s], n_heads,
-                                 ctx.data() + s * d, s_.pool());
-                    }
-                });
-        }
-        s_.attendNanos_.fetch_add(telemetry::nowNanos() - t0,
-                                  std::memory_order_relaxed);
-        return ctx;
-    }
-
-  private:
-    DecodeSession &s_;
-    bool step_ = false;
-    size_t seq_ = 0;
-};
-
 DecodeSession::DecodeSession(const model::ModelConfig &model_cfg,
                              DecodeConfig cfg)
     : cfg_(cfg),
       ownedPool_(cfg.threads
                      ? std::make_unique<ThreadPool>(cfg.threads)
                      : nullptr),
-      model_(model_cfg), isa_(cfg.isa)
+      model_(model_cfg), isa_(cfg.isa),
+      arena_(model_cfg.dModel, cfg.kvMode, cfg.format, cfg.isa,
+             KvArenaConfig{cfg.pageRows, cfg.arenaPages}),
+      backend_(ownedPool_.get(), &attendNanos_)
 {
     model_.rebuild(packedLinearFactory(cfg.format, ownedPool_.get(),
                                        &stats_, isa_));
-    backend_ = std::make_unique<Backend>(*this);
 }
 
 DecodeSession::~DecodeSession() = default;
@@ -125,10 +46,8 @@ DecodeSession::pool() const
 size_t
 DecodeSession::addSequence()
 {
-    const model::ModelConfig &mc = model_.config();
-    seqs_.push_back(Sequence{KvCache(mc.nLayers, mc.dModel,
-                                     cfg_.kvMode, cfg_.format,
-                                     isa_)});
+    seqs_.push_back(
+        Sequence{KvCache(arena_, model_.config().nLayers)});
     return seqs_.size() - 1;
 }
 
@@ -178,7 +97,7 @@ DecodeSession::prefill(size_t seq, std::span<const int> tokens)
     std::vector<size_t> positions(tokens.size());
     for (size_t t = 0; t < tokens.size(); ++t)
         positions[t] = pos0 + t;
-    backend_->beginPrefill(seq);
+    backend_.beginChunk(seqs_[seq].cache);
     telemetry::TraceSpan span("decode.prefill");
     if (span.active()) {
         span.arg("seq", seq);
@@ -188,7 +107,7 @@ DecodeSession::prefill(size_t seq, std::span<const int> tokens)
     uint64_t t0 = telemetry::metricsEnabled()
                       ? telemetry::nowNanos()
                       : 0;
-    Matrix out = model_.forwardChunk(tokens, positions, *backend_);
+    Matrix out = model_.forwardChunk(tokens, positions, backend_);
     if (t0) {
         if (auto *h = telemetry::cachedHistogram(
                 prefillSlot, "decode.prefill_ns"))
@@ -206,9 +125,12 @@ DecodeSession::decode(std::span<const int> next)
                "decode: %zu tokens for %zu sequences", next.size(),
                seqs_.size());
     std::vector<size_t> positions(seqs_.size());
-    for (size_t s = 0; s < seqs_.size(); ++s)
+    rowCaches_.clear();
+    for (size_t s = 0; s < seqs_.size(); ++s) {
         positions[s] = seqs_[s].cache.length();
-    backend_->beginStep();
+        rowCaches_.push_back(&seqs_[s].cache);
+    }
+    backend_.beginRows(rowCaches_);
     telemetry::TraceSpan span("decode.step");
     if (span.active()) {
         span.arg("batch", next.size());
@@ -217,7 +139,7 @@ DecodeSession::decode(std::span<const int> next)
     uint64_t t0 = telemetry::metricsEnabled()
                       ? telemetry::nowNanos()
                       : 0;
-    Matrix out = model_.forwardChunk(next, positions, *backend_);
+    Matrix out = model_.forwardChunk(next, positions, backend_);
     if (t0) {
         if (auto *h = telemetry::cachedHistogram(stepSlot,
                                                  "decode.step_ns"))

@@ -26,6 +26,14 @@
  * forwardLogits() bit-exactly (the correctness oracle and bench
  * baseline).
  *
+ * Since the paged refactor every sequence's cache draws from one
+ * shared KvPageArena (elastic by default — a fixed batch run to
+ * completion never stalls) and the session drives the same
+ * CacheAttendBackend as the ServingEngine: a DecodeSession is the
+ * continuous-batching engine's fixed-batch special case, with
+ * prefill() = beginChunk routing and decode() = beginRows routing
+ * over a row set that never changes.
+ *
  * Like InferenceSession, one DecodeSession expects a single driving
  * thread; parallelism lives inside the packed kernels and the
  * per-sequence attention fan-out.
@@ -44,6 +52,8 @@
 #include "model/transformer.hh"
 #include "runtime/inference_session.hh"
 #include "runtime/kv_cache.hh"
+#include "runtime/kv_page_arena.hh"
+#include "runtime/serving.hh"
 #include "runtime/simd.hh"
 #include "runtime/thread_pool.hh"
 
@@ -61,6 +71,14 @@ struct DecodeConfig
     SimdIsa isa = activeSimdIsa();
     /** Resident representation of the KV cache. */
     KvCacheMode kvMode = KvCacheMode::Packed;
+    /** Rows per KV page of the session's shared arena. */
+    size_t pageRows = 16;
+    /**
+     * Arena capacity in pages; 0 = elastic (the arena grows on
+     * demand — a fixed batch run to completion never needs to stall
+     * or evict, so the session defaults to never failing a claim).
+     */
+    size_t arenaPages = 0;
 };
 
 /** A loaded model serving stepwise generation with a KV cache. */
@@ -117,6 +135,9 @@ class DecodeSession
     KvCacheMode kvMode() const { return cfg_.kvMode; }
     SimdIsa simdIsa() const { return isa_; }
 
+    /** The page arena every sequence's cache draws from. */
+    const KvPageArena &arena() const { return arena_; }
+
     /** Per-linear-layer stats in deterministic layer order. */
     const std::vector<std::shared_ptr<LayerStats>> &
     layerStats() const
@@ -131,8 +152,6 @@ class DecodeSession
     }
 
   private:
-    class Backend;
-
     struct Sequence
     {
         KvCache cache;
@@ -151,9 +170,11 @@ class DecodeSession
     model::TinyTransformer model_;
     std::vector<std::shared_ptr<LayerStats>> stats_;
     SimdIsa isa_;
+    KvPageArena arena_;
     std::vector<Sequence> seqs_;
-    std::unique_ptr<Backend> backend_;
     std::atomic<uint64_t> attendNanos_{0};
+    CacheAttendBackend backend_;
+    std::vector<KvCache *> rowCaches_; //!< decode() scratch
 };
 
 } // namespace runtime

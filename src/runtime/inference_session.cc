@@ -19,10 +19,10 @@ std::atomic<telemetry::Histogram *> sessionForwardSlot{nullptr};
  * concurrent forward on the same layer (the old stateless shim
  * allowed it, so it must stay correct) simply fails to claim the
  * workspace and pays one per-call scratch allocation instead. The
- * output matrix itself is still constructed per call — the
- * LinearOp return-by-value interface forces that one allocation;
- * callers that hold PackedLinear directly can avoid it with the
- * forward(x, y&) overload.
+ * into-style forwardInto() is the primary entry point — the model
+ * routes through it with per-slot reused outputs, so the
+ * steady-state forward performs no output allocation either;
+ * forward() wraps it for return-by-value callers.
  */
 class TimedLinear : public LinearOp
 {
@@ -35,6 +35,14 @@ class TimedLinear : public LinearOp
     Matrix
     forward(const Matrix &x) const override
     {
+        Matrix y;
+        forwardInto(x, y);
+        return y;
+    }
+
+    void
+    forwardInto(const Matrix &x, Matrix &y) const override
+    {
         ForwardBreakdown bd;
         telemetry::TraceSpan span("linear.forward");
         if (span.active()) {
@@ -42,7 +50,6 @@ class TimedLinear : public LinearOp
             span.arg("rows", x.rows());
         }
         uint64_t t0 = telemetry::nowNanos();
-        Matrix y;
         // Claim the shared workspace; a concurrent forward on the
         // same layer (legal — the pre-workspace shim was stateless)
         // falls back to per-call scratch rather than racing.
@@ -69,7 +76,6 @@ class TimedLinear : public LinearOp
                                         std::memory_order_relaxed);
         stats_->gemmNanos.fetch_add(bd.gemmNanos,
                                     std::memory_order_relaxed);
-        return y;
     }
 
     size_t inFeatures() const override { return inner_->inFeatures(); }

@@ -22,11 +22,43 @@
 
 #include <cstddef>
 
+#include "runtime/kv_page_arena.hh"
 #include "runtime/simd.hh"
 
 namespace m2x {
 namespace runtime {
 namespace detail {
+
+/**
+ * Read-only view of one paged K or V stream: resolves absolute cache
+ * row j to its page (j / pageRows) and local row (j % pageRows), so
+ * the attend loops walk page tables instead of contiguous streams.
+ * The view captures raw pointers — valid only while the owning cache
+ * neither appends to this layer nor releases (the attend contract).
+ */
+struct PagedKvView
+{
+    const KvPageArena *arena;
+    const KvPageId *table;
+
+    /** Dense row j of an Fp32-mode stream. */
+    const float *
+    fp32Row(size_t j) const
+    {
+        size_t pr = arena->pageRows();
+        return arena->fp32Rows(table[j / pr]) +
+               (j % pr) * arena->dModel();
+    }
+
+    /** Packed page holding row j; @p local gets the in-page row. */
+    const PackedM2xfpTensor &
+    packedOf(size_t j, size_t &local) const
+    {
+        size_t pr = arena->pageRows();
+        local = j % pr;
+        return arena->packedPage(table[j / pr]);
+    }
+};
 
 /**
  * Per-head score dots of one query row against one decoded cache

@@ -84,29 +84,95 @@ constexpr size_t attendBlock = 8;
 
 } // anonymous namespace
 
-const char *
-kvCacheModeName(KvCacheMode mode)
+KvCache::KvCache(KvPageArena &arena, size_t n_layers)
+    : arena_(&arena)
 {
-    return mode == KvCacheMode::Fp32 ? "fp32" : "packed";
+    m2x_assert(n_layers > 0, "KvCache needs layers > 0");
+    layers_.resize(n_layers);
 }
 
 KvCache::KvCache(size_t n_layers, size_t d_model, KvCacheMode mode,
                  M2xfpConfig fmt, SimdIsa isa)
-    : mode_(mode), dModel_(d_model), isa_(isa),
-      actQ_(fmt.activationConfig())
+    : owned_(std::make_unique<KvPageArena>(d_model, mode, fmt, isa)),
+      arena_(owned_.get())
 {
     m2x_assert(n_layers > 0 && d_model > 0,
                "KvCache needs layers > 0 and d_model > 0 (got "
                "%zu, %zu)", n_layers, d_model);
-    m2x_assert(simdIsaAvailable(isa),
-               "KvCache: ISA tier '%s' is not available on this "
-               "machine", simdIsaName(isa));
     layers_.resize(n_layers);
-    if (mode_ == KvCacheMode::Packed) {
-        for (Layer &l : layers_) {
-            l.pk = PackedM2xfpTensor::emptyActivations(d_model, actQ_);
-            l.pv = PackedM2xfpTensor::emptyActivations(d_model, actQ_);
+}
+
+KvCache::KvCache(KvCache &&o) noexcept
+    : owned_(std::move(o.owned_)), arena_(o.arena_),
+      layers_(std::move(o.layers_))
+{
+    // The moved-from cache keeps its arena pointer but the vector
+    // move left it with no layers, so its destructor frees nothing.
+    o.layers_.clear();
+}
+
+KvCache::~KvCache()
+{
+    release();
+}
+
+void
+KvCache::release()
+{
+    for (Layer &l : layers_) {
+        for (KvPageId id : l.k)
+            arena_->freePage(id);
+        for (KvPageId id : l.v)
+            arena_->freePage(id);
+        l.k.clear();
+        l.v.clear();
+        l.rows = 0;
+    }
+}
+
+size_t
+KvCache::pagesHeld() const
+{
+    size_t n = 0;
+    for (const Layer &l : layers_)
+        n += l.k.size() + l.v.size();
+    return n;
+}
+
+size_t
+KvCache::pagesNeededFor(size_t n_rows) const
+{
+    size_t pr = arena_->pageRows();
+    size_t rows = length();
+    size_t per_stream = KvPageArena::pagesForRows(rows + n_rows, pr) -
+                        KvPageArena::pagesForRows(rows, pr);
+    return 2 * layers_.size() * per_stream;
+}
+
+void
+KvCache::appendStream(std::vector<KvPageId> &table, size_t rows_used,
+                      const float *rows, size_t n, ThreadPool *pool)
+{
+    size_t pr = arena_->pageRows();
+    size_t d = arena_->dModel();
+    while (n > 0) {
+        if (rows_used == table.size() * pr) {
+            // No pages yet, or the tail page is exactly full: claim
+            // a fresh one before the next row lands.
+            KvPageId id = arena_->allocPage();
+            m2x_assert(id != kvInvalidPage,
+                       "KV page arena exhausted (%zu pages, all "
+                       "live) — admit fewer sequences or evict "
+                       "before appending",
+                       arena_->capacityPages());
+            table.push_back(id);
         }
+        size_t tail_used = rows_used % pr;
+        size_t take = std::min(pr - tail_used, n);
+        arena_->appendRows(table.back(), rows, take, pool);
+        rows += take * d;
+        rows_used += take;
+        n -= take;
     }
 }
 
@@ -119,13 +185,8 @@ KvCache::append(size_t layer, const float *k_rows,
     Layer &l = layers_[layer];
     if (n == 0)
         return;
-    if (mode_ == KvCacheMode::Fp32) {
-        l.k.insert(l.k.end(), k_rows, k_rows + n * dModel_);
-        l.v.insert(l.v.end(), v_rows, v_rows + n * dModel_);
-    } else {
-        l.pk.appendActivationRows(k_rows, n, actQ_, isa_, pool);
-        l.pv.appendActivationRows(v_rows, n, actQ_, isa_, pool);
-    }
+    appendStream(l.k, l.rows, k_rows, n, pool);
+    appendStream(l.v, l.rows, v_rows, n, pool);
     l.rows += n;
 }
 
@@ -133,11 +194,15 @@ size_t
 KvCache::totalBytes() const
 {
     size_t bytes = 0;
+    size_t d = arena_->dModel();
+    size_t row_packed =
+        arena_->groupsPerRow() *
+        (PackedM2xfpTensor::bytesPerGroupElems + 2);
     for (const Layer &l : layers_) {
-        if (mode_ == KvCacheMode::Fp32)
-            bytes += 2 * l.rows * dModel_ * sizeof(float);
+        if (mode() == KvCacheMode::Fp32)
+            bytes += 2 * l.rows * d * sizeof(float);
         else
-            bytes += l.pk.totalBytes() + l.pv.totalBytes();
+            bytes += 2 * l.rows * row_packed;
     }
     return bytes;
 }
@@ -149,8 +214,8 @@ KvCache::attend(size_t layer, const float *q, size_t n_rows,
 {
     m2x_assert(layer < layers_.size(), "layer %zu out of %zu", layer,
                layers_.size());
-    m2x_assert(n_heads > 0 && dModel_ % n_heads == 0,
-               "d_model %zu not divisible into %u heads", dModel_,
+    m2x_assert(n_heads > 0 && dModel() % n_heads == 0,
+               "d_model %zu not divisible into %u heads", dModel(),
                n_heads);
     const Layer &l = layers_[layer];
     m2x_assert(pos0 + n_rows <= l.rows,
@@ -160,7 +225,7 @@ KvCache::attend(size_t layer, const float *q, size_t n_rows,
     if (n_rows == 0)
         return;
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
-    if (mode_ == KvCacheMode::Fp32)
+    if (mode() == KvCacheMode::Fp32)
         attendFp32(l, q, n_rows, pos0, n_heads, ctx, tp);
     else
         attendPacked(l, q, n_rows, pos0, n_heads, ctx, tp);
@@ -170,7 +235,9 @@ KvCache::attend(size_t layer, const float *q, size_t n_rows,
  * Fp32 mode: the bit-exactness oracle. Heads are fully independent
  * and every (head, query) output replicates the full forward's
  * operation sequence — single ascending-order double chains, the
- * reference softmax — so distributing heads over the pool cannot
+ * reference softmax. The page table only changes where row j is
+ * fetched from (page j / pageRows, local row j % pageRows), not one
+ * arithmetic operation, so distributing heads over the pool cannot
  * change a single ULP.
  */
 void
@@ -178,11 +245,11 @@ KvCache::attendFp32(const Layer &l, const float *q, size_t n_rows,
                     size_t pos0, unsigned n_heads, float *ctx,
                     ThreadPool &pool) const
 {
-    size_t d = dModel_;
+    size_t d = dModel();
     size_t hd = d / n_heads;
     float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
-    const float *kc = l.k.data();
-    const float *vc = l.v.data();
+    detail::PagedKvView kview{arena_, l.k.data()};
+    detail::PagedKvView vview{arena_, l.v.data()};
 
     pool.parallelFor(0, n_heads, 1, [&](size_t h0, size_t h1) {
         thread_local std::vector<float> scores;
@@ -194,7 +261,7 @@ KvCache::attendFp32(const Layer &l, const float *q, size_t n_rows,
                 size_t valid = pos0 + i + 1;
                 for (size_t j = 0; j < valid; ++j) {
                     double dot = 0.0;
-                    const float *kr = kc + j * d + off;
+                    const float *kr = kview.fp32Row(j) + off;
                     for (size_t c = 0; c < hd; ++c)
                         dot += static_cast<double>(qr[c]) * kr[c];
                     scores[j] = static_cast<float>(dot) * inv_sqrt;
@@ -204,7 +271,7 @@ KvCache::attendFp32(const Layer &l, const float *q, size_t n_rows,
                     double acc = 0.0;
                     for (size_t j = 0; j < valid; ++j)
                         acc += static_cast<double>(scores[j]) *
-                               vc[j * d + off + c];
+                               vview.fp32Row(j)[off + c];
                     ctx[i * d + off + c] = static_cast<float>(acc);
                 }
             }
@@ -215,23 +282,28 @@ KvCache::attendFp32(const Layer &l, const float *q, size_t n_rows,
 /*
  * Packed mode: the production kernel. Queries are processed in
  * blocks so each cached row is LUT-decoded once per block (not once
- * per query), the score dots run four double chains deep, and the
- * value pass keeps one ascending-j double chain per output channel —
- * the same summation order as the oracle, so the only numerical
- * difference vs the functional Elem-EM reference is double-ulp
- * reassociation inside the score dots.
+ * per query) — the decoder runs on (page tensor, local row), which
+ * yields exactly the bytes the one-shot packer would have produced
+ * for absolute row j — the score dots run four double chains deep,
+ * and the value pass keeps one ascending-j double chain per output
+ * channel, the same summation order as the oracle, so the only
+ * numerical difference vs the functional Elem-EM reference is
+ * double-ulp reassociation inside the score dots.
  */
 void
 KvCache::attendPacked(const Layer &l, const float *q, size_t n_rows,
                       size_t pos0, unsigned n_heads, float *ctx,
                       ThreadPool &pool) const
 {
-    size_t d = dModel_;
+    size_t d = dModel();
     size_t hd = d / n_heads;
     float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
-    size_t padded_d = l.pk.groupsPerRow() * groupSize;
-    const detail::GemmKernels &gemm = detail::gemmKernels(isa_);
-    const detail::AttendKernels &kern = detail::attendKernels(isa_);
+    size_t padded_d = arena_->groupsPerRow() * groupSize;
+    const detail::GemmKernels &gemm = detail::gemmKernels(simdIsa());
+    const detail::AttendKernels &kern =
+        detail::attendKernels(simdIsa());
+    detail::PagedKvView kview{arena_, l.k.data()};
+    detail::PagedKvView vview{arena_, l.v.data()};
     size_t n_blocks = ceilDiv(n_rows, attendBlock);
 
     pool.parallelFor(0, n_blocks, 1, [&](size_t b0, size_t b1) {
@@ -252,7 +324,9 @@ KvCache::attendPacked(const Layer &l, const float *q, size_t n_rows,
             // Score pass: decode each cached K row once, dot it
             // against every (query, head) it is visible to.
             for (size_t j = 0; j < len; ++j) {
-                gemm.decodeActivationRow(l.pk, j, rowbuf.data());
+                size_t local;
+                const PackedM2xfpTensor &kp = kview.packedOf(j, local);
+                gemm.decodeActivationRow(kp, local, rowbuf.data());
                 size_t i_start =
                     j > pos0 + i0 ? j - (pos0 + i0) : 0;
                 for (size_t i = i_start; i < bn; ++i) {
@@ -277,7 +351,9 @@ KvCache::attendPacked(const Layer &l, const float *q, size_t n_rows,
             // double chain (now fused), like the oracle.
             acc.assign(bn * d, 0.0);
             for (size_t j = 0; j < len; ++j) {
-                gemm.decodeActivationRow(l.pv, j, rowbuf.data());
+                size_t local;
+                const PackedM2xfpTensor &vp = vview.packedOf(j, local);
+                gemm.decodeActivationRow(vp, local, rowbuf.data());
                 size_t i_start =
                     j > pos0 + i0 ? j - (pos0 + i0) : 0;
                 for (size_t i = i_start; i < bn; ++i) {

@@ -2,83 +2,102 @@
  * @file
  * Per-sequence attention KV cache for the autoregressive decode
  * runtime, with the paper's packed M2XFP streams as the resident
- * representation.
+ * representation — backed by a shared KvPageArena since the paged
+ * refactor, so many sequences draw from (and return to) one fixed
+ * page pool.
  *
- * One KvCache holds the K and V rows of every layer of ONE sequence.
- * Rows are appended as they are produced (prefill chunks, then one
- * row per decode step) and never rewritten, so the cache grows in
- * amortized O(1) per row. Two storage modes:
+ * One KvCache holds the K and V rows of every layer of ONE sequence,
+ * as per-layer page tables into the arena. Rows are appended as they
+ * are produced (prefill chunks, then one row per decode step) and
+ * never rewritten; an append fills the tail page and claims fresh
+ * pages from the arena as it crosses page boundaries. Two storage
+ * modes, decided by the arena:
  *
  *  - KvCacheMode::Fp32 — rows stay dense fp32 (32 bits/element).
  *    attend() replicates the full-forward causal attention loops
  *    operation for operation (double-precision dots in ascending-k
- *    order, the same softmax arithmetic), so prefill + stepwise
- *    decode against an Fp32 cache reproduces forwardLogits()
- *    bit-exactly. This mode is the correctness oracle and the
- *    memory/throughput baseline.
+ *    order, the same softmax arithmetic); walking the page table
+ *    only changes where row j is fetched from, not one arithmetic
+ *    op, so prefill + stepwise decode against an Fp32 cache still
+ *    reproduces forwardLogits() bit-exactly. This mode is the
+ *    correctness oracle and the memory/throughput baseline.
  *
  *  - KvCacheMode::Packed — rows are encoded on append through the
- *    fast-path Elem-EM encoder (runtime/packed_quantize, the same
- *    per-ISA kernels the linear layers use) into growable packed
- *    streams at ~4.5 bits/element, a ~7.1x resident-memory
- *    reduction. attend() dequantizes rows tile-by-tile through the
- *    DecodeTables-backed per-ISA row decoders — no dense K/V matrix
- *    is ever materialized — and runs a blocked kernel that decodes
- *    each cached row once per query block and keeps multiple
- *    independent double accumulation chains in flight. The decoded
- *    values are bit-identical to the functional Elem-EM codec, so
- *    logits agree with a forwardLogits() reference that quantizes
- *    K/V via setKvQuantizers to the established model-level
- *    tolerance (1e-5).
+ *    fast-path Elem-EM encoder into the pages' packed streams at
+ *    ~4.5 bits/element. Because every row encodes independently, a
+ *    page's streams are byte-identical to the corresponding row
+ *    slice of the one-shot packer — the PR 5 exactness contract is
+ *    page-boundary agnostic exactly as it was chunk-boundary
+ *    agnostic. attend() dequantizes rows tile-by-tile through the
+ *    DecodeTables-backed per-ISA row decoders applied per page and
+ *    runs the blocked kernel (each cached row decoded once per query
+ *    block, multiple independent double chains). Logits agree with a
+ *    forwardLogits() reference that quantizes K/V via
+ *    setKvQuantizers to the established model tolerance (1e-5).
  *
  * Causality comes from row order: the cache row appended for
- * position p is row p, and the query at position p attends to rows
- * 0..p. Chunk boundaries are invisible — appending 17 rows then 3
- * rows yields the same streams as one 20-row append.
+ * position p is row p (page tables are walked in ascending order),
+ * and the query at position p attends to rows 0..p. Chunk and page
+ * boundaries are both invisible to the math.
+ *
+ * release() returns every page to the arena (sequence retirement or
+ * scheduler eviction); a later re-prefill of the same token history
+ * reproduces the exact same cache bytes, which is what makes
+ * eviction recoverable (see serving.hh and docs/SERVING.md).
  */
 
 #ifndef M2X_RUNTIME_KV_CACHE_HH__
 #define M2X_RUNTIME_KV_CACHE_HH__
 
+#include <memory>
 #include <vector>
 
 #include "core/m2xfp.hh"
 #include "core/m2xfp_packed.hh"
+#include "runtime/kv_page_arena.hh"
 #include "runtime/simd.hh"
 #include "runtime/thread_pool.hh"
 
 namespace m2x {
 namespace runtime {
 
-/** Resident representation of the cached K/V rows. */
-enum class KvCacheMode
-{
-    Fp32,   //!< dense fp32 rows: bit-exact oracle + baseline
-    Packed, //!< packed M2XFP streams (~4.5 bits/element)
-};
-
-/** Display name ("fp32" / "packed"). */
-const char *kvCacheModeName(KvCacheMode mode);
-
 /** The K/V state of one sequence across all layers. */
 class KvCache
 {
   public:
     /**
+     * A cache drawing from a shared @p arena (the serving shape).
+     * The arena must outlive the cache.
+     *
      * @param n_layers transformer blocks (one K + one V per block)
-     * @param d_model  row width; must divide evenly into the heads
+     */
+    KvCache(KvPageArena &arena, size_t n_layers);
+
+    /**
+     * Convenience: a cache over its own private elastic arena (the
+     * standalone shape — tests, single-sequence tools).
+     *
+     * @param d_model row width; must divide evenly into the heads
      *        at attend() time
-     * @param mode     resident representation
-     * @param fmt      packed-mode codec config (paper layout only)
-     * @param isa      kernel tier for packed-mode encode/decode
+     * @param mode    resident representation
+     * @param fmt     packed-mode codec config (paper layout only)
+     * @param isa     kernel tier for packed-mode encode/decode
      */
     KvCache(size_t n_layers, size_t d_model, KvCacheMode mode,
             M2xfpConfig fmt = {}, SimdIsa isa = activeSimdIsa());
 
-    KvCacheMode mode() const { return mode_; }
+    ~KvCache();
+
+    KvCache(const KvCache &) = delete;
+    KvCache &operator=(const KvCache &) = delete;
+    KvCache(KvCache &&o) noexcept;
+    KvCache &operator=(KvCache &&) = delete;
+
+    KvCacheMode mode() const { return arena_->mode(); }
     size_t layers() const { return layers_.size(); }
-    size_t dModel() const { return dModel_; }
-    SimdIsa simdIsa() const { return isa_; }
+    size_t dModel() const { return arena_->dModel(); }
+    SimdIsa simdIsa() const { return arena_->simdIsa(); }
+    const KvPageArena &arena() const { return *arena_; }
 
     /**
      * Cached rows (== tokens seen) — the same for every layer once a
@@ -91,11 +110,14 @@ class KvCache
 
     /**
      * Append @p n contiguous row-major rows of K and V (each
-     * dModel() floats) to @p layer. Packed mode encodes them through
-     * the fast-path Elem-EM encoder on this cache's ISA tier —
+     * dModel() floats) to @p layer, claiming arena pages as the
+     * tail crosses page boundaries. Packed mode encodes them through
+     * the fast-path Elem-EM encoder on the arena's ISA tier —
      * multi-row appends (prefill chunks) distribute the encodes
      * over @p pool (null = the global pool), single rows stay
-     * inline.
+     * inline. Exhaustion of a bounded arena is a hard error here:
+     * schedulers must check pagesNeededFor() against the arena's
+     * free count first (see serving.cc).
      */
     void append(size_t layer, const float *k_rows,
                 const float *v_rows, size_t n,
@@ -111,18 +133,21 @@ class KvCache
      *
      * Fp32 mode replicates the full-forward loops bit-exactly and
      * parallelizes over heads; Packed mode runs the blocked
-     * decode-fused kernel and parallelizes over query blocks.
-     * @p pool follows the runtime convention (null = global pool);
-     * per-lane scratch is thread-local, so steady-state decode
-     * allocates nothing.
+     * decode-fused kernel and parallelizes over query blocks. Both
+     * resolve row j through the page table (j / pageRows, j %
+     * pageRows). @p pool follows the runtime convention (null =
+     * global pool); per-lane scratch is thread-local, so
+     * steady-state decode allocates nothing.
      */
     void attend(size_t layer, const float *q, size_t n_rows,
                 size_t pos0, unsigned n_heads, float *ctx,
                 ThreadPool *pool = nullptr) const;
 
     /**
-     * Resident bytes of all cached K/V rows across layers: all three
-     * packed streams in Packed mode, the dense rows in Fp32 mode.
+     * Bytes of cached K/V rows across layers (row-granular: the
+     * bytes the rows actually occupy, not the page-granular arena
+     * claim — see pagesHeld() for the latter). All three packed
+     * streams in Packed mode, the dense rows in Fp32 mode.
      */
     size_t totalBytes() const;
 
@@ -136,22 +161,34 @@ class KvCache
                               static_cast<double>(len);
     }
 
+    /** Arena pages this sequence currently holds. */
+    size_t pagesHeld() const;
+
+    /**
+     * Fresh arena pages appending @p n_rows more rows would claim
+     * (across all layers and both streams) — what a scheduler checks
+     * against the arena's free count before admitting or stepping.
+     */
+    size_t pagesNeededFor(size_t n_rows) const;
+
+    /**
+     * Return every page to the arena and reset to zero length (the
+     * retirement/eviction path). The cache remains usable: a
+     * re-prefill of the same token history rebuilds byte-identical
+     * pages.
+     */
+    void release();
+
   private:
     struct Layer
     {
         size_t rows = 0;
-        /** @{
-         * Fp32 mode storage: row-major [rows, dModel] in plain
-         * vectors, deliberately not Matrix — vector growth is
-         * guaranteed to preserve the existing rows, which the
-         * append path depends on (Matrix::resize documents its
-         * contents as unspecified after a resize).
-         */
-        std::vector<float> k, v;
-        /** @} */
-        PackedM2xfpTensor pk, pv; //!< Packed mode storage
+        /** Page tables: k[j / pageRows] holds cache row j. */
+        std::vector<KvPageId> k, v;
     };
 
+    void appendStream(std::vector<KvPageId> &table, size_t rows_used,
+                      const float *rows, size_t n, ThreadPool *pool);
     void attendFp32(const Layer &l, const float *q, size_t n_rows,
                     size_t pos0, unsigned n_heads, float *ctx,
                     ThreadPool &pool) const;
@@ -159,10 +196,8 @@ class KvCache
                       size_t pos0, unsigned n_heads, float *ctx,
                       ThreadPool &pool) const;
 
-    KvCacheMode mode_;
-    size_t dModel_;
-    SimdIsa isa_;
-    ElemEmQuantizer actQ_; //!< packed-mode row codec
+    std::unique_ptr<KvPageArena> owned_; //!< standalone shape only
+    KvPageArena *arena_;
     std::vector<Layer> layers_;
 };
 

@@ -78,6 +78,13 @@ class PackedLinear : public LinearOp
     /** Pack x as activations (online) and multiply in packed form. */
     Matrix forward(const Matrix &x) const override;
 
+    /** The into-style LinearOp entry point (no output allocation). */
+    void
+    forwardInto(const Matrix &x, Matrix &y) const override
+    {
+        forward(x, y, nullptr, nullptr);
+    }
+
     /**
      * Same, writing into the caller-provided output @p y (resized in
      * place, storage reused). @p ws, when non-null, carries the

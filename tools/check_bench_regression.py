@@ -88,6 +88,26 @@ def ratio_rows(doc):
                   "packed_vs_fp32_tokens_per_s":
                       dec["packed_vs_fp32_tokens_per_s"]
               }
+    # The serving bench (BENCH_serving.json) is likewise one row per
+    # run, keyed by the whole Poisson workload + arena geometry so a
+    # --quick run can never match a full-run baseline. Both ratios
+    # compare the packed and fp32 runs of the same invocation on the
+    # same machine, so they are runner-speed independent.
+    srv = doc.get("serving", {})
+    if "packed_vs_fp32_tokens_per_s" in srv:
+        rows[("serving",
+              (srv.get("model"), srv.get("layers"),
+               srv.get("requests"), srv.get("mean_gap_steps"),
+               tuple(srv.get("prompt_tokens", [])),
+               tuple(srv.get("gen_tokens", [])),
+               srv.get("page_rows"), srv.get("arena_pages"),
+               srv.get("max_batch")),
+              (srv.get("isa"), srv.get("threads")))] = {
+                  m: srv[m]
+                  for m in ("packed_vs_fp32_tokens_per_s",
+                            "concurrent_vs_fp32_capacity")
+                  if m in srv
+              }
     return rows
 
 
@@ -95,9 +115,11 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True,
                     help="freshly generated BENCH_runtime.json")
-    ap.add_argument("--baseline",
-                    default=str(REPO / "BENCH_runtime.json"),
-                    help="committed baseline (default: repo root)")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline (default: the repo-root "
+                         "file matching the fresh doc's bench id — "
+                         "BENCH_serving.json for serving_runtime, "
+                         "else BENCH_runtime.json)")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="max fractional drop before failing "
                          "(default 0.15)")
@@ -108,7 +130,13 @@ def main():
               "- skipping baseline comparison")
         return 0
 
-    fresh = ratio_rows(json.load(open(args.fresh)))
+    fresh_doc = json.load(open(args.fresh))
+    if args.baseline is None:
+        name = ("BENCH_serving.json"
+                if fresh_doc.get("bench") == "serving_runtime"
+                else "BENCH_runtime.json")
+        args.baseline = str(REPO / name)
+    fresh = ratio_rows(fresh_doc)
     base = ratio_rows(json.load(open(args.baseline)))
 
     matched = 0

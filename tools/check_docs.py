@@ -25,6 +25,7 @@ REQUIRED_DOCS = [
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
     "docs/FORMATS.md",
+    "docs/SERVING.md",
     "docs/OBSERVABILITY.md",
 ]
 
@@ -32,6 +33,7 @@ REQUIRED_DOCS = [
 REQUIRED_README_LINKS = [
     "docs/ARCHITECTURE.md",
     "docs/FORMATS.md",
+    "docs/SERVING.md",
     "docs/OBSERVABILITY.md",
     "BUILDING.md",
 ]
