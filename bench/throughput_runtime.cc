@@ -53,6 +53,7 @@
 #include "model/transformer.hh"
 #include "runtime/decode_session.hh"
 #include "runtime/inference_session.hh"
+#include "runtime/kv_cache.hh"
 #include "runtime/packed_gemm.hh"
 #include "runtime/packed_gemm_kernels.hh"
 #include "runtime/packed_linear.hh"
@@ -77,20 +78,36 @@ randomMatrix(size_t r, size_t c, uint64_t seed, double dof)
     return m;
 }
 
-/** Seconds per call, measured over an adaptive repetition count. */
+/** One timing window: seconds per call over @p reps calls. */
 template <typename F>
 double
-timeIt(F &&fn, double min_s)
+windowSeconds(F &&fn, int reps)
 {
-    fn(); // warm up (decode tables, allocator, pool)
+    Stopwatch sw;
+    for (int i = 0; i < reps; ++i)
+        fn();
+    return sw.seconds() / reps;
+}
+
+/**
+ * Repetition count whose window just reaches @p min_s. Runs the
+ * workload while calibrating, so it doubles as warm-up (decode
+ * tables, allocator, pool); @p first_s gets the calibrating window's
+ * per-call seconds.
+ */
+template <typename F>
+int
+calibrateReps(F &&fn, double min_s, double *first_s = nullptr)
+{
+    fn(); // warm up
     int reps = 1;
     for (;;) {
-        Stopwatch sw;
-        for (int i = 0; i < reps; ++i)
-            fn();
-        double t = sw.seconds();
-        if (t >= min_s)
-            return t / reps;
+        double t = windowSeconds(fn, reps) * reps;
+        if (t >= min_s) {
+            if (first_s)
+                *first_s = t / reps;
+            return reps;
+        }
         int grow = t <= 1e-9
                        ? reps * 16
                        : static_cast<int>(std::ceil(
@@ -98,6 +115,25 @@ timeIt(F &&fn, double min_s)
                              min_s / t));
         reps = std::max(reps + 1, grow);
     }
+}
+
+/**
+ * Seconds per call, measured over an adaptive repetition count.
+ * Returns the fastest of three >= min_s windows: scheduler and
+ * frequency noise on a shared machine only ever slows a window down,
+ * so the minimum is the estimator closest to the true cost — and the
+ * one that keeps same-run ratios (flash_vs_old, packed-vs-fp32)
+ * stable enough to gate on.
+ */
+template <typename F>
+double
+timeIt(F &&fn, double min_s)
+{
+    double best;
+    int reps = calibrateReps(fn, min_s, &best);
+    for (int w = 0; w < 2; ++w)
+        best = std::min(best, windowSeconds(fn, reps));
+    return best;
 }
 
 double
@@ -882,8 +918,145 @@ main(int argc, char **argv)
         std::fprintf(out,
                      "\n    ],\n"
                      "    \"packed_vs_fp32_tokens_per_s\": %.3f\n"
-                     "  }\n}\n",
+                     "  },\n  \"long_context\": {",
                      ratio);
+    }
+
+    // Long-context attend trajectory: the flash-style blocked
+    // online-softmax attend vs the pre-flash attendLegacy baseline
+    // at growing context lengths, measured at the KvCache level (one
+    // layer, single-query decode shape, 1 thread — the per-sequence
+    // serving fan-out unit). Rows are keyed (context, mode, isa,
+    // threads) for the regression gate; the quick contexts are a
+    // subset of the full ladder so smoke rows match the committed
+    // baseline. flash_vs_old is the trajectory ratio (both sides
+    // measured on this run), attend scratch must stay constant as
+    // context grows 256x — both asserted before the JSON is usable.
+    {
+        const size_t lc_d = 192;     // the llama2_7b width
+        const unsigned lc_heads = 4; // headDim 48
+        // Single-query attends are microseconds at the quick
+        // contexts; the quick-mode 0.02 s window is too short for a
+        // stable flash/legacy ratio on a noisy runner, and the rows
+        // feed the regression gate. Floor the window instead of
+        // skipping the section.
+        double lc_min_s = std::max(min_s, 0.1);
+        std::vector<size_t> contexts =
+            quick ? std::vector<size_t>{256, 1024}
+                  : std::vector<size_t>{256, 1024, 4096, 16384,
+                                        65536};
+        ThreadPool pool1(1);
+        Matrix lq = randomMatrix(1, lc_d, 81, 4.0);
+        std::fprintf(out,
+                     "\n    \"d_model\": %zu, \"heads\": %u,\n"
+                     "    \"rows\": [",
+                     lc_d, lc_heads);
+        KvCacheMode lc_modes[2] = {KvCacheMode::Packed,
+                                   KvCacheMode::Fp32};
+        // flash seconds per (mode, context) for the packed-vs-fp32
+        // summary below.
+        std::vector<double> flash_s_of[2];
+        bool first_row = true;
+        for (int mi = 0; mi < 2; ++mi) {
+            KvCacheMode mode = lc_modes[mi];
+            KvCache cache(1, lc_d, mode);
+            const size_t chunk_rows = 256;
+            Matrix kv_rows = randomMatrix(chunk_rows, lc_d, 82, 4.0);
+            size_t scratch_first = 0;
+            for (size_t ctx_len : contexts) {
+                while (cache.length() < ctx_len)
+                    cache.append(0, kv_rows.data(), kv_rows.data(),
+                                 chunk_rows, &pool1);
+
+                // Parity before timing: the legacy attend is the
+                // oracle here (fp32 bitwise, packed within the model
+                // tolerance — exp/accumulation association differ).
+                Matrix flash_out(1, lc_d), old_out(1, lc_d);
+                cache.attend(0, lq.data(), 1, ctx_len - 1, lc_heads,
+                             flash_out.data(), &pool1);
+                cache.attendLegacy(0, lq.data(), 1, ctx_len - 1,
+                                   lc_heads, old_out.data(), &pool1);
+                if (mode == KvCacheMode::Fp32)
+                    requireBitExact(flash_out, old_out,
+                                    "fp32 flash vs legacy attend");
+                else
+                    requireClose(flash_out, old_out, 1e-5,
+                                 "packed flash vs legacy attend");
+
+                // Paired windows: the flash and legacy sides of each
+                // window run back to back, so runner noise that
+                // varies on a seconds scale (a neighbor stealing the
+                // core for one window) hits both sides of the ratio
+                // instead of skewing one. The reported pair is the
+                // window with the fastest combined time — the
+                // cleanest regime — keeping flash_attend_s,
+                // old_attend_s, and flash_vs_old mutually consistent.
+                auto flash_fn = [&] {
+                    cache.attend(0, lq.data(), 1, ctx_len - 1,
+                                 lc_heads, flash_out.data(), &pool1);
+                };
+                auto old_fn = [&] {
+                    cache.attendLegacy(0, lq.data(), 1, ctx_len - 1,
+                                       lc_heads, old_out.data(),
+                                       &pool1);
+                };
+                resetAttendScratchPeak();
+                int f_reps = calibrateReps(flash_fn, lc_min_s);
+                int o_reps = calibrateReps(old_fn, lc_min_s);
+                size_t scratch = attendScratchPeakBytes();
+                if (scratch_first == 0)
+                    scratch_first = scratch;
+                m2x_assert(scratch <= scratch_first,
+                           "flash attend scratch grew with context "
+                           "(%zu bytes at %zu vs %zu at %zu rows)",
+                           scratch, ctx_len, scratch_first,
+                           contexts.front());
+                double flash_s = 0.0, old_s = 0.0;
+                for (int w = 0; w < 3; ++w) {
+                    double fs = windowSeconds(flash_fn, f_reps);
+                    double os = windowSeconds(old_fn, o_reps);
+                    if (w == 0 || fs + os < flash_s + old_s) {
+                        flash_s = fs;
+                        old_s = os;
+                    }
+                }
+                flash_s_of[mi].push_back(flash_s);
+
+                double bpt = cache.bytesPerToken();
+                std::printf(
+                    "long-context %-6s ctx %6zu: flash %8.1f "
+                    "attends/s, %.2fx old, scratch %zu B, "
+                    "%.0f KV B/token\n",
+                    kvCacheModeName(mode), ctx_len, 1.0 / flash_s,
+                    old_s / flash_s, scratch, bpt);
+                std::fprintf(
+                    out,
+                    "%s\n      {\"context\": %zu, \"mode\": \"%s\", "
+                    "\"isa\": \"%s\", \"threads\": 1, "
+                    "\"window_s\": %.3f,\n"
+                    "       \"flash_attend_s\": %.6e, "
+                    "\"old_attend_s\": %.6e, "
+                    "\"attends_per_s\": %.3f,\n"
+                    "       \"flash_vs_old\": %.3f, "
+                    "\"scratch_bytes\": %zu, "
+                    "\"kv_bytes_per_token\": %.3f}",
+                    first_row ? "" : ",", ctx_len,
+                    kvCacheModeName(mode), activeSimdIsaName(),
+                    lc_min_s, flash_s, old_s, 1.0 / flash_s,
+                    old_s / flash_s, scratch, bpt);
+                first_row = false;
+            }
+        }
+        // Same-run packed-vs-fp32 attend ratio per context (resident
+        // decode bandwidth is what separates them at long context).
+        std::fprintf(out, "\n    ],\n    \"packed_vs_fp32\": [");
+        for (size_t ci = 0; ci < contexts.size(); ++ci)
+            std::fprintf(out,
+                         "%s\n      {\"context\": %zu, "
+                         "\"ratio\": %.3f}",
+                         ci ? "," : "", contexts[ci],
+                         flash_s_of[1][ci] / flash_s_of[0][ci]);
+        std::fprintf(out, "\n    ]\n  }\n}\n");
     }
     std::fclose(out);
     std::printf("\nwrote %s\n", out_path.c_str());

@@ -34,6 +34,7 @@
 #include "runtime/decode_session.hh"
 #include "runtime/serving.hh"
 #include "runtime/telemetry.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 using namespace m2x;
@@ -104,6 +105,24 @@ runMixed(const model::ModelConfig &cfg)
                                     engine.arena().pageBytes()) /
                     1024.0);
 
+    // Streamed delivery: every generated token arrives through the
+    // onToken callback the moment the scheduler harvests it — the
+    // client-visible stream, interleaved across requests exactly as
+    // decode steps complete. Collected per request here; request 0's
+    // finish line prints its stream to show the live path.
+    std::vector<std::vector<int>> streams;
+    size_t streamed = 0;
+    engine.onToken([&](size_t req_id, int token, bool is_last) {
+        if (req_id >= streams.size())
+            streams.resize(req_id + 1);
+        streams[req_id].push_back(token);
+        ++streamed;
+        if (is_last)
+            std::printf("  * request %zu complete: %zu tokens "
+                        "streamed\n",
+                        req_id, streams[req_id].size());
+    });
+
     Rng rng(7);
     size_t submitted = 0, step = 0;
     Stopwatch total;
@@ -129,6 +148,11 @@ runMixed(const model::ModelConfig &cfg)
     for (size_t id = 0; id < engine.requestCount(); ++id) {
         const RequestStats &st = engine.stats(id);
         tokens += st.generated;
+        m2x_assert(id < streams.size() &&
+                       streams[id].size() == st.generated,
+                   "streamed token count diverges from stats for "
+                   "request %zu",
+                   id);
         std::printf("  request %zu: %-8s prompt %3zu  gen %2zu  "
                     "ttft %6.1f ms  preempted %zux\n",
                     id, requestStateName(st.state), st.promptTokens,
@@ -145,6 +169,11 @@ runMixed(const model::ModelConfig &cfg)
                 engine.occupancyPeak() * 100.0,
                 engine.arena().highWaterPages(),
                 engine.arena().livePages());
+    std::printf("  streamed %zu tokens via onToken; request 0:",
+                streamed);
+    for (int t : streams.empty() ? std::vector<int>{} : streams[0])
+        std::printf(" %d", t);
+    std::printf("\n");
     return 0;
 }
 

@@ -186,6 +186,31 @@ r1_qwen_7b()
     return c;
 }
 
+ModelConfig
+llama3_8b_gqa()
+{
+    // Grouped-query variant of the LLaMA-3 stand-in: 4 query heads
+    // share 2 K/V heads, so the KV projections and cache shrink to
+    // half width (kvDim = 96 at dModel 192). Weight streams differ
+    // from llama3_8b() because wk/wv consume fewer RNG draws.
+    ModelConfig c = llama3_8b();
+    c.name = "LLaMA3-8B-GQA";
+    c.nKvHeads = c.nHeads / 2;
+    return c;
+}
+
+ModelConfig
+mistral_7b_swa()
+{
+    // Sliding-window variant of the Mistral stand-in (the real model
+    // popularized W=4096); scaled here to a window that several test
+    // and bench context lengths actually exceed.
+    ModelConfig c = mistral_7b();
+    c.name = "Mistral-7B-SWA";
+    c.slidingWindow = 24;
+    return c;
+}
+
 std::vector<ModelConfig>
 table3Models()
 {

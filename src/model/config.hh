@@ -35,6 +35,35 @@ struct ModelConfig
     unsigned vocab = 512;
     uint64_t seed = 1;     //!< weight-generation seed
 
+    /**
+     * Grouped-query attention: number of K/V heads. 0 (the default)
+     * means nHeads, i.e. classic multi-head attention. When smaller,
+     * each K/V head is shared by nHeads/nKvHeads query heads and the
+     * KV projections/cache shrink to kvDim() columns.
+     */
+    unsigned nKvHeads = 0;
+
+    /**
+     * Sliding-window attention: each query attends only to the
+     * trailing `slidingWindow` positions (itself included). 0 (the
+     * default) means full causal attention.
+     */
+    unsigned slidingWindow = 0;
+
+    /** Effective K/V head count (nKvHeads, defaulted to nHeads). */
+    unsigned
+    kvHeads() const
+    {
+        return nKvHeads == 0 ? nHeads : nKvHeads;
+    }
+
+    /** Width of the K/V projections: kvHeads() * (dModel/nHeads). */
+    unsigned
+    kvDim() const
+    {
+        return kvHeads() * (dModel / nHeads);
+    }
+
     /** @{ Outlier-structure knobs (see tensor_gen.hh). */
     double weightOutlierRate = 0.01; //!< fraction of outlier channels
     double weightOutlierAmp = 4.0;   //!< their amplification
@@ -66,6 +95,11 @@ ModelConfig falcon_7b();
 ModelConfig llama1_7b();        //!< Fig. 4 (LLaMA-7B v1)
 ModelConfig r1_qwen_1_5b();     //!< Tbl. 4 reasoning models
 ModelConfig r1_qwen_7b();
+/** @} */
+
+/** @{ Attention-variant configs for the long-context runtime. */
+ModelConfig llama3_8b_gqa();    //!< grouped-query (2 KV heads / 4 Q)
+ModelConfig mistral_7b_swa();   //!< sliding-window (Mistral-style)
 /** @} */
 
 /** All six Tbl. 3 models in paper order. */

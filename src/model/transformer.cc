@@ -41,13 +41,17 @@ TinyTransformer::TinyTransformer(const ModelConfig &cfg) : cfg_(cfg)
     finalNormGain_ = genNormGain(rng, cfg.dModel, cfg);
 
     double resid_scale = 1.0 / std::sqrt(2.0 * cfg.nLayers);
+    // GQA: the K/V projections produce kvDim() columns (== dModel for
+    // classic MHA, so default configs consume the identical RNG
+    // stream and keep their exact weights).
+    unsigned kv_dim = cfg.kvDim();
     blocks_.resize(cfg.nLayers);
     for (auto &b : blocks_) {
         b.attnNormGain = genNormGain(rng, cfg.dModel, cfg);
         b.mlpNormGain = genNormGain(rng, cfg.dModel, cfg);
         b.wq = genWeight(rng, cfg.dModel, cfg.dModel, cfg, 1.0);
-        b.wk = genWeight(rng, cfg.dModel, cfg.dModel, cfg, 1.0);
-        b.wv = genWeight(rng, cfg.dModel, cfg.dModel, cfg, 1.0);
+        b.wk = genWeight(rng, kv_dim, cfg.dModel, cfg, 1.0);
+        b.wv = genWeight(rng, kv_dim, cfg.dModel, cfg, 1.0);
         b.wo = genWeight(rng, cfg.dModel, cfg.dModel, cfg,
                          resid_scale);
         b.wGate = genWeight(rng, cfg.dFf, cfg.dModel, cfg, 1.0);
@@ -195,7 +199,7 @@ TinyTransformer::attention(const Block &b, size_t layer,
     b.k->forwardInto(x_normed, s.k);
     b.v->forwardInto(x_normed, s.v);
     applyRope(s.q, cfg_.nHeads, positions);
-    applyRope(s.k, cfg_.nHeads, positions);
+    applyRope(s.k, cfg_.kvHeads(), positions);
 
     // §6.4 extension: K/V are right-hand GEMM operands and may be
     // quantized with the static-side codec; Q with the dynamic one.
@@ -222,7 +226,8 @@ TinyTransformer::attention(const Block &b, size_t layer,
                    "(setKvQuantizers) is not supported by attention "
                    "backends");
         s.attnOut = backend->attend(layer, s.q, s.k, s.v, positions,
-                                    cfg_.nHeads);
+                                    cfg_.nHeads, cfg_.kvHeads(),
+                                    cfg_.slidingWindow);
         m2x_assert(s.attnOut.rows() == x_normed.rows() &&
                    s.attnOut.cols() == cfg_.dModel,
                    "attention backend returned %zux%zu, want %zux%u",
@@ -243,23 +248,32 @@ TinyTransformer::causalAttend(const Matrix &q, const Matrix &k,
     size_t t_len = q.rows();
     size_t d = cfg_.dModel;
     size_t hd = d / cfg_.nHeads;
+    // GQA: consecutive groups of `group` query heads read the same
+    // K/V head; classic MHA is group == 1.
+    unsigned group = cfg_.nHeads / cfg_.kvHeads();
+    size_t window = cfg_.slidingWindow;
 
     float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
     Matrix out(t_len, d);
     std::vector<float> scores(t_len);
     for (unsigned h = 0; h < cfg_.nHeads; ++h) {
         size_t off = h * hd;
+        size_t kv_off = static_cast<size_t>(h / group) * hd;
         for (size_t i = 0; i < t_len; ++i) {
-            // Causal scores for row i.
-            size_t valid = i + 1;
-            for (size_t j = 0; j < valid; ++j) {
+            // Causal scores for row i; a sliding window keeps only
+            // the trailing `window` positions (i itself included).
+            size_t j0 = (window != 0 && i + 1 > window)
+                            ? i + 1 - window
+                            : 0;
+            size_t valid = i + 1 - j0;
+            for (size_t j = j0; j <= i; ++j) {
                 double dot = 0.0;
                 for (size_t c = 0; c < hd; ++c)
                     dot += static_cast<double>(q(i, off + c)) *
-                           k(j, off + c);
-                scores[j] = static_cast<float>(dot) * inv_sqrt;
+                           k(j, kv_off + c);
+                scores[j - j0] = static_cast<float>(dot) * inv_sqrt;
             }
-            // Softmax over the causal prefix — the shared helper is
+            // Softmax over the visible prefix — the shared helper is
             // the bit-exactness contract with the decode runtime.
             attentionSoftmax(scores.data(), valid);
             // §6.4: optionally quantize the probability row (P).
@@ -276,7 +290,7 @@ TinyTransformer::causalAttend(const Matrix &q, const Matrix &k,
                 double acc = 0.0;
                 for (size_t j = 0; j < valid; ++j)
                     acc += static_cast<double>(scores[j]) *
-                           v(j, off + c);
+                           v(j0 + j, kv_off + c);
                 out(i, off + c) = static_cast<float>(acc);
             }
         }

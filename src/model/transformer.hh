@@ -67,11 +67,17 @@ class AttentionBackend
      * the built-in implementation masks j > i within the chunk, a
      * KV-cache backend appends k/v and attends over everything
      * cached so far.
+     *
+     * @p n_kv_heads is the grouped-query K/V head count (k/v have
+     * n_kv_heads * (dModel/n_heads) columns; equal head counts is
+     * classic MHA). @p window is the sliding-window span: a query at
+     * position p sees only positions (p-window, p]; 0 = full causal.
      */
     virtual Matrix attend(size_t layer, const Matrix &q,
                           const Matrix &k, const Matrix &v,
                           std::span<const size_t> positions,
-                          unsigned n_heads) = 0;
+                          unsigned n_heads, unsigned n_kv_heads,
+                          size_t window) = 0;
 };
 
 /**

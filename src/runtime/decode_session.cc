@@ -16,6 +16,7 @@ std::atomic<telemetry::Gauge *> kvBytesSlot{nullptr};
 std::atomic<telemetry::Gauge *> kvTokensSlot{nullptr};
 std::atomic<telemetry::Gauge *> kvBytesPerTokSlot{nullptr};
 std::atomic<telemetry::Gauge *> sequencesSlot{nullptr};
+std::atomic<telemetry::Gauge *> attendScratchSlot{nullptr};
 /** @} */
 
 } // anonymous namespace
@@ -27,7 +28,7 @@ DecodeSession::DecodeSession(const model::ModelConfig &model_cfg,
                      ? std::make_unique<ThreadPool>(cfg.threads)
                      : nullptr),
       model_(model_cfg), isa_(cfg.isa),
-      arena_(model_cfg.dModel, cfg.kvMode, cfg.format, cfg.isa,
+      arena_(model_cfg.kvDim(), cfg.kvMode, cfg.format, cfg.isa,
              KvArenaConfig{cfg.pageRows, cfg.arenaPages}),
       backend_(ownedPool_.get(), &attendNanos_)
 {
@@ -173,6 +174,9 @@ DecodeSession::updateKvGauges() const
     if (auto *g = telemetry::cachedGauge(sequencesSlot,
                                          "decode.sequences"))
         g->set(static_cast<double>(seqs_.size()));
+    if (auto *g = telemetry::cachedGauge(
+            attendScratchSlot, "decode.attend_scratch_bytes"))
+        g->set(static_cast<double>(attendScratchPeakBytes()));
 }
 
 } // namespace runtime

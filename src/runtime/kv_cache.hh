@@ -14,13 +14,15 @@
  * modes, decided by the arena:
  *
  *  - KvCacheMode::Fp32 — rows stay dense fp32 (32 bits/element).
- *    attend() replicates the full-forward causal attention loops
- *    operation for operation (double-precision dots in ascending-k
- *    order, the same softmax arithmetic); walking the page table
- *    only changes where row j is fetched from, not one arithmetic
- *    op, so prefill + stepwise decode against an Fp32 cache still
- *    reproduces forwardLogits() bit-exactly. This mode is the
- *    correctness oracle and the memory/throughput baseline.
+ *    attend() streams the visible rows in three exact passes (max,
+ *    normalizer, weighted value) that replicate the full-forward
+ *    causal attention operation for operation — the same float/
+ *    double op sequence as model::attentionSoftmax, just without
+ *    ever materializing the score vector — so prefill + stepwise
+ *    decode against an Fp32 cache still reproduces forwardLogits()
+ *    bit-exactly while the attend scratch stays O(headDim). This
+ *    mode is the correctness oracle and the memory/throughput
+ *    baseline.
  *
  *  - KvCacheMode::Packed — rows are encoded on append through the
  *    fast-path Elem-EM encoder into the pages' packed streams at
@@ -28,17 +30,27 @@
  *    page's streams are byte-identical to the corresponding row
  *    slice of the one-shot packer — the PR 5 exactness contract is
  *    page-boundary agnostic exactly as it was chunk-boundary
- *    agnostic. attend() dequantizes rows tile-by-tile through the
- *    DecodeTables-backed per-ISA row decoders applied per page and
- *    runs the blocked kernel (each cached row decoded once per query
- *    block, multiple independent double chains). Logits agree with a
- *    forwardLogits() reference that quantizes K/V via
- *    setKvQuantizers to the established model tolerance (1e-5).
+ *    agnostic. attend() runs the flash-style blocked online-softmax
+ *    kernel: K/V pages stream through a bounded working set (each
+ *    page LUT-decoded once per query block and reused across all
+ *    heads), per-head running max m / normalizer l / value
+ *    accumulator acc advance with the standard rescale-on-new-max
+ *    recurrence, and no [S, T] (or even [T]) score buffer ever
+ *    exists — scratch is O(pageRows · nHeads), independent of
+ *    context length. Logits agree with a forwardLogits() reference
+ *    that quantizes K/V via setKvQuantizers to the established
+ *    model tolerance (1e-5).
  *
  * Causality comes from row order: the cache row appended for
  * position p is row p (page tables are walked in ascending order),
- * and the query at position p attends to rows 0..p. Chunk and page
- * boundaries are both invisible to the math.
+ * and the query at position p attends to rows 0..p — or, with a
+ * sliding window W, to rows (p-W, p]. Chunk and page boundaries are
+ * both invisible to the math.
+ *
+ * Grouped-query attention: the cache stores n_kv_heads head slices
+ * per row (dModel() == n_kv_heads * headDim), and attend() maps
+ * query head h onto K/V head h / (n_heads / n_kv_heads). Equal head
+ * counts reproduce classic MHA bit-exactly.
  *
  * release() returns every page to the arena (sequence retirement or
  * scheduler eviction); a later re-prefill of the same token history
@@ -124,24 +136,58 @@ class KvCache
                 ThreadPool *pool = nullptr);
 
     /**
-     * Causal attention of @p n_rows query rows (row-major, dModel()
-     * floats each, first row at absolute position @p pos0) against
-     * this cache's @p layer, writing the context rows to @p ctx
-     * (same shape as q). The chunk's own K/V rows must already be
-     * appended: cache rows [0, pos0 + n_rows) are attended, query
-     * row i masking rows beyond pos0 + i.
+     * Causal attention of @p n_rows query rows (row-major,
+     * n_heads * headDim floats each, first row at absolute position
+     * @p pos0) against this cache's @p layer, writing the context
+     * rows to @p ctx (same shape as q). The chunk's own K/V rows
+     * must already be appended: query row i attends cache rows
+     * [0, pos0 + i], narrowed to the trailing @p window positions
+     * when a sliding window is set.
      *
-     * Fp32 mode replicates the full-forward loops bit-exactly and
-     * parallelizes over heads; Packed mode runs the blocked
-     * decode-fused kernel and parallelizes over query blocks. Both
-     * resolve row j through the page table (j / pageRows, j %
-     * pageRows). @p pool follows the runtime convention (null =
-     * global pool); per-lane scratch is thread-local, so
-     * steady-state decode allocates nothing.
+     * @p n_kv_heads is the grouped-query K/V head count (0 =
+     * n_heads, classic MHA); the cache rows carry n_kv_heads head
+     * slices (dModel() == n_kv_heads * headDim) while q/ctx carry
+     * n_heads. @p window == 0 means full causal attention.
+     *
+     * Fp32 mode streams the visible rows in three exact passes
+     * (bit-exact to the full forward) and parallelizes over heads;
+     * Packed mode runs the flash-style online-softmax page walker
+     * and parallelizes over query blocks. Both resolve row j through
+     * the page table (j / pageRows, j % pageRows) and keep per-lane
+     * scratch bounded independent of context length (see
+     * attendScratchPeakBytes). @p pool follows the runtime
+     * convention (null = global pool); per-lane scratch is
+     * thread-local, so steady-state decode allocates nothing.
      */
     void attend(size_t layer, const float *q, size_t n_rows,
                 size_t pos0, unsigned n_heads, float *ctx,
-                ThreadPool *pool = nullptr) const;
+                ThreadPool *pool = nullptr, unsigned n_kv_heads = 0,
+                size_t window = 0) const;
+
+    /**
+     * The pre-flash attend (PR 5–8): materializes the full
+     * O(context) score vector per query row and runs the two-pass
+     * reference softmax. Classic MHA over the full causal prefix
+     * only — kept as the measured baseline for the long-context
+     * bench trajectory (old-attend vs flash-attend ratio), not used
+     * by any decode path.
+     */
+    void attendLegacy(size_t layer, const float *q, size_t n_rows,
+                      size_t pos0, unsigned n_heads, float *ctx,
+                      ThreadPool *pool = nullptr) const;
+
+    /**
+     * Return to the arena every page that lies wholly below cache
+     * row @p row, in every layer (sliding-window retirement: once
+     * all queries' windows have moved past a page it can never be
+     * attended again). Freed table slots keep a tombstone so
+     * absolute row indexing — and the append tail — are unaffected.
+     * Note that a later re-prefill after eviction replays the full
+     * history, transiently re-claiming early pages; schedulers must
+     * keep admission accounting on the full row count (see
+     * docs/SERVING.md).
+     */
+    void releaseBefore(size_t row);
 
     /**
      * Bytes of cached K/V rows across layers (row-granular: the
@@ -190,16 +236,40 @@ class KvCache
     void appendStream(std::vector<KvPageId> &table, size_t rows_used,
                       const float *rows, size_t n, ThreadPool *pool);
     void attendFp32(const Layer &l, const float *q, size_t n_rows,
-                    size_t pos0, unsigned n_heads, float *ctx,
+                    size_t pos0, unsigned n_heads,
+                    unsigned n_kv_heads, size_t window, float *ctx,
                     ThreadPool &pool) const;
     void attendPacked(const Layer &l, const float *q, size_t n_rows,
-                      size_t pos0, unsigned n_heads, float *ctx,
+                      size_t pos0, unsigned n_heads,
+                      unsigned n_kv_heads, size_t window, float *ctx,
                       ThreadPool &pool) const;
+    void attendFp32Legacy(const Layer &l, const float *q,
+                          size_t n_rows, size_t pos0,
+                          unsigned n_heads, float *ctx,
+                          ThreadPool &pool) const;
+    void attendPackedLegacy(const Layer &l, const float *q,
+                            size_t n_rows, size_t pos0,
+                            unsigned n_heads, float *ctx,
+                            ThreadPool &pool) const;
 
     std::unique_ptr<KvPageArena> owned_; //!< standalone shape only
     KvPageArena *arena_;
     std::vector<Layer> layers_;
 };
+
+/**
+ * @{ Peak per-lane attend scratch, in bytes, across every
+ * KvCache::attend since the last reset (process-wide, any thread).
+ * The flash attend's defining property is that this is bounded by
+ * O(pageRows · nHeads + queryBlock · dModel) independent of context
+ * length — tests assert it and DecodeSession exports it as the
+ * decode.attend_scratch_bytes gauge. attendLegacy is deliberately
+ * excluded: its O(context) scores vector is the regression this
+ * measures against.
+ */
+size_t attendScratchPeakBytes();
+void resetAttendScratchPeak();
+/** @} */
 
 } // namespace runtime
 } // namespace m2x

@@ -80,7 +80,11 @@ PackedM2xfpTensor::packActivations(const Matrix &m,
     if (rows == 0 || gpr == 0)
         return;
 
-    const detail::QuantizeKernels &kern = detail::quantizeKernels(isa);
+    // Encoder tiers are byte-exact against each other, so the encode
+    // stage may run a different (faster) tier than the surrounding
+    // GEMM/attend — see encodeSimdIsa.
+    const detail::QuantizeKernels &kern =
+        detail::quantizeKernels(encodeSimdIsa(isa));
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
     size_t grain = detail::packedQuantizeGrain(rows, tp.size());
     const float *src = m.data();
@@ -140,7 +144,8 @@ PackedM2xfpTensor::appendActivationRows(const float *rows,
     scales_.resize(rows_ * gpr);
     meta_.resize(rows_ * gpr);
 
-    const detail::QuantizeKernels &kern = detail::quantizeKernels(isa);
+    const detail::QuantizeKernels &kern =
+        detail::quantizeKernels(encodeSimdIsa(isa));
     auto encode = [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
             size_t slot = (old_rows + r) * gpr;

@@ -57,7 +57,8 @@ Matrix
 CacheAttendBackend::attend(size_t layer, const Matrix &q,
                            const Matrix &k, const Matrix &v,
                            std::span<const size_t> positions,
-                           unsigned n_heads)
+                           unsigned n_heads, unsigned n_kv_heads,
+                           size_t window)
 {
     telemetry::TraceSpan span("decode.attend");
     if (span.active()) {
@@ -66,12 +67,22 @@ CacheAttendBackend::attend(size_t layer, const Matrix &q,
         span.arg("mode", chunk_ ? "prefill" : "step");
     }
     uint64_t t0 = telemetry::nowNanos();
-    size_t d = q.cols();
+    size_t d = q.cols();     // n_heads * headDim
+    size_t d_kv = k.cols();  // n_kv_heads * headDim (GQA: <= d)
     Matrix ctx(q.rows(), d);
     if (chunk_) {
         chunk_->append(layer, k.data(), v.data(), k.rows(), pool_);
         chunk_->attend(layer, q.data(), q.rows(), positions[0],
-                       n_heads, ctx.data(), pool_);
+                       n_heads, ctx.data(), pool_, n_kv_heads,
+                       window);
+        // Sliding window: pages every query's window has moved past
+        // can never be attended again. Release them once the last
+        // layer is done with this chunk (earlier layers only ever
+        // see the same or later positions).
+        if (window != 0 && layer + 1 == chunk_->layers()) {
+            size_t end = positions[0] + q.rows();
+            chunk_->releaseBefore(end > window ? end - window : 0);
+        }
     } else {
         m2x_assert(rowCaches_.size() == q.rows(),
                    "CacheAttendBackend: %zu row caches for %zu rows",
@@ -89,10 +100,16 @@ CacheAttendBackend::attend(size_t layer, const Matrix &q,
                     seq_span.arg("pos", positions[s]);
                 }
                 KvCache &c = *rowCaches_[s];
-                c.append(layer, k.data() + s * d, v.data() + s * d,
-                         1);
+                c.append(layer, k.data() + s * d_kv,
+                         v.data() + s * d_kv, 1);
                 c.attend(layer, q.data() + s * d, 1, positions[s],
-                         n_heads, ctx.data() + s * d, pool_);
+                         n_heads, ctx.data() + s * d, pool_,
+                         n_kv_heads, window);
+                if (window != 0 && layer + 1 == c.layers()) {
+                    size_t end = positions[s] + 1;
+                    c.releaseBefore(end > window ? end - window
+                                                 : 0);
+                }
             }
         });
     }
@@ -109,7 +126,7 @@ ServingEngine::ServingEngine(const model::ModelConfig &model_cfg,
                      ? std::make_unique<ThreadPool>(cfg.threads)
                      : nullptr),
       model_(model_cfg), isa_(cfg.isa),
-      arena_(model_cfg.dModel, cfg.kvMode, cfg.format, cfg.isa,
+      arena_(model_cfg.kvDim(), cfg.kvMode, cfg.format, cfg.isa,
              KvArenaConfig{cfg.pageRows, cfg.arenaPages}),
       backend_(ownedPool_.get(), &attendNanos_)
 {
@@ -212,7 +229,10 @@ ServingEngine::activate(size_t id)
         if (auto *c = telemetry::cachedCounter(tokensSlot,
                                                "serving.tokens"))
             c->add(1);
-        if (r.out.size() >= r.st.maxNewTokens) {
+        bool last = r.out.size() >= r.st.maxNewTokens;
+        if (tokenCb_)
+            tokenCb_(id, tok, last);
+        if (last) {
             finish(r, now);
             return;
         }
@@ -365,7 +385,10 @@ ServingEngine::step()
         if (token_h)
             token_h->record(now - r.lastEmitNs);
         r.lastEmitNs = now;
-        if (r.out.size() >= r.st.maxNewTokens)
+        bool last = r.out.size() >= r.st.maxNewTokens;
+        if (tokenCb_)
+            tokenCb_(id, tok, last);
+        if (last)
             finish(r, now);
         else
             active_[w++] = id;

@@ -52,6 +52,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -118,7 +119,8 @@ class CacheAttendBackend : public model::AttentionBackend
 
     Matrix attend(size_t layer, const Matrix &q, const Matrix &k,
                   const Matrix &v, std::span<const size_t> positions,
-                  unsigned n_heads) override;
+                  unsigned n_heads, unsigned n_kv_heads,
+                  size_t window) override;
 
   private:
     ThreadPool *pool_;
@@ -126,6 +128,16 @@ class CacheAttendBackend : public model::AttentionBackend
     KvCache *chunk_ = nullptr;
     std::span<KvCache *const> rowCaches_{};
 };
+
+/**
+ * Streamed-token callback: invoked once per generated token at
+ * harvest time (request id, the token, and whether it is the
+ * request's last). Runs on the engine's driving thread inside
+ * step()/activate() — keep it cheap, and don't call back into the
+ * engine from inside it.
+ */
+using TokenCallback =
+    std::function<void(size_t req_id, int token, bool is_last)>;
 
 /** ServingEngine construction knobs. */
 struct ServingConfig
@@ -197,6 +209,16 @@ class ServingEngine
      * @p prompt. Returns the request id (dense, submission order).
      */
     size_t submit(std::vector<int> prompt, size_t max_new_tokens);
+
+    /**
+     * Install the streamed-token callback (nullable to clear).
+     * Every token generated after this call — including each
+     * request's TTFT token emitted during admission prefill — is
+     * delivered as onToken(reqId, token, isLast) the moment it is
+     * harvested, interleaved with preemption/resume exactly as the
+     * scheduler sees it.
+     */
+    void onToken(TokenCallback cb) { tokenCb_ = std::move(cb); }
 
     /**
      * One scheduler iteration (admission, capacity check, batched
@@ -298,6 +320,7 @@ class ServingEngine
     size_t finished_ = 0;
     size_t preemptions_ = 0;
 
+    TokenCallback tokenCb_;
     std::vector<double> tokenLat_;
     std::vector<double> ttfts_;
     double occPeak_ = 0.0;
