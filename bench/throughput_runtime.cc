@@ -1056,7 +1056,107 @@ main(int argc, char **argv)
                          "\"ratio\": %.3f}",
                          ci ? "," : "", contexts[ci],
                          flash_s_of[1][ci] / flash_s_of[0][ci]);
-        std::fprintf(out, "\n    ]\n  }\n}\n");
+        std::fprintf(out, "\n    ]\n  },\n  \"cross_format\": [");
+    }
+
+    // Cross-format runtime: every registered codec through the
+    // packed GEMM driver and the full decode loop. Two numbers per
+    // format: the packed GEMM's accuracy against the exact fp32
+    // product (the format's quantization error — kernel parity
+    // against each format's own functional pipeline is verified
+    // first, and exhaustively in cross_format_parity_test), and
+    // decode tokens/s with the format's generic kernels resident in
+    // the linear layers and KV pages. Rows are emitted in ascending
+    // rel_rmse order, so the committed JSON records the accuracy
+    // ranking of the formats — the bench-smoke gate asserts the
+    // ordering and positive throughput for >= 3 formats.
+    {
+        Matrix ga = randomMatrix(24, 512, 71, 4.0);
+        Matrix gw = randomMatrix(32, 512, 72, 6.0);
+        Matrix exact = matmulNt(ga, gw);
+
+        model::ModelConfig cc = model::llama2_7b();
+        cc.nLayers = 1;
+        cc.vocab = 128;
+        size_t cf_batch = 2;
+        size_t cf_prefill = quick ? 8 : 32;
+        size_t cf_steps = quick ? 4 : 16;
+        unsigned cf_threads = ThreadPool::defaultThreads();
+
+        struct FormatRow
+        {
+            PackedCodec codec;
+            double rmse, rel_rmse, tps, bits;
+        };
+        std::vector<FormatRow> rows;
+        for (PackedCodec codec : allPackedCodecs()) {
+            PackedM2xfpTensor pa =
+                PackedM2xfpTensor::packActivationsCodec(ga, codec);
+            PackedM2xfpTensor pw =
+                PackedM2xfpTensor::packWeightsCodec(gw, codec);
+            Matrix got = packedMatmulNt(pa, pw);
+            requireMatch(got,
+                         matmulNt(pa.unpackActivationsCodec(),
+                                  pw.unpackWeightsCodec()),
+                         activeSimdIsa(), 1e-6,
+                         "cross-format gemm parity");
+            double se = 0.0, ref2 = 0.0;
+            for (size_t i = 0; i < exact.size(); ++i) {
+                double d = got.flat()[i] - exact.flat()[i];
+                se += d * d;
+                ref2 += static_cast<double>(exact.flat()[i]) *
+                        static_cast<double>(exact.flat()[i]);
+            }
+            double rmse =
+                std::sqrt(se / static_cast<double>(exact.size()));
+            double rel_rmse = std::sqrt(se / ref2);
+
+            DecodeSession s(cc, {.threads = cf_threads,
+                                 .kvMode = KvCacheMode::Packed,
+                                 .codec = codec});
+            Rng rng(777);
+            for (size_t b = 0; b < cf_batch; ++b) {
+                std::vector<int> prompt(cf_prefill);
+                for (auto &t : prompt)
+                    t = static_cast<int>(rng.uniformInt(cc.vocab));
+                s.prefill(s.addSequence(), prompt);
+            }
+            std::vector<int> next(cf_batch);
+            Stopwatch sw;
+            for (size_t t = 0; t < cf_steps; ++t) {
+                for (auto &n : next)
+                    n = static_cast<int>(rng.uniformInt(cc.vocab));
+                s.decode(next);
+            }
+            double tps =
+                static_cast<double>(cf_batch * cf_steps) /
+                sw.seconds();
+            rows.push_back(
+                {codec, rmse, rel_rmse, tps,
+                 packedCodecInfo(codec).bitsPerElement});
+            std::printf("cross-format %-9s: rel_rmse %.5f, "
+                        "%7.1f tok/s (%.2f bits/elem)\n",
+                        packedCodecName(codec), rel_rmse, tps,
+                        packedCodecInfo(codec).bitsPerElement);
+        }
+        std::sort(rows.begin(), rows.end(),
+                  [](const FormatRow &a, const FormatRow &b) {
+                      return a.rel_rmse < b.rel_rmse;
+                  });
+        for (size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(out,
+                         "%s\n    {\"format\": \"%s\", "
+                         "\"bits_per_element\": %.4f, "
+                         "\"gemm_rmse_vs_fp32\": %.6e, "
+                         "\"gemm_rel_rmse_vs_fp32\": %.6e, "
+                         "\"decode_tokens_per_s\": %.3f, "
+                         "\"isa\": \"%s\", \"threads\": %u}",
+                         i ? "," : "",
+                         packedCodecName(rows[i].codec),
+                         rows[i].bits, rows[i].rmse,
+                         rows[i].rel_rmse, rows[i].tps,
+                         activeSimdIsaName(), cf_threads);
+        std::fprintf(out, "\n  ]\n}\n");
     }
     std::fclose(out);
     std::printf("\nwrote %s\n", out_path.c_str());

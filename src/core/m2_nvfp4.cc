@@ -86,6 +86,161 @@ M2Nvfp4Quantizer::quantizeWithScale(std::span<const float> in,
     return total_err;
 }
 
+double
+M2Nvfp4Quantizer::encodeWithScale(std::span<const float> in, float s,
+                                  M2Nvfp4Group &g) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+
+    size_t n_sub = (in.size() + subgroupSize_ - 1) / subgroupSize_;
+    g.fp4Codes.assign(in.size(), 0);
+    g.meta.assign(n_sub, 0);
+
+    double total_err = 0.0;
+    size_t sg_index = 0;
+    for (size_t base = 0; base < in.size();
+         base += subgroupSize_, ++sg_index) {
+        size_t len = std::min<size_t>(subgroupSize_, in.size() - base);
+        std::span<const float> sub = in.subspan(base, len);
+        uint8_t *sub_codes = g.fp4Codes.data() + base;
+
+        if (isWeight_) {
+            // Same m loop as quantizeWithScale — identical err
+            // accumulation so the same multiplier wins.
+            double best_err = -1.0;
+            for (unsigned m = 0; m < 4; ++m) {
+                float ss = s * (1.0f + static_cast<float>(m) / 4.0f);
+                float inv = 1.0f / ss;
+                double err = 0.0;
+                uint8_t codes[64];
+                for (size_t i = 0; i < len; ++i) {
+                    codes[i] = static_cast<uint8_t>(
+                        fp4.encode(sub[i] * inv));
+                    double d = static_cast<double>(
+                                   fp4.decode(codes[i]) * ss) -
+                               sub[i];
+                    err += d * d;
+                }
+                if (best_err < 0.0 || err < best_err) {
+                    best_err = err;
+                    g.meta[sg_index] = static_cast<uint8_t>(m);
+                    std::copy(codes, codes + len, sub_codes);
+                }
+            }
+            total_err += best_err;
+        } else {
+            float inv = 1.0f / s;
+            for (size_t i = 0; i < len; ++i)
+                sub_codes[i] = static_cast<uint8_t>(
+                    fp4.encode(sub[i] * inv));
+            size_t idx = ElemEmQuantizer::top1Index({sub_codes, len});
+            uint32_t mag4 = sub_codes[idx] & 0x7u;
+            uint32_t mag6 =
+                fp6.encode(std::fabs(sub[idx]) * inv) & 0x1fu;
+            g.meta[sg_index] = ElemEmQuantizer::encodeMeta(mag6, mag4);
+            // The err bookkeeping mirrors quantizeWithScale's decoded
+            // values (FP4 everywhere, FP6 re-round on the top-1).
+            uint32_t dec6 = ElemEmQuantizer::decodeFp6Mag(
+                mag4, g.meta[sg_index]);
+            float mag = fp6.decode(dec6 & 0x1fu);
+            bool neg = (sub_codes[idx] >> 3) & 1u;
+            for (size_t i = 0; i < len; ++i) {
+                float v = i == idx ? (neg ? -mag : mag) * s
+                                   : fp4.decode(sub_codes[i]) * s;
+                double d = static_cast<double>(v) - sub[i];
+                total_err += d * d;
+            }
+        }
+    }
+    return total_err;
+}
+
+M2Nvfp4Group
+M2Nvfp4Quantizer::encodeGroup(std::span<const float> in) const
+{
+    m2x_assert(subgroupSize_ <= 64, "subgroup too large");
+    m2x_assert(tensorScale_ == 1.0f,
+               "packed M2-NVFP4 streams carry no tensor scale — "
+               "encodeGroup requires the uncalibrated quantizer");
+    const Minifloat &fp8 = Minifloat::fp8e4m3();
+
+    // The zero-amax group takes the same guard path as quantizeGroup's
+    // early-out: the minimal positive FP8 scale with all-zero codes
+    // decodes to exactly +0.0 everywhere.
+    float amax = absMax(in);
+    float want = amax / (6.0f * tensorScale_);
+    uint32_t code0 = fp8.encode(want);
+    if (fp8.decode(code0) <= 0.0f)
+        code0 = fp8.encode(fp8.minSubnormal());
+
+    M2Nvfp4Group g;
+    if (!isWeight_) {
+        g.scaleCode = static_cast<uint8_t>(code0);
+        encodeWithScale(in, fp8.decode(code0) * tensorScale_, g);
+        return g;
+    }
+
+    // Adaptive block scale: the same neighbouring-code search as
+    // quantizeGroup, selecting by the identical SSE.
+    M2Nvfp4Group tmp;
+    double best_err = -1.0;
+    for (int d = -1; d <= 1; ++d) {
+        int64_t c = static_cast<int64_t>(code0) + d;
+        if (c < 0)
+            continue;
+        float block = fp8.decode(static_cast<uint32_t>(c));
+        if (!(block > 0.0f) || std::isnan(block) || std::isinf(block))
+            continue;
+        double err =
+            encodeWithScale(in, block * tensorScale_, tmp);
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            g = tmp;
+            g.scaleCode = static_cast<uint8_t>(c);
+        }
+    }
+    m2x_assert(best_err >= 0.0, "no valid NVFP4 block scale found");
+    return g;
+}
+
+void
+M2Nvfp4Quantizer::decodeGroup(const M2Nvfp4Group &g,
+                              std::span<float> out) const
+{
+    const Minifloat &fp4 = Minifloat::fp4e2m1();
+    const Minifloat &fp6 = Minifloat::fp6e2m3();
+    const Minifloat &fp8 = Minifloat::fp8e4m3();
+    m2x_assert(out.size() == g.fp4Codes.size(),
+               "decode size mismatch");
+
+    float s = fp8.decode(g.scaleCode) * tensorScale_;
+    size_t sg_index = 0;
+    for (size_t base = 0; base < out.size();
+         base += subgroupSize_, ++sg_index) {
+        size_t len = std::min<size_t>(subgroupSize_,
+                                      out.size() - base);
+        const uint8_t *sub_codes = g.fp4Codes.data() + base;
+        m2x_assert(sg_index < g.meta.size(), "metadata missing");
+        uint8_t m = g.meta[sg_index];
+
+        if (isWeight_) {
+            float ss = s * (1.0f + static_cast<float>(m) / 4.0f);
+            for (size_t i = 0; i < len; ++i)
+                out[base + i] = fp4.decode(sub_codes[i]) * ss;
+        } else {
+            for (size_t i = 0; i < len; ++i)
+                out[base + i] = fp4.decode(sub_codes[i]) * s;
+            size_t idx = ElemEmQuantizer::top1Index({sub_codes, len});
+            uint32_t mag4 = sub_codes[idx] & 0x7u;
+            uint32_t dec6 = ElemEmQuantizer::decodeFp6Mag(mag4, m);
+            float mag = fp6.decode(dec6 & 0x1fu);
+            bool neg = (sub_codes[idx] >> 3) & 1u;
+            out[base + idx] = (neg ? -mag : mag) * s;
+        }
+    }
+}
+
 void
 M2Nvfp4Quantizer::quantizeGroup(std::span<const float> in,
                                 std::span<float> out) const

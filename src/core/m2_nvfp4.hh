@@ -15,10 +15,21 @@
 #ifndef M2X_CORE_M2_NVFP4_HH__
 #define M2X_CORE_M2_NVFP4_HH__
 
+#include <cstdint>
+#include <vector>
+
 #include "formats/minifloat.hh"
 #include "quant/group_quantizer.hh"
 
 namespace m2x {
+
+/** Bit-level encoding of one M2-NVFP4 group. */
+struct M2Nvfp4Group
+{
+    uint8_t scaleCode = 0;         //!< FP8 E4M3 block-scale code
+    std::vector<uint8_t> fp4Codes; //!< one 4-bit code per element
+    std::vector<uint8_t> meta;     //!< 2-bit metadata per subgroup
+};
 
 /** NVFP4 + M2XFP metadata. One instance per tensor role. */
 class M2Nvfp4Quantizer : public GroupQuantizer
@@ -34,6 +45,20 @@ class M2Nvfp4Quantizer : public GroupQuantizer
                               unsigned subgroup_size = 4);
 
     void calibrate(std::span<const float> full) override;
+
+    /**
+     * @{ Bit-level group encoding for the packed runtime: the same
+     * pipeline as quantizeGroup (block-scale guard, adaptive FP8
+     * code search for weights, Elem-EM-top1 metadata for
+     * activations), but returning the stored codes instead of the
+     * dequantized floats. decodeGroup(encodeGroup(x)) reproduces
+     * quantizeGroup(x) bit-exactly — asserted by the codec-traits
+     * property tests. Requires the uncalibrated tensor scale (1.0);
+     * the packed streams have no per-tensor scale slot.
+     */
+    M2Nvfp4Group encodeGroup(std::span<const float> in) const;
+    void decodeGroup(const M2Nvfp4Group &g, std::span<float> out) const;
+    /** @} */
 
     void quantizeGroup(std::span<const float> in,
                        std::span<float> out) const override;
@@ -51,6 +76,14 @@ class M2Nvfp4Quantizer : public GroupQuantizer
     /** Quantize with a given block scale; returns the group SSE. */
     double quantizeWithScale(std::span<const float> in,
                              std::span<float> out, float s) const;
+
+    /**
+     * Encode with a given block scale; returns the group SSE. The
+     * float-op sequence mirrors quantizeWithScale exactly so the
+     * adaptive-scale winner selection is identical.
+     */
+    double encodeWithScale(std::span<const float> in, float s,
+                           M2Nvfp4Group &g) const;
 };
 
 } // namespace m2x

@@ -8,12 +8,21 @@
 namespace m2x {
 
 void
+PackedM2xfpTensor::setCodec(PackedCodec codec)
+{
+    codec_ = codec;
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    codecGroupSize_ = info.groupSize;
+    groupElemBytes_ = info.bytesPerGroupElems;
+}
+
+void
 PackedM2xfpTensor::reserveShape(size_t rows, size_t cols)
 {
     rows_ = rows;
     cols_ = cols;
-    groupsPerRow_ = ceilDiv(cols, groupSize);
-    elements_.assign(rows * groupsPerRow_ * bytesPerGroupElems, 0);
+    groupsPerRow_ = ceilDiv(cols, codecGroupSize_);
+    elements_.assign(rows * groupsPerRow_ * groupElemBytes_, 0);
     scales_.assign(rows * groupsPerRow_, 0);
     meta_.assign(rows * groupsPerRow_, 0);
 }
@@ -23,9 +32,9 @@ PackedM2xfpTensor::resizeShape(size_t rows, size_t cols)
 {
     rows_ = rows;
     cols_ = cols;
-    groupsPerRow_ = ceilDiv(cols, groupSize);
+    groupsPerRow_ = ceilDiv(cols, codecGroupSize_);
     size_t n_groups = rows * groupsPerRow_;
-    elements_.resize(n_groups * bytesPerGroupElems);
+    elements_.resize(n_groups * groupElemBytes_);
     scales_.resize(n_groups);
     meta_.resize(n_groups);
 }
@@ -33,9 +42,9 @@ PackedM2xfpTensor::resizeShape(size_t rows, size_t cols)
 void
 PackedM2xfpTensor::setElementCode(size_t r, size_t c, uint8_t code)
 {
-    size_t group = c / groupSize;
-    size_t in_group = c % groupSize;
-    size_t byte = (r * groupsPerRow_ + group) * bytesPerGroupElems +
+    size_t group = c / codecGroupSize_;
+    size_t in_group = c % codecGroupSize_;
+    size_t byte = (r * groupsPerRow_ + group) * groupElemBytes_ +
                   in_group / 2;
     if (in_group % 2 == 0)
         elements_[byte] = static_cast<uint8_t>(
@@ -48,9 +57,9 @@ PackedM2xfpTensor::setElementCode(size_t r, size_t c, uint8_t code)
 uint8_t
 PackedM2xfpTensor::elementCode(size_t r, size_t c) const
 {
-    size_t group = c / groupSize;
-    size_t in_group = c % groupSize;
-    size_t byte = (r * groupsPerRow_ + group) * bytesPerGroupElems +
+    size_t group = c / codecGroupSize_;
+    size_t in_group = c % codecGroupSize_;
+    size_t byte = (r * groupsPerRow_ + group) * groupElemBytes_ +
                   in_group / 2;
     uint8_t b = elements_[byte];
     return (in_group % 2 == 0) ? (b & 0x0fu) : (b >> 4);
@@ -83,16 +92,18 @@ PackedM2xfpTensor
 PackedM2xfpTensor::fromRawStreams(size_t rows, size_t cols,
                                   std::vector<uint8_t> elements,
                                   std::vector<uint8_t> scales,
-                                  std::vector<uint8_t> meta)
+                                  std::vector<uint8_t> meta,
+                                  PackedCodec codec)
 {
     PackedM2xfpTensor t;
+    t.setCodec(codec);
     t.rows_ = rows;
     t.cols_ = cols;
-    t.groupsPerRow_ = ceilDiv(cols, groupSize);
+    t.groupsPerRow_ = ceilDiv(cols, t.codecGroupSize_);
     size_t n_groups = rows * t.groupsPerRow_;
-    m2x_assert(elements.size() == n_groups * bytesPerGroupElems,
+    m2x_assert(elements.size() == n_groups * t.groupElemBytes_,
                "element stream: %zu bytes, want %zu",
-               elements.size(), n_groups * bytesPerGroupElems);
+               elements.size(), n_groups * t.groupElemBytes_);
     m2x_assert(scales.size() == n_groups,
                "scale stream: %zu bytes, want %zu", scales.size(),
                n_groups);
@@ -127,7 +138,7 @@ PackedM2xfpTensor::reserveActivationRows(size_t rows)
 {
     m2x_assert(cols_ > 0, "reserveActivationRows on a shapeless "
                "tensor (create via emptyActivations)");
-    elements_.reserve(rows * groupsPerRow_ * bytesPerGroupElems);
+    elements_.reserve(rows * groupsPerRow_ * groupElemBytes_);
     scales_.reserve(rows * groupsPerRow_);
     meta_.reserve(rows * groupsPerRow_);
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/elem_em.hh"
+#include "core/packed_codec.hh"
 #include "core/sg_em.hh"
 #include "quant/matrix.hh"
 
@@ -31,13 +32,27 @@ class ThreadPool;
 enum class SimdIsa;
 } // namespace runtime
 
-/** A matrix packed into the three M2XFP byte streams. */
+/**
+ * A matrix packed into the three M2XFP byte streams.
+ *
+ * Since the codec-traits seam the same class carries every
+ * PackedCodec: the codec fixes the group geometry (group size,
+ * nibble bytes per group) and the meaning of the scale/metadata
+ * bytes, while the three-stream layout — and therefore every stream
+ * accessor — is codec-independent. The Elem-EM entry points below
+ * (packActivations/packWeights/unpack*) are the original paper-pair
+ * API and stay byte-for-byte what they always were; the *Codec entry
+ * points generalize them over the format axis.
+ */
 class PackedM2xfpTensor
 {
   public:
+    /** @{ Paper (Elem-EM pair) geometry; codec-aware callers use
+     *  codecInfo() instead. */
     static constexpr unsigned groupSize = 32;
     static constexpr unsigned subgroupSize = 8;
     static constexpr unsigned bytesPerGroupElems = 16;
+    /** @} */
 
     /** Pack a row-major matrix as activations (Elem-EM-top1). */
     static PackedM2xfpTensor packActivations(const Matrix &m,
@@ -104,17 +119,59 @@ class PackedM2xfpTensor
     static PackedM2xfpTensor packWeights(const Matrix &m,
                                          const SgEmQuantizer &q);
 
+    /** @{
+     * Codec-generic functional packers/unpackers: the scalar
+     * bit-exact oracle of every registered format, built on each
+     * codec's own encodeGroup/decodeGroup with the same zero-padded
+     * tail handling as the Elem-EM packers. For PackedCodec::ElemEm
+     * they produce byte-identical streams to packActivations /
+     * packWeights with the paper quantizers. Defined in
+     * core/packed_formats.cc.
+     */
+    static PackedM2xfpTensor packActivationsCodec(const Matrix &m,
+                                                  PackedCodec codec);
+    static PackedM2xfpTensor packWeightsCodec(const Matrix &m,
+                                              PackedCodec codec);
+    Matrix unpackActivationsCodec() const;
+    Matrix unpackWeightsCodec() const;
+    /** @} */
+
+    /** @{
+     * Codec-generic runtime packing (defined in the m2x_runtime
+     * library): Elem-EM routes through the per-ISA SIMD encoder,
+     * every other codec through its functional row encoder
+     * parallelized over rows — byte-exact against the functional
+     * packers on every tier by construction. emptyActivationsCodec /
+     * appendActivationRowsCodec are the growable KV-cache shape of
+     * the same seam.
+     */
+    static PackedM2xfpTensor packActivationsCodec(
+        const Matrix &m, PackedCodec codec, runtime::ThreadPool *pool,
+        runtime::SimdIsa isa);
+    static void packActivationsCodec(const Matrix &m,
+                                     PackedCodec codec,
+                                     runtime::ThreadPool *pool,
+                                     runtime::SimdIsa isa,
+                                     PackedM2xfpTensor &out);
+    static PackedM2xfpTensor emptyActivationsCodec(size_t cols,
+                                                   PackedCodec codec);
+    void appendActivationRowsCodec(const float *rows, size_t n_rows,
+                                   runtime::SimdIsa isa,
+                                   runtime::ThreadPool *pool = nullptr);
+    /** @} */
+
     /**
      * Assemble a tensor directly from the three raw byte streams
-     * (sizes must match the [rows, cols] group layout — asserted).
-     * This bypasses the quantizers entirely: it exists for
+     * (sizes must match the [rows, cols] group layout of @p codec —
+     * asserted). This bypasses the quantizers entirely: it exists for
      * deserialization and for tests that need exhaustive control of
      * the stream bytes (e.g. the SIMD decode sweeps), so the caller
      * is responsible for the streams holding valid codes.
      */
     static PackedM2xfpTensor fromRawStreams(
         size_t rows, size_t cols, std::vector<uint8_t> elements,
-        std::vector<uint8_t> scales, std::vector<uint8_t> meta);
+        std::vector<uint8_t> scales, std::vector<uint8_t> meta,
+        PackedCodec codec = PackedCodec::ElemEm);
 
     /** Reconstruct the dequantized matrix (activation layout). */
     Matrix unpackActivations(const ElemEmQuantizer &q) const;
@@ -125,6 +182,14 @@ class PackedM2xfpTensor
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
     size_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** @{ The format axis: this tensor's codec and its geometry. */
+    PackedCodec codec() const { return codec_; }
+    const PackedCodecInfo &codecInfo() const
+    {
+        return packedCodecInfo(codec_);
+    }
+    /** @} */
 
     /** @{ Raw streams (exposed for the memory-traffic model). */
     const std::vector<uint8_t> &elementStream() const
@@ -162,7 +227,7 @@ class PackedM2xfpTensor
     groupElementBytes(size_t r, size_t group) const
     {
         return elements_.data() +
-               (r * groupsPerRow_ + group) * bytesPerGroupElems;
+               (r * groupsPerRow_ + group) * groupElemBytes_;
     }
     uint8_t
     groupMetaByte(size_t r, size_t group) const
@@ -175,9 +240,18 @@ class PackedM2xfpTensor
     size_t rows_ = 0;
     size_t cols_ = 0;
     size_t groupsPerRow_ = 0;
+    PackedCodec codec_ = PackedCodec::ElemEm;
+    /** @{ Geometry cache of codec_ (hot accessors avoid the info
+     *  lookup). */
+    unsigned codecGroupSize_ = groupSize;
+    unsigned groupElemBytes_ = bytesPerGroupElems;
+    /** @} */
     std::vector<uint8_t> elements_;
     std::vector<uint8_t> scales_;
     std::vector<uint8_t> meta_;
+
+    /** Set codec_ and refresh the geometry cache. */
+    void setCodec(PackedCodec codec);
 
     void setElementCode(size_t r, size_t c, uint8_t code);
     void reserveShape(size_t rows, size_t cols);
@@ -190,6 +264,24 @@ class PackedM2xfpTensor
      */
     void resizeShape(size_t rows, size_t cols);
 };
+
+/** @{
+ * Functional one-row stream encoders of the codec seam: encode
+ * @p cols floats into the row's group slots (ceil(cols/groupSize)
+ * groups of element bytes, scale codes and metadata bytes for
+ * @p codec's geometry), zero-padding the tail group exactly like the
+ * matrix packers. These are the per-codec analogue of the runtime's
+ * QuantizeRowFn — byte-exact on every ISA tier by construction —
+ * and the building block of the parallel codec packers. Defined in
+ * core/packed_formats.cc.
+ */
+void packActivationRowCodec(PackedCodec codec, const float *src,
+                            size_t cols, uint8_t *elems,
+                            uint8_t *scales, uint8_t *meta);
+void packWeightRowCodec(PackedCodec codec, const float *src,
+                        size_t cols, uint8_t *elems, uint8_t *scales,
+                        uint8_t *meta);
+/** @} */
 
 } // namespace m2x
 

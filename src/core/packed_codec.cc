@@ -1,0 +1,90 @@
+#include "core/packed_codec.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace m2x {
+
+namespace {
+
+// Bits/element = 4 (FP4) + 8/groupSize (scale) + 2*nSub/groupSize
+// (metadata). g32/sg8: 4 + 0.25 + 0.25 = 4.5; g16/sg4: 4 + 0.5 +
+// 0.5 = 5.0 — the overhead Tbl. 6 calls out for M2-NVFP4.
+constexpr PackedCodecInfo infos[packedCodecCount] = {
+    {"elem_em", 32, 8, 16, 4.5, false},
+    {"elem_ee", 32, 8, 16, 4.5, false},
+    {"sg_em", 32, 8, 16, 4.5, false},
+    {"m2_nvfp4", 16, 4, 8, 5.0, true},
+};
+
+constexpr PackedCodec codecs[packedCodecCount] = {
+    PackedCodec::ElemEm,
+    PackedCodec::ElemEe,
+    PackedCodec::SgEm,
+    PackedCodec::M2Nvfp4,
+};
+
+} // anonymous namespace
+
+const PackedCodecInfo &
+packedCodecInfo(PackedCodec codec)
+{
+    size_t i = static_cast<size_t>(codec);
+    m2x_assert(i < packedCodecCount, "bad PackedCodec %zu", i);
+    return infos[i];
+}
+
+const char *
+packedCodecName(PackedCodec codec)
+{
+    return packedCodecInfo(codec).name;
+}
+
+bool
+parsePackedCodec(const char *s, PackedCodec &out)
+{
+    if (!s)
+        return false;
+    for (size_t i = 0; i < packedCodecCount; ++i) {
+        if (std::strcmp(s, infos[i].name) == 0) {
+            out = codecs[i];
+            return true;
+        }
+    }
+    return false;
+}
+
+std::span<const PackedCodec>
+allPackedCodecs()
+{
+    return {codecs, packedCodecCount};
+}
+
+namespace codec_detail {
+
+PackedCodec
+resolvePackedCodec(const char *env)
+{
+    if (!env || !*env)
+        return PackedCodec::ElemEm;
+    PackedCodec c;
+    if (parsePackedCodec(env, c))
+        return c;
+    m2x_warn("ignoring unknown M2X_FORMAT value '%s' (want one of "
+             "elem_em, elem_ee, sg_em, m2_nvfp4)", env);
+    return PackedCodec::ElemEm;
+}
+
+} // namespace codec_detail
+
+PackedCodec
+defaultPackedCodec()
+{
+    static const PackedCodec codec =
+        codec_detail::resolvePackedCodec(std::getenv("M2X_FORMAT"));
+    return codec;
+}
+
+} // namespace m2x

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * The functional side of the codec-traits seam: per-codec group
+ * encode/decode routed through each format's own quantizer, packed
+ * into (and recovered from) the shared three-stream layout. These
+ * are the scalar bit-exact oracles the runtime kernels are verified
+ * against, and the row encoders backing the non-Elem-EM runtime
+ * packers.
+ *
+ * Codec → quantizer pairing:
+ *   - elem_em:  Elem-EM-top1 acts, Sg-EM-2bit adaptive weights (the
+ *               paper pair — identical streams to packActivations /
+ *               packWeights),
+ *   - elem_ee:  Elem-EE acts (2-bit exponent offset), Sg-EM weights,
+ *   - sg_em:    Sg-EM for both roles (subgroup-multiplier acts),
+ *   - m2_nvfp4: M2-NVFP4 acts/weights (g16/sg4, FP8 block scale).
+ */
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/elem_ee.hh"
+#include "core/m2_nvfp4.hh"
+#include "core/m2xfp.hh"
+#include "core/m2xfp_packed.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace m2x {
+
+namespace {
+
+/** @{ Per-codec quantizer singletons (paper-default configs). */
+const ElemEmQuantizer &
+elemEmActQ()
+{
+    static const ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    return q;
+}
+
+const SgEmQuantizer &
+sgEmQ()
+{
+    static const SgEmQuantizer q = SgEmQuantizer::paperWeights();
+    return q;
+}
+
+const ElemEeQuantizer &
+elemEeActQ()
+{
+    static const ElemEeQuantizer q{ElemEeConfig{}};
+    return q;
+}
+
+const M2Nvfp4Quantizer &
+nvfp4ActQ()
+{
+    static const M2Nvfp4Quantizer q(false);
+    return q;
+}
+
+const M2Nvfp4Quantizer &
+nvfp4WtQ()
+{
+    static const M2Nvfp4Quantizer q(true);
+    return q;
+}
+/** @} */
+
+/** Pack a full group's 4-bit codes into nibble bytes (low first). */
+void
+writeNibbles(const std::vector<uint8_t> &codes, uint8_t *dst,
+             unsigned n_bytes)
+{
+    for (unsigned b = 0; b < n_bytes; ++b)
+        dst[b] = static_cast<uint8_t>(
+            (codes[2 * b] & 0x0fu) | ((codes[2 * b + 1] & 0x0fu) << 4));
+}
+
+/** Unpack nibble bytes back into one 4-bit code per element. */
+void
+readNibbles(const uint8_t *src, unsigned n_bytes,
+            std::vector<uint8_t> &codes)
+{
+    codes.resize(2 * static_cast<size_t>(n_bytes));
+    for (unsigned b = 0; b < n_bytes; ++b) {
+        codes[2 * b] = src[b] & 0x0fu;
+        codes[2 * b + 1] = src[b] >> 4;
+    }
+}
+
+/** Fold the per-subgroup 2-bit fields into the metadata byte. */
+uint8_t
+packMetaByte(const std::vector<uint8_t> &meta)
+{
+    uint8_t mb = 0;
+    for (size_t s = 0; s < meta.size() && s < 4; ++s)
+        mb = static_cast<uint8_t>(mb | ((meta[s] & 0x3u) << (2 * s)));
+    return mb;
+}
+
+void
+unpackMetaByte(uint8_t mb, size_t n_sub, std::vector<uint8_t> &meta)
+{
+    meta.resize(n_sub);
+    for (size_t s = 0; s < n_sub; ++s)
+        meta[s] = static_cast<uint8_t>((mb >> (2 * s)) & 0x3u);
+}
+
+/** Encode one zero-padded group in the activation role. */
+void
+encodeActGroup(PackedCodec codec, std::span<const float> padded,
+               uint8_t *elems, uint8_t *scale, uint8_t *meta)
+{
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    switch (codec) {
+    case PackedCodec::ElemEm: {
+        ElemEmGroup g = elemEmActQ().encodeGroup(padded);
+        *scale = g.scale.code();
+        *meta = packMetaByte(g.meta);
+        writeNibbles(g.fp4Codes, elems, info.bytesPerGroupElems);
+        break;
+    }
+    case PackedCodec::ElemEe: {
+        ElemEeGroup g = elemEeActQ().encodeGroup(padded);
+        *scale = g.scale.code();
+        *meta = packMetaByte(g.meta);
+        writeNibbles(g.fp4Codes, elems, info.bytesPerGroupElems);
+        break;
+    }
+    case PackedCodec::SgEm: {
+        SgEmGroup g = sgEmQ().encodeGroup(padded);
+        *scale = g.scale.code();
+        *meta = packMetaByte(g.sgMeta);
+        writeNibbles(g.fp4Codes, elems, info.bytesPerGroupElems);
+        break;
+    }
+    case PackedCodec::M2Nvfp4: {
+        M2Nvfp4Group g = nvfp4ActQ().encodeGroup(padded);
+        *scale = g.scaleCode;
+        *meta = packMetaByte(g.meta);
+        writeNibbles(g.fp4Codes, elems, info.bytesPerGroupElems);
+        break;
+    }
+    }
+}
+
+/** Encode one zero-padded group in the weight role. */
+void
+encodeWtGroup(PackedCodec codec, std::span<const float> padded,
+              uint8_t *elems, uint8_t *scale, uint8_t *meta)
+{
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    switch (codec) {
+    case PackedCodec::ElemEm:
+    case PackedCodec::ElemEe:
+    case PackedCodec::SgEm: {
+        // All E8M0-scaled codecs share the paper's Sg-EM weight role.
+        SgEmGroup g = sgEmQ().encodeGroup(padded);
+        *scale = g.scale.code();
+        *meta = packMetaByte(g.sgMeta);
+        writeNibbles(g.fp4Codes, elems, info.bytesPerGroupElems);
+        break;
+    }
+    case PackedCodec::M2Nvfp4: {
+        M2Nvfp4Group g = nvfp4WtQ().encodeGroup(padded);
+        *scale = g.scaleCode;
+        *meta = packMetaByte(g.meta);
+        writeNibbles(g.fp4Codes, elems, info.bytesPerGroupElems);
+        break;
+    }
+    }
+}
+
+/** Decode one group in the activation role. */
+void
+decodeActGroup(PackedCodec codec, const uint8_t *elems, uint8_t scale,
+               uint8_t meta, std::span<float> out)
+{
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    size_t n_sub = info.groupSize / info.subgroupSize;
+    switch (codec) {
+    case PackedCodec::ElemEm: {
+        ElemEmGroup g;
+        g.scale = ScaleE8m0::fromCode(scale);
+        readNibbles(elems, info.bytesPerGroupElems, g.fp4Codes);
+        unpackMetaByte(meta, n_sub, g.meta);
+        elemEmActQ().decodeGroup(g, out);
+        break;
+    }
+    case PackedCodec::ElemEe: {
+        ElemEeGroup g;
+        g.scale = ScaleE8m0::fromCode(scale);
+        readNibbles(elems, info.bytesPerGroupElems, g.fp4Codes);
+        unpackMetaByte(meta, n_sub, g.meta);
+        elemEeActQ().decodeGroup(g, out);
+        break;
+    }
+    case PackedCodec::SgEm: {
+        SgEmGroup g;
+        g.scale = ScaleE8m0::fromCode(scale);
+        readNibbles(elems, info.bytesPerGroupElems, g.fp4Codes);
+        unpackMetaByte(meta, n_sub, g.sgMeta);
+        sgEmQ().decodeGroup(g, out);
+        break;
+    }
+    case PackedCodec::M2Nvfp4: {
+        M2Nvfp4Group g;
+        g.scaleCode = scale;
+        readNibbles(elems, info.bytesPerGroupElems, g.fp4Codes);
+        unpackMetaByte(meta, n_sub, g.meta);
+        nvfp4ActQ().decodeGroup(g, out);
+        break;
+    }
+    }
+}
+
+/** Decode one group in the weight role. */
+void
+decodeWtGroup(PackedCodec codec, const uint8_t *elems, uint8_t scale,
+              uint8_t meta, std::span<float> out)
+{
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    size_t n_sub = info.groupSize / info.subgroupSize;
+    switch (codec) {
+    case PackedCodec::ElemEm:
+    case PackedCodec::ElemEe:
+    case PackedCodec::SgEm: {
+        SgEmGroup g;
+        g.scale = ScaleE8m0::fromCode(scale);
+        readNibbles(elems, info.bytesPerGroupElems, g.fp4Codes);
+        unpackMetaByte(meta, n_sub, g.sgMeta);
+        sgEmQ().decodeGroup(g, out);
+        break;
+    }
+    case PackedCodec::M2Nvfp4: {
+        M2Nvfp4Group g;
+        g.scaleCode = scale;
+        readNibbles(elems, info.bytesPerGroupElems, g.fp4Codes);
+        unpackMetaByte(meta, n_sub, g.meta);
+        nvfp4WtQ().decodeGroup(g, out);
+        break;
+    }
+    }
+}
+
+using EncodeGroupFn = void (*)(PackedCodec, std::span<const float>,
+                               uint8_t *, uint8_t *, uint8_t *);
+
+/** One row through the group encoder, zero-padding the tail group. */
+void
+packRow(PackedCodec codec, EncodeGroupFn encode, const float *src,
+        size_t cols, uint8_t *elems, uint8_t *scales, uint8_t *meta)
+{
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    size_t gs = info.groupSize;
+    size_t n_groups = ceilDiv(cols, gs);
+    std::vector<float> padded(gs);
+    for (size_t g = 0; g < n_groups; ++g) {
+        size_t base = g * gs;
+        size_t len = std::min<size_t>(gs, cols - base);
+        std::fill(padded.begin(), padded.end(), 0.0f);
+        std::copy(src + base, src + base + len, padded.begin());
+        encode(codec, padded, elems + g * info.bytesPerGroupElems,
+               scales + g, meta + g);
+    }
+}
+
+} // anonymous namespace
+
+void
+packActivationRowCodec(PackedCodec codec, const float *src, size_t cols,
+                       uint8_t *elems, uint8_t *scales, uint8_t *meta)
+{
+    packRow(codec, &encodeActGroup, src, cols, elems, scales, meta);
+}
+
+void
+packWeightRowCodec(PackedCodec codec, const float *src, size_t cols,
+                   uint8_t *elems, uint8_t *scales, uint8_t *meta)
+{
+    packRow(codec, &encodeWtGroup, src, cols, elems, scales, meta);
+}
+
+PackedM2xfpTensor
+PackedM2xfpTensor::packActivationsCodec(const Matrix &m,
+                                        PackedCodec codec)
+{
+    PackedM2xfpTensor t;
+    t.setCodec(codec);
+    t.reserveShape(m.rows(), m.cols());
+    for (size_t r = 0; r < m.rows(); ++r)
+        packActivationRowCodec(
+            codec, m.row(r).data(), m.cols(),
+            t.elements_.data() +
+                r * t.groupsPerRow_ * t.groupElemBytes_,
+            t.scales_.data() + r * t.groupsPerRow_,
+            t.meta_.data() + r * t.groupsPerRow_);
+    return t;
+}
+
+PackedM2xfpTensor
+PackedM2xfpTensor::packWeightsCodec(const Matrix &m, PackedCodec codec)
+{
+    PackedM2xfpTensor t;
+    t.setCodec(codec);
+    t.reserveShape(m.rows(), m.cols());
+    for (size_t r = 0; r < m.rows(); ++r)
+        packWeightRowCodec(
+            codec, m.row(r).data(), m.cols(),
+            t.elements_.data() +
+                r * t.groupsPerRow_ * t.groupElemBytes_,
+            t.scales_.data() + r * t.groupsPerRow_,
+            t.meta_.data() + r * t.groupsPerRow_);
+    return t;
+}
+
+namespace {
+
+using DecodeGroupFn = void (*)(PackedCodec, const uint8_t *, uint8_t,
+                               uint8_t, std::span<float>);
+
+Matrix
+unpackMatrix(const PackedM2xfpTensor &t, DecodeGroupFn decode)
+{
+    const PackedCodecInfo &info = t.codecInfo();
+    size_t gs = info.groupSize;
+    Matrix out(t.rows(), t.cols());
+    std::vector<float> dec(gs);
+    for (size_t r = 0; r < t.rows(); ++r) {
+        for (size_t g = 0; g < t.groupsPerRow(); ++g) {
+            decode(t.codec(), t.groupElementBytes(r, g),
+                   t.scaleCode(r, g), t.groupMetaByte(r, g), dec);
+            size_t base = g * gs;
+            size_t len = std::min<size_t>(gs, t.cols() - base);
+            for (size_t i = 0; i < len; ++i)
+                out(r, base + i) = dec[i];
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Matrix
+PackedM2xfpTensor::unpackActivationsCodec() const
+{
+    return unpackMatrix(*this, &decodeActGroup);
+}
+
+Matrix
+PackedM2xfpTensor::unpackWeightsCodec() const
+{
+    return unpackMatrix(*this, &decodeWtGroup);
+}
+
+PackedM2xfpTensor
+PackedM2xfpTensor::emptyActivationsCodec(size_t cols, PackedCodec codec)
+{
+    m2x_assert(cols > 0, "empty activation tensor needs cols > 0");
+    PackedM2xfpTensor t;
+    t.setCodec(codec);
+    t.rows_ = 0;
+    t.cols_ = cols;
+    t.groupsPerRow_ = ceilDiv(cols, t.codecGroupSize_);
+    return t;
+}
+
+} // namespace m2x

@@ -29,11 +29,11 @@ DecodeSession::DecodeSession(const model::ModelConfig &model_cfg,
                      : nullptr),
       model_(model_cfg), isa_(cfg.isa),
       arena_(model_cfg.kvDim(), cfg.kvMode, cfg.format, cfg.isa,
-             KvArenaConfig{cfg.pageRows, cfg.arenaPages}),
+             KvArenaConfig{cfg.pageRows, cfg.arenaPages, cfg.codec}),
       backend_(ownedPool_.get(), &attendNanos_)
 {
     model_.rebuild(packedLinearFactory(cfg.format, ownedPool_.get(),
-                                       &stats_, isa_));
+                                       &stats_, isa_, cfg.codec));
 }
 
 DecodeSession::~DecodeSession() = default;

@@ -79,6 +79,12 @@ struct DecodeConfig
      * or evict, so the session defaults to never failing a claim).
      */
     size_t arenaPages = 0;
+    /**
+     * Packed stream codec for the linear layers and the packed KV
+     * cache. Session-level default follows the M2X_FORMAT
+     * environment override (see defaultPackedCodec()).
+     */
+    PackedCodec codec = defaultPackedCodec();
 };
 
 /** A loaded model serving stepwise generation with a KV cache. */
@@ -134,6 +140,7 @@ class DecodeSession
 
     KvCacheMode kvMode() const { return cfg_.kvMode; }
     SimdIsa simdIsa() const { return isa_; }
+    PackedCodec codec() const { return cfg_.codec; }
 
     /** The page arena every sequence's cache draws from. */
     const KvPageArena &arena() const { return arena_; }

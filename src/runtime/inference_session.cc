@@ -96,14 +96,14 @@ class TimedLinear : public LinearOp
 model::LinearFactory
 packedLinearFactory(M2xfpConfig cfg, ThreadPool *pool,
                     std::vector<std::shared_ptr<LayerStats>> *stats,
-                    SimdIsa isa)
+                    SimdIsa isa, PackedCodec codec)
 {
-    return [cfg, pool, stats, isa](const Matrix &w,
-                                   const std::string &name,
-                                   const Matrix *)
+    return [cfg, pool, stats, isa, codec](const Matrix &w,
+                                          const std::string &name,
+                                          const Matrix *)
                -> std::unique_ptr<LinearOp> {
         auto packed =
-            std::make_unique<PackedLinear>(w, cfg, pool, isa);
+            std::make_unique<PackedLinear>(w, cfg, pool, isa, codec);
         if (!stats)
             return packed;
         auto s = std::make_shared<LayerStats>();
@@ -130,10 +130,10 @@ InferenceSession::InferenceSession(const model::ModelConfig &model_cfg,
                                    SessionConfig cfg)
     : ownedPool_(cfg.threads ? std::make_unique<ThreadPool>(cfg.threads)
                              : nullptr),
-      model_(model_cfg), isa_(cfg.isa)
+      model_(model_cfg), isa_(cfg.isa), codec_(cfg.codec)
 {
     model_.rebuild(packedLinearFactory(cfg.format, ownedPool_.get(),
-                                       &stats_, isa_));
+                                       &stats_, isa_, codec_));
 }
 
 InferenceSession::~InferenceSession() = default;

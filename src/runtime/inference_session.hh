@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/m2xfp.hh"
+#include "core/packed_codec.hh"
 #include "model/config.hh"
 #include "model/transformer.hh"
 #include "runtime/simd.hh"
@@ -80,6 +81,13 @@ struct SessionConfig
     M2xfpConfig format{};
     /** Kernel tier for every layer; defaults to the dispatch pick. */
     SimdIsa isa = activeSimdIsa();
+    /**
+     * Packed stream codec for every layer's weight + activation
+     * encode. Session-level default follows the M2X_FORMAT
+     * environment override (see defaultPackedCodec()); low-level
+     * APIs keep explicit elem_em defaults.
+     */
+    PackedCodec codec = defaultPackedCodec();
 };
 
 /**
@@ -129,6 +137,9 @@ class InferenceSession
     /** The kernel tier every layer executes on. */
     SimdIsa simdIsa() const { return isa_; }
 
+    /** The packed stream codec every layer executes with. */
+    PackedCodec codec() const { return codec_; }
+
     const model::TinyTransformer &model() const { return model_; }
     const model::ModelConfig &modelConfig() const
     {
@@ -140,6 +151,7 @@ class InferenceSession
     model::TinyTransformer model_;
     std::vector<std::shared_ptr<LayerStats>> stats_;
     SimdIsa isa_;
+    PackedCodec codec_;
 };
 
 /**
@@ -152,7 +164,8 @@ class InferenceSession
 model::LinearFactory packedLinearFactory(
     M2xfpConfig cfg = {}, ThreadPool *pool = nullptr,
     std::vector<std::shared_ptr<LayerStats>> *stats = nullptr,
-    SimdIsa isa = activeSimdIsa());
+    SimdIsa isa = activeSimdIsa(),
+    PackedCodec codec = PackedCodec::ElemEm);
 
 } // namespace runtime
 } // namespace m2x

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model/softmax.hh"
+#include "runtime/codec_traits.hh"
 #include "runtime/decode_lut.hh"
 #include "runtime/kv_attend_kernels.hh"
 #include "runtime/packed_gemm_kernels.hh"
@@ -154,8 +155,6 @@ attendKernels(SimdIsa isa)
 
 namespace {
 
-constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
-
 /** Query rows per packed-attend block (bounds the attend scratch). */
 constexpr size_t attendBlock = 8;
 
@@ -225,8 +224,10 @@ KvCache::KvCache(KvPageArena &arena, size_t n_layers)
 }
 
 KvCache::KvCache(size_t n_layers, size_t d_model, KvCacheMode mode,
-                 M2xfpConfig fmt, SimdIsa isa)
-    : owned_(std::make_unique<KvPageArena>(d_model, mode, fmt, isa)),
+                 M2xfpConfig fmt, SimdIsa isa, PackedCodec codec)
+    : owned_(std::make_unique<KvPageArena>(
+          d_model, mode, fmt, isa,
+          KvArenaConfig{.codec = codec})),
       arena_(owned_.get())
 {
     m2x_assert(n_layers > 0 && d_model > 0,
@@ -356,7 +357,7 @@ KvCache::totalBytes() const
     size_t d = arena_->dModel();
     size_t row_packed =
         arena_->groupsPerRow() *
-        (PackedM2xfpTensor::bytesPerGroupElems + 2);
+        (packedCodecInfo(arena_->codec()).bytesPerGroupElems + 2);
     for (const Layer &l : layers_) {
         if (mode() == KvCacheMode::Fp32)
             bytes += 2 * l.rows * d * sizeof(float);
@@ -540,9 +541,17 @@ KvCache::attendPacked(const Layer &l, const float *q, size_t n_rows,
     float inv_sqrt_f = 1.0f / std::sqrt(static_cast<float>(hd));
     double inv_sqrt = static_cast<double>(inv_sqrt_f);
     size_t pr = arena_->pageRows();
-    size_t padded_d = arena_->groupsPerRow() * groupSize;
+    size_t padded_d = arena_->groupsPerRow() *
+                      packedCodecInfo(arena_->codec()).groupSize;
     const detail::AttendKernels &kern =
         detail::attendKernels(simdIsa());
+    // The codec seam: only the page decode is format-sensitive —
+    // Elem-EM pages use the ISA tier's batch decode, other codecs the
+    // generic traits kernel; scores/softmax/value accumulation are
+    // codec-agnostic.
+    detail::DecodeRowsFn decode_rows =
+        arena_->codec() == PackedCodec::ElemEm ? kern.decodeRows
+                                               : &codecDecodeRows;
     detail::PagedKvView kview{arena_, l.k.data()};
     detail::PagedKvView vview{arena_, l.v.data()};
     size_t n_blocks = ceilDiv(n_rows, attendBlock);
@@ -605,10 +614,10 @@ KvCache::attendPacked(const Layer &l, const float *q, size_t n_rows,
                         vview.packedOf(nx_lo, nx_local), nx_local,
                         nx_hi - nx_lo);
                 }
-                kern.decodeRows(
+                decode_rows(
                     kp, local_lo, hi - lo, padded_d,
                     kbuf.data() + (lo - pg * pr) * padded_d);
-                kern.decodeRows(
+                decode_rows(
                     vp, local_lo, hi - lo, padded_d,
                     vbuf.data() + (lo - pg * pr) * padded_d);
 
@@ -748,8 +757,13 @@ KvCache::attendPackedLegacy(const Layer &l, const float *q,
     size_t d = dModel();
     size_t hd = d / n_heads;
     float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
-    size_t padded_d = arena_->groupsPerRow() * groupSize;
+    size_t padded_d = arena_->groupsPerRow() *
+                      packedCodecInfo(arena_->codec()).groupSize;
     const detail::GemmKernels &gemm = detail::gemmKernels(simdIsa());
+    detail::DecodeRowFn decode_row =
+        arena_->codec() == PackedCodec::ElemEm
+            ? gemm.decodeActivationRow
+            : &codecDecodeActivationRow;
     const detail::AttendKernels &kern =
         detail::attendKernels(simdIsa());
     detail::PagedKvView kview{arena_, l.k.data()};
@@ -776,7 +790,7 @@ KvCache::attendPackedLegacy(const Layer &l, const float *q,
             for (size_t j = 0; j < len; ++j) {
                 size_t local;
                 const PackedM2xfpTensor &kp = kview.packedOf(j, local);
-                gemm.decodeActivationRow(kp, local, rowbuf.data());
+                decode_row(kp, local, rowbuf.data());
                 size_t i_start =
                     j > pos0 + i0 ? j - (pos0 + i0) : 0;
                 for (size_t i = i_start; i < bn; ++i) {
@@ -803,7 +817,7 @@ KvCache::attendPackedLegacy(const Layer &l, const float *q,
             for (size_t j = 0; j < len; ++j) {
                 size_t local;
                 const PackedM2xfpTensor &vp = vview.packedOf(j, local);
-                gemm.decodeActivationRow(vp, local, rowbuf.data());
+                decode_row(vp, local, rowbuf.data());
                 size_t i_start =
                     j > pos0 + i0 ? j - (pos0 + i0) : 0;
                 for (size_t i = i_start; i < bn; ++i) {

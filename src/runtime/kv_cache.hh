@@ -94,9 +94,11 @@ class KvCache
      * @param mode    resident representation
      * @param fmt     packed-mode codec config (paper layout only)
      * @param isa     kernel tier for packed-mode encode/decode
+     * @param codec   packed-mode stream codec (the format axis)
      */
     KvCache(size_t n_layers, size_t d_model, KvCacheMode mode,
-            M2xfpConfig fmt = {}, SimdIsa isa = activeSimdIsa());
+            M2xfpConfig fmt = {}, SimdIsa isa = activeSimdIsa(),
+            PackedCodec codec = PackedCodec::ElemEm);
 
     ~KvCache();
 

@@ -32,7 +32,9 @@ KvPageArena::KvPageArena(size_t d_model, KvCacheMode mode,
                          KvArenaConfig cfg)
     : mode_(mode), dModel_(d_model), isa_(isa),
       pageRows_(cfg.pageRows), capacityPages_(cfg.capacityPages),
-      groupsPerRow_(ceilDiv(d_model, PackedM2xfpTensor::groupSize)),
+      codec_(cfg.codec),
+      groupsPerRow_(ceilDiv(d_model,
+                            size_t{packedCodecInfo(cfg.codec).groupSize})),
       actQ_(fmt.activationConfig())
 {
     m2x_assert(d_model > 0, "KvPageArena needs d_model > 0");
@@ -84,8 +86,12 @@ KvPageArena::allocPage()
     Page &p = chunk[id % chunkPages];
     if (mode_ == KvCacheMode::Fp32) {
         p.f32.resize(pageRows_ * dModel_);
-    } else {
+    } else if (codec_ == PackedCodec::ElemEm) {
         p.packed = PackedM2xfpTensor::emptyActivations(dModel_, actQ_);
+        p.packed.reserveActivationRows(pageRows_);
+    } else {
+        p.packed =
+            PackedM2xfpTensor::emptyActivationsCodec(dModel_, codec_);
         p.packed.reserveActivationRows(pageRows_);
     }
     ++nextId_;
@@ -144,9 +150,10 @@ KvPageArena::pageBytes() const
 {
     if (mode_ == KvCacheMode::Fp32)
         return fp32PageBytes();
-    // Per row: 16 element bytes + 1 scale + 1 metadata per group.
+    // Per row and group: the codec's element bytes + 1 scale byte +
+    // 1 metadata byte.
     return pageRows_ * groupsPerRow_ *
-           (PackedM2xfpTensor::bytesPerGroupElems + 2);
+           (packedCodecInfo(codec_).bytesPerGroupElems + 2);
 }
 
 void
@@ -162,8 +169,10 @@ KvPageArena::appendRows(KvPageId id, const float *rows, size_t n,
     if (mode_ == KvCacheMode::Fp32) {
         std::memcpy(p.f32.data() + p.used * dModel_, rows,
                     n * dModel_ * sizeof(float));
-    } else {
+    } else if (codec_ == PackedCodec::ElemEm) {
         p.packed.appendActivationRows(rows, n, actQ_, isa_, pool);
+    } else {
+        p.packed.appendActivationRowsCodec(rows, n, isa_, pool);
     }
     p.used += n;
 }

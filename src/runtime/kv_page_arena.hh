@@ -84,6 +84,12 @@ struct KvArenaConfig
      * grows on demand, still free-list recycled).
      */
     size_t capacityPages = 0;
+    /**
+     * Packed-mode stream codec. ElemEm keeps the per-ISA SIMD row
+     * encoder (byte-exact legacy behavior); other codecs append
+     * through their functional row encoders via the codec seam.
+     */
+    PackedCodec codec = PackedCodec::ElemEm;
 };
 
 /** The shared page pool all KvCaches of one session draw from. */
@@ -108,6 +114,9 @@ class KvPageArena
     SimdIsa simdIsa() const { return isa_; }
     size_t pageRows() const { return pageRows_; }
     size_t groupsPerRow() const { return groupsPerRow_; }
+
+    /** Packed-mode stream codec of every page. */
+    PackedCodec codec() const { return codec_; }
 
     /** Fixed page budget; 0 = elastic. */
     size_t capacityPages() const { return capacityPages_; }
@@ -202,8 +211,9 @@ class KvPageArena
     SimdIsa isa_;
     size_t pageRows_;
     size_t capacityPages_;
+    PackedCodec codec_;
     size_t groupsPerRow_;
-    ElemEmQuantizer actQ_; //!< packed-mode row codec
+    ElemEmQuantizer actQ_; //!< packed-mode elem_em row codec
 
     mutable std::mutex mu_;
     std::vector<std::unique_ptr<Page[]>> chunks_; //!< fixed-size dir

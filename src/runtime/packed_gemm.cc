@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "runtime/codec_traits.hh"
 #include "runtime/decode_lut.hh"
 #include "runtime/packed_gemm_kernels.hh"
 #include "runtime/telemetry.hh"
@@ -162,6 +163,9 @@ packedMatmulNtBlocked(const PackedM2xfpTensor &a,
     m2x_assert(a.cols() == w.cols(),
                "packedMatmulNt K mismatch: %zu vs %zu", a.cols(),
                w.cols());
+    m2x_assert(a.codec() == w.codec(),
+               "packedMatmulNt codec mismatch: %s vs %s",
+               packedCodecName(a.codec()), packedCodecName(w.codec()));
     m2x_assert(simdIsaAvailable(isa),
                "packedMatmulNt: ISA tier '%s' is not available on "
                "this machine", simdIsaName(isa));
@@ -174,13 +178,25 @@ packedMatmulNtBlocked(const PackedM2xfpTensor &a,
         return;
 
     const detail::GemmKernels &kern = detail::gemmKernels(isa);
+    // The codec seam: Elem-EM tensors decode through the ISA tier's
+    // LUT kernels; every other codec through the generic traits
+    // kernels (bit-identical scalar decode on every tier). The
+    // microkernels are decode-agnostic, so only the two row decoders
+    // are format-sensitive.
+    bool elem_em = a.codec() == PackedCodec::ElemEm;
+    detail::DecodeRowFn decode_act =
+        elem_em ? kern.decodeActivationRow : &codecDecodeActivationRow;
+    detail::DecodeRowFn decode_wt =
+        elem_em ? kern.decodeWeightRow : &codecDecodeWeightRow;
     const size_t mr = blocking.mr, nr = blocking.nr;
     const size_t mc = blocking.mc, kc = blocking.kc;
     const size_t nc = blocking.nc;
+    // kc stays a multiple of the paper group (32) for every codec —
+    // also a multiple of the g16 M2-NVFP4 decode group.
     m2x_assert(mc % mr == 0 && nc % nr == 0 && kc % groupSize == 0,
                "packedMatmulNtBlocked: blocking %zux%zux%zu not "
                "normalized for mr=%zu nr=%zu", mc, kc, nc, mr, nr);
-    size_t padded_k = a.groupsPerRow() * groupSize;
+    size_t padded_k = a.groupsPerRow() * a.codecInfo().groupSize;
     // The scalar oracle keeps each output a single ascending-k
     // summation chain over the true depth; vector tiers sweep the
     // zero-filled pad so their FMA loops need no tail handling.
@@ -240,8 +256,7 @@ packedMatmulNtBlocked(const PackedM2xfpTensor &a,
                         size_t jbase = j0 + sv * nr;
                         size_t jlim = std::min(nr, n - jbase);
                         for (size_t lane = 0; lane < jlim; ++lane) {
-                            kern.decodeWeightRow(w, jbase + lane,
-                                                 rowbuf);
+                            decode_wt(w, jbase + lane, rowbuf);
                             for (size_t p = 0; p < k; ++p)
                                 sl[p * nr + lane] = rowbuf[p];
                             for (size_t p = k; p < padded_k; ++p)
@@ -263,7 +278,7 @@ packedMatmulNtBlocked(const PackedM2xfpTensor &a,
                 ablock_store.resize(mc_cur * padded_k);
                 double *ab = ablock_store.data();
                 for (size_t ii = 0; ii < mc_cur; ++ii) {
-                    kern.decodeActivationRow(a, i0 + ii, rowbuf);
+                    decode_act(a, i0 + ii, rowbuf);
                     double *ar = ab + ii * padded_k;
                     for (size_t p = 0; p < k; ++p)
                         ar[p] = rowbuf[p];
@@ -311,6 +326,11 @@ packedMatmulNtTiled(const PackedM2xfpTensor &a,
     m2x_assert(a.cols() == w.cols(),
                "packedMatmulNt K mismatch: %zu vs %zu", a.cols(),
                w.cols());
+    // The PR3 baseline predates the codec seam and its tile kernels
+    // hardcode the paper pair; the blocked driver serves every codec.
+    m2x_assert(a.codec() == PackedCodec::ElemEm &&
+               w.codec() == PackedCodec::ElemEm,
+               "packedMatmulNtTiled supports only the elem_em codec");
     m2x_assert(simdIsaAvailable(isa),
                "packedMatmulNt: ISA tier '%s' is not available on "
                "this machine", simdIsaName(isa));

@@ -17,10 +17,11 @@ std::atomic<telemetry::Counter *> forwardRowsSlot{nullptr};
 } // anonymous namespace
 
 PackedLinear::PackedLinear(const Matrix &weight, M2xfpConfig cfg,
-                           ThreadPool *pool, SimdIsa isa)
+                           ThreadPool *pool, SimdIsa isa,
+                           PackedCodec codec)
     : actQ_(cfg.activationConfig()), weightQ_(cfg.weightConfig()),
       inFeatures_(weight.cols()), outFeatures_(weight.rows()),
-      pool_(pool), isa_(isa)
+      pool_(pool), isa_(isa), codec_(codec)
 {
     m2x_assert(cfg.groupSize == PackedM2xfpTensor::groupSize &&
                cfg.subgroupSize == PackedM2xfpTensor::subgroupSize,
@@ -29,7 +30,13 @@ PackedLinear::PackedLinear(const Matrix &weight, M2xfpConfig cfg,
     m2x_assert(simdIsaAvailable(isa),
                "PackedLinear: ISA tier '%s' is not available on "
                "this machine", simdIsaName(isa));
-    weight_ = PackedM2xfpTensor::packWeights(weight, weightQ_);
+    // Weight packing is offline (construction): elem_em keeps the
+    // legacy quantizer path byte-for-byte; other codecs go through
+    // the functional codec packers.
+    weight_ = codec_ == PackedCodec::ElemEm
+                  ? PackedM2xfpTensor::packWeights(weight, weightQ_)
+                  : PackedM2xfpTensor::packWeightsCodec(weight,
+                                                        codec_);
 }
 
 void
@@ -50,8 +57,12 @@ PackedLinear::forward(const Matrix &x, Matrix &y, Workspace *ws,
                        telemetry::metricsEnabled();
 
     uint64_t t0 = timed ? telemetry::nowNanos() : 0;
-    PackedM2xfpTensor::packActivations(x, actQ_, pool_, isa_,
-                                       w.packedAct);
+    if (codec_ == PackedCodec::ElemEm)
+        PackedM2xfpTensor::packActivations(x, actQ_, pool_, isa_,
+                                           w.packedAct);
+    else
+        PackedM2xfpTensor::packActivationsCodec(x, codec_, pool_,
+                                                isa_, w.packedAct);
     uint64_t t1 = timed ? telemetry::nowNanos() : 0;
     telemetry::traceComplete("linear.quantize", t0, t1);
     packedMatmulNt(w.packedAct, weight_, y, pool_, isa_);

@@ -65,15 +65,20 @@ class PackedLinear : public LinearOp
      * construction (offline, like the paper's weight calibration).
      *
      * @param cfg  must keep the paper packed layout (g32/sg8, 2-bit
-     *        metadata, top-1) — the packed codec supports nothing
-     *        else
+     *        metadata, top-1); only consulted by the elem_em codec —
+     *        other codecs carry their own fixed geometry
      * @param pool thread pool for forward(); null = global pool
      * @param isa  kernel tier for forward(); defaults to the
      *        process-wide dispatch decision (must be available)
+     * @param codec packed stream format for the resident weight and
+     *        the online activation encode (the format axis of the
+     *        codec-traits seam); elem_em keeps the legacy byte-exact
+     *        fast path
      */
     explicit PackedLinear(const Matrix &weight, M2xfpConfig cfg = {},
                           ThreadPool *pool = nullptr,
-                          SimdIsa isa = activeSimdIsa());
+                          SimdIsa isa = activeSimdIsa(),
+                          PackedCodec codec = PackedCodec::ElemEm);
 
     /** Pack x as activations (online) and multiply in packed form. */
     Matrix forward(const Matrix &x) const override;
@@ -120,6 +125,9 @@ class PackedLinear : public LinearOp
     /** The kernel tier forward() executes on. */
     SimdIsa simdIsa() const { return isa_; }
 
+    /** The packed stream format of the weight and activations. */
+    PackedCodec codec() const { return codec_; }
+
   private:
     ElemEmQuantizer actQ_;
     SgEmQuantizer weightQ_;
@@ -128,6 +136,7 @@ class PackedLinear : public LinearOp
     size_t outFeatures_;
     ThreadPool *pool_;
     SimdIsa isa_;
+    PackedCodec codec_;
 };
 
 } // namespace runtime

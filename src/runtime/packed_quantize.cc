@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/m2xfp.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -158,6 +159,122 @@ PackedM2xfpTensor::appendActivationRows(const float *rows,
     if (n_rows == 1) {
         // The decode-step shape: one row per token — pool dispatch
         // would cost more than the encode.
+        encode(0, 1);
+        return;
+    }
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    tp.parallelFor(0, n_rows,
+                   detail::packedQuantizeGrain(n_rows, tp.size()),
+                   encode);
+}
+
+namespace {
+
+// The Elem-EM fast path of the codec packers below: the per-ISA SIMD
+// encoder with the paper activation config.
+const ElemEmQuantizer &
+paperActivationQuantizer()
+{
+    static const ElemEmQuantizer q = makeM2xfpActivationQuantizer();
+    return q;
+}
+
+} // anonymous namespace
+
+void
+PackedM2xfpTensor::packActivationsCodec(const Matrix &m,
+                                        PackedCodec codec,
+                                        runtime::ThreadPool *pool,
+                                        runtime::SimdIsa isa,
+                                        PackedM2xfpTensor &out)
+{
+    using namespace runtime;
+
+    out.setCodec(codec);
+    if (codec == PackedCodec::ElemEm) {
+        packActivations(m, paperActivationQuantizer(), pool, isa, out);
+        return;
+    }
+    m2x_assert(simdIsaAvailable(isa),
+               "packActivationsCodec: ISA tier '%s' is not available "
+               "on this machine", simdIsaName(isa));
+
+    out.resizeShape(m.rows(), m.cols());
+    size_t rows = m.rows();
+    size_t gpr = out.groupsPerRow_;
+    if (rows == 0 || gpr == 0)
+        return;
+
+    // Non-Elem-EM codecs encode through the functional row encoder —
+    // ISA-independent, hence byte-exact on every tier by construction;
+    // only the row distribution is parallel.
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    size_t grain = detail::packedQuantizeGrain(rows, tp.size());
+    const float *src = m.data();
+    size_t cols = m.cols();
+    uint8_t *elems = out.elements_.data();
+    uint8_t *scales = out.scales_.data();
+    uint8_t *meta = out.meta_.data();
+    unsigned geb = out.groupElemBytes_;
+    tp.parallelFor(0, rows, grain, [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r)
+            packActivationRowCodec(codec, src + r * cols, cols,
+                                   elems + r * gpr * geb,
+                                   scales + r * gpr, meta + r * gpr);
+    });
+}
+
+PackedM2xfpTensor
+PackedM2xfpTensor::packActivationsCodec(const Matrix &m,
+                                        PackedCodec codec,
+                                        runtime::ThreadPool *pool,
+                                        runtime::SimdIsa isa)
+{
+    PackedM2xfpTensor t;
+    packActivationsCodec(m, codec, pool, isa, t);
+    return t;
+}
+
+void
+PackedM2xfpTensor::appendActivationRowsCodec(const float *rows,
+                                             size_t n_rows,
+                                             runtime::SimdIsa isa,
+                                             runtime::ThreadPool *pool)
+{
+    using namespace runtime;
+
+    if (codec_ == PackedCodec::ElemEm) {
+        appendActivationRows(rows, n_rows, paperActivationQuantizer(),
+                             isa, pool);
+        return;
+    }
+    m2x_assert(simdIsaAvailable(isa),
+               "appendActivationRowsCodec: ISA tier '%s' is not "
+               "available on this machine", simdIsaName(isa));
+    m2x_assert(cols_ > 0,
+               "appendActivationRowsCodec on a shapeless tensor "
+               "(create via emptyActivationsCodec)");
+    if (n_rows == 0)
+        return;
+
+    size_t gpr = groupsPerRow_;
+    size_t old_rows = rows_;
+    rows_ += n_rows;
+    elements_.resize(rows_ * gpr * groupElemBytes_);
+    scales_.resize(rows_ * gpr);
+    meta_.resize(rows_ * gpr);
+
+    PackedCodec codec = codec_;
+    auto encode = [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+            size_t slot = (old_rows + r) * gpr;
+            packActivationRowCodec(
+                codec, rows + r * cols_, cols_,
+                elements_.data() + slot * groupElemBytes_,
+                scales_.data() + slot, meta_.data() + slot);
+        }
+    };
+    if (n_rows == 1) {
         encode(0, 1);
         return;
     }

@@ -127,7 +127,7 @@ ServingEngine::ServingEngine(const model::ModelConfig &model_cfg,
                      : nullptr),
       model_(model_cfg), isa_(cfg.isa),
       arena_(model_cfg.kvDim(), cfg.kvMode, cfg.format, cfg.isa,
-             KvArenaConfig{cfg.pageRows, cfg.arenaPages}),
+             KvArenaConfig{cfg.pageRows, cfg.arenaPages, cfg.codec}),
       backend_(ownedPool_.get(), &attendNanos_)
 {
     m2x_assert(cfg.arenaPages > 0,
@@ -137,7 +137,7 @@ ServingEngine::ServingEngine(const model::ModelConfig &model_cfg,
                cfg.admitFreeFraction < 1.0,
                "admitFreeFraction must be in [0, 1)");
     model_.rebuild(packedLinearFactory(cfg.format, ownedPool_.get(),
-                                       &stats_, isa_));
+                                       &stats_, isa_, cfg.codec));
 }
 
 ServingEngine::~ServingEngine() = default;

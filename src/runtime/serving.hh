@@ -162,6 +162,12 @@ struct ServingConfig
      * headroom for the active set's step-to-step page growth.
      */
     double admitFreeFraction = 0.05;
+    /**
+     * Packed stream codec for the linear layers and the packed KV
+     * pages. Session-level default follows the M2X_FORMAT
+     * environment override (see defaultPackedCodec()).
+     */
+    PackedCodec codec = defaultPackedCodec();
 };
 
 /** Where a request is in its lifecycle. */
@@ -281,6 +287,7 @@ class ServingEngine
 
     KvCacheMode kvMode() const { return cfg_.kvMode; }
     SimdIsa simdIsa() const { return isa_; }
+    PackedCodec codec() const { return cfg_.codec; }
     const model::TinyTransformer &model() const { return model_; }
 
   private:

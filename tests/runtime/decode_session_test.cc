@@ -115,8 +115,12 @@ TEST(DecodeSession, PackedCacheMatchesKvQuantizedOneShot)
     std::vector<int> toks = randomTokens(13, cfg.vocab, 2);
     for (SimdIsa isa : supportedSimdIsas()) {
         SCOPED_TRACE(std::string("isa=") + simdIsaName(isa));
-        DecodeSession s(cfg,
-                        {.isa = isa, .kvMode = KvCacheMode::Packed});
+        // Pinned to elem_em: the oracle below quantizes K/V through
+        // the paper codec, whatever M2X_FORMAT says (cross-format
+        // coverage lives in cross_format_parity_test).
+        DecodeSession s(cfg, {.isa = isa,
+                              .kvMode = KvCacheMode::Packed,
+                              .codec = PackedCodec::ElemEm});
         Matrix got = runPrefillDecode(s, toks, 6);
         // The packed rows decode to exactly the values the
         // functional Elem-EM codec produces, so the only difference
@@ -137,7 +141,8 @@ TEST(DecodeSession, PackedCacheNonMultipleOf32Width)
     cfg.dModel = 40;
     cfg.nHeads = 2;
     std::vector<int> toks = randomTokens(9, cfg.vocab, 3);
-    DecodeSession s(cfg, {.kvMode = KvCacheMode::Packed});
+    DecodeSession s(cfg, {.kvMode = KvCacheMode::Packed,
+                          .codec = PackedCodec::ElemEm});
     Matrix got = runPrefillDecode(s, toks, 4);
     model::TinyTransformer ref =
         kvQuantizedReference(cfg, s.simdIsa());
@@ -195,7 +200,9 @@ TEST(DecodeSession, RaggedBatchDecode)
     for (KvCacheMode mode :
          {KvCacheMode::Fp32, KvCacheMode::Packed}) {
         SCOPED_TRACE(kvCacheModeName(mode));
-        DecodeSession s(cfg, {.threads = 2, .kvMode = mode});
+        DecodeSession s(cfg, {.threads = 2,
+                              .kvMode = mode,
+                              .codec = PackedCodec::ElemEm});
         std::vector<std::vector<int>> full = prompts;
         std::vector<std::vector<Matrix>> step_logits(prompts.size());
         for (size_t i = 0; i < prompts.size(); ++i) {

@@ -63,7 +63,11 @@ TEST(InferenceSession, MatchesFunctionalQuantizedTransformer)
     Matrix want = ref.forwardLogits(toks);
     for (SimdIsa isa : supportedSimdIsas()) {
         SCOPED_TRACE(std::string("isa=") + simdIsaName(isa));
-        InferenceSession session(cfg, {.isa = isa});
+        // The oracle above is the paper-pair pipeline, so the codec
+        // must stay pinned regardless of any M2X_FORMAT override
+        // (cross-format coverage lives in cross_format_parity_test).
+        InferenceSession session(
+            cfg, {.isa = isa, .codec = PackedCodec::ElemEm});
         EXPECT_EQ(session.simdIsa(), isa);
         // Model-level tolerance: tiny linear-output differences pass
         // through layernorm/softmax, so the vector-tier bound is a

@@ -48,9 +48,7 @@ TEST(AppendActivationRows, ChunkedAppendMatchesFunctionalPacker)
                 EXPECT_EQ(t.rows(), r);
             }
             ASSERT_EQ(r, m.rows());
-            EXPECT_EQ(t.elementStream(), want.elementStream());
-            EXPECT_EQ(t.scaleStream(), want.scaleStream());
-            EXPECT_EQ(t.metadataStream(), want.metadataStream());
+            test::expectPackedStreamsEqual(t, want);
         }
     }
 }

@@ -108,8 +108,12 @@ expectOracleParity(const model::ModelConfig &cfg, size_t tokens,
                 got, s.model().forwardLogits(toks));
         }
         {
-            DecodeSession s(
-                cfg, {.isa = isa, .kvMode = KvCacheMode::Packed});
+            // Pinned to elem_em: the KV-quantized oracle below is
+            // the paper codec, whatever M2X_FORMAT says (the other
+            // codecs' attend parity lives in cross_format_parity_test).
+            DecodeSession s(cfg, {.isa = isa,
+                                  .kvMode = KvCacheMode::Packed,
+                                  .codec = PackedCodec::ElemEm});
             Matrix got = runPrefillDecode(s, toks);
             model::TinyTransformer ref = kvQuantizedReference(cfg,
                                                               isa);

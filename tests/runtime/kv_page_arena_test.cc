@@ -133,9 +133,7 @@ TEST(KvPageArena, PackedPagesByteExactVsOneShotPacker)
                 PackedM2xfpTensor::packActivations(slice, q);
             const PackedM2xfpTensor &got = arena.packedPage(ids[p]);
             ASSERT_EQ(got.rows(), rows);
-            EXPECT_EQ(got.elementStream(), want.elementStream());
-            EXPECT_EQ(got.scaleStream(), want.scaleStream());
-            EXPECT_EQ(got.metadataStream(), want.metadataStream());
+            test::expectPackedStreamsEqual(got, want, "page slice");
         }
     }
 }

@@ -113,19 +113,7 @@ expectGroupMatches(const float *in, ScaleRule rule, SimdIsa isa,
             << simdIsaName(isa) << ")";
 }
 
-void
-expectStreamsEqual(const PackedM2xfpTensor &got,
-                   const PackedM2xfpTensor &want, const char *what)
-{
-    ASSERT_EQ(got.rows(), want.rows()) << what;
-    ASSERT_EQ(got.cols(), want.cols()) << what;
-    ASSERT_EQ(got.elementStream(), want.elementStream())
-        << what << ": element stream";
-    ASSERT_EQ(got.scaleStream(), want.scaleStream())
-        << what << ": scale stream";
-    ASSERT_EQ(got.metadataStream(), want.metadataStream())
-        << what << ": metadata stream";
-}
+using test::expectPackedStreamsEqual;
 
 /** Interesting values for adversarial groups. */
 std::vector<float>
@@ -334,7 +322,7 @@ TEST(QuantizeMatrix, ParityAcrossShapesIsasAndThreads)
                 PackedM2xfpTensor got =
                     PackedM2xfpTensor::packActivations(m, q, &pool,
                                                        isa);
-                ASSERT_NO_FATAL_FAILURE(expectStreamsEqual(
+                ASSERT_NO_FATAL_FAILURE(expectPackedStreamsEqual(
                     got, want, simdIsaName(isa)));
             }
         }
@@ -355,7 +343,7 @@ TEST(QuantizeMatrix, AdversarialMatrixParity)
         PackedM2xfpTensor got =
             PackedM2xfpTensor::packActivations(m, q, &pool, isa);
         ASSERT_NO_FATAL_FAILURE(
-            expectStreamsEqual(got, want, simdIsaName(isa)));
+            expectPackedStreamsEqual(got, want, simdIsaName(isa)));
     }
 }
 
@@ -376,7 +364,7 @@ TEST(QuantizeMatrix, IntoOverloadReusesStorageAcrossShapes)
             PackedM2xfpTensor want =
                 PackedM2xfpTensor::packActivations(m, q);
             ASSERT_NO_FATAL_FAILURE(
-                expectStreamsEqual(reused, want, "reused buffer"));
+                expectPackedStreamsEqual(reused, want, "reused buffer"));
         }
     }
 }

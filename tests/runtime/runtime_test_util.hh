@@ -16,7 +16,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "core/m2xfp_packed.hh"
 #include "quant/matrix.hh"
 #include "runtime/simd.hh"
 #include "util/rng.hh"
@@ -77,6 +81,43 @@ expectMatricesMatch(const Matrix &got, const Matrix &want,
         expectMatricesBitExact(got, want);
     else
         expectMatricesClose(got, want);
+}
+
+/**
+ * Byte equality of all three packed streams (shape first). The
+ * stream-geometry contract shared by the encoder, KV-cache and
+ * page-arena exactness tests.
+ */
+inline void
+expectPackedStreamsEqual(const PackedM2xfpTensor &got,
+                         const PackedM2xfpTensor &want,
+                         const char *what = "packed streams")
+{
+    ASSERT_EQ(got.rows(), want.rows()) << what;
+    ASSERT_EQ(got.cols(), want.cols()) << what;
+    EXPECT_EQ(got.elementStream(), want.elementStream())
+        << what << ": element stream";
+    EXPECT_EQ(got.scaleStream(), want.scaleStream())
+        << what << ": scale stream";
+    EXPECT_EQ(got.metadataStream(), want.metadataStream())
+        << what << ": metadata stream";
+}
+
+/**
+ * A one-row, one-group tensor of @p codec with every element byte
+ * set to @p elem_byte — the raw-stream probe the decode-exactness
+ * sweeps build for each of the 256 element-byte values.
+ */
+inline PackedM2xfpTensor
+oneGroupTensor(uint8_t elem_byte, uint8_t scale_code,
+               uint8_t meta_byte,
+               PackedCodec codec = PackedCodec::ElemEm)
+{
+    const PackedCodecInfo &info = packedCodecInfo(codec);
+    std::vector<uint8_t> elems(info.bytesPerGroupElems, elem_byte);
+    return PackedM2xfpTensor::fromRawStreams(
+        1, info.groupSize, std::move(elems), {scale_code},
+        {meta_byte}, codec);
 }
 
 } // namespace test

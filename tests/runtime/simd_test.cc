@@ -119,16 +119,7 @@ TEST(SimdDispatch, ForcedAvx512DowngradesGracefullyOrRunsNative)
 
 constexpr size_t groupSize = PackedM2xfpTensor::groupSize;
 
-/** One-group tensor with every element byte set to @p elem_byte. */
-PackedM2xfpTensor
-oneGroupTensor(uint8_t elem_byte, uint8_t scale_code,
-               uint8_t meta_byte)
-{
-    std::vector<uint8_t> elems(
-        PackedM2xfpTensor::bytesPerGroupElems, elem_byte);
-    return PackedM2xfpTensor::fromRawStreams(
-        1, groupSize, std::move(elems), {scale_code}, {meta_byte});
-}
+using test::oneGroupTensor;
 
 /** Demand bitwise-identical scalar and AVX2 decode of one group. */
 void

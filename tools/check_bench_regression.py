@@ -137,6 +137,63 @@ def ratio_rows(doc):
     return rows
 
 
+def check_cross_format(fresh_doc, base_doc):
+    """Structural + accuracy gate over the cross_format section.
+
+    The section commits one row per packed codec: the GEMM accuracy
+    against fp32 (a machine-independent property of the format, so it
+    IS compared across runs, unlike the throughput ratios) and decode
+    tokens/s (only checked for being positive — absolute speed never
+    gates). Rows are emitted in ascending rel_rmse order by the
+    bench; the gate re-asserts the ordering so a codec whose kernels
+    silently lost accuracy cannot keep its committed rank.
+    """
+    errors = []
+    rows = fresh_doc.get("cross_format", [])
+    if len(rows) < 3:
+        return [f"cross_format: {len(rows)} format row(s), "
+                "need >= 3"]
+    prev_rel = None
+    for row in rows:
+        fmt = row.get("format", "?")
+        tps = row.get("decode_tokens_per_s", 0)
+        if not tps > 0:
+            errors.append(f"cross_format/{fmt}: non-positive "
+                          f"decode_tokens_per_s ({tps})")
+        rel = row.get("gemm_rel_rmse_vs_fp32")
+        if rel is None or not 0 < rel < 1:
+            errors.append(f"cross_format/{fmt}: "
+                          f"gemm_rel_rmse_vs_fp32 out of (0, 1): "
+                          f"{rel}")
+            continue
+        if prev_rel is not None and rel < prev_rel:
+            errors.append(f"cross_format/{fmt}: rows not in "
+                          f"ascending rel_rmse order ({rel:.6f} "
+                          f"after {prev_rel:.6f})")
+        prev_rel = rel
+    # Accuracy vs the committed baseline: the operands are fixed in
+    # the bench, so rel_rmse only moves if a codec's quantize/decode
+    # math changed (vector-tier reassociation is ~1e-6, far below
+    # the 1% band).
+    base_rows = {r.get("format"): r
+                 for r in base_doc.get("cross_format", [])}
+    for row in rows:
+        b = base_rows.get(row.get("format"))
+        if b is None or "gemm_rel_rmse_vs_fp32" not in b:
+            continue
+        fv, bv = row["gemm_rel_rmse_vs_fp32"], \
+            b["gemm_rel_rmse_vs_fp32"]
+        if bv > 0 and abs(fv - bv) / bv > 0.01:
+            errors.append(
+                f"cross_format/{row['format']}: accuracy moved "
+                f"{bv:.6f} -> {fv:.6f} (> 1%) — codec math changed")
+    if not errors:
+        print(f"check_bench_regression: cross_format ok "
+              f"({len(rows)} formats, accuracy order "
+              + " <= ".join(r['format'] for r in rows) + ")")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh", required=True,
@@ -162,8 +219,15 @@ def main():
                 if fresh_doc.get("bench") == "serving_runtime"
                 else "BENCH_runtime.json")
         args.baseline = str(REPO / name)
+    base_doc = json.load(open(args.baseline))
     fresh = ratio_rows(fresh_doc)
-    base = ratio_rows(json.load(open(args.baseline)))
+    base = ratio_rows(base_doc)
+
+    # The runtime bench must carry a valid cross_format section; the
+    # serving bench (own baseline file) has none.
+    cf_failures = []
+    if fresh_doc.get("bench") != "serving_runtime":
+        cf_failures = check_cross_format(fresh_doc, base_doc)
 
     matched = 0
     matched_rows = 0
@@ -194,6 +258,7 @@ def main():
                 print(f"  ok {tag}: {base_v:.3f} -> {fresh_v:.3f} "
                       f"({100 * -drop:+.1f}%)")
 
+    failures.extend(cf_failures)
     if matched == 0:
         print("check_bench_regression: no comparable rows between "
               f"{args.fresh} and {args.baseline} - the gate would be "

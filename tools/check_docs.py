@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Documentation health check, run by the CI docs job.
 
-Two guarantees:
+Three guarantees:
   1. Presence: the documentation entry points exist and README links
      to them (docs/ARCHITECTURE.md and docs/FORMATS.md are part of
      the repo's acceptance surface, not optional extras).
   2. Link integrity: every relative markdown link in every tracked
      .md file points at a path that exists, so file moves and
      renames cannot silently strand the docs.
+  3. The runtime support matrix: docs/FORMATS.md must keep its
+     "Runtime support matrix" section and the section must mention
+     every registered packed codec, so a codec added to the runtime
+     cannot ship undocumented.
 
 Exits non-zero with one line per problem.
 """
@@ -38,6 +42,11 @@ REQUIRED_README_LINKS = [
     "BUILDING.md",
 ]
 
+# docs/FORMATS.md must document runtime support per packed codec.
+# Keep in sync with the registry in src/core/packed_codec.cc.
+MATRIX_HEADING = "## Runtime support matrix"
+PACKED_CODECS = ["elem_em", "elem_ee", "sg_em", "m2_nvfp4"]
+
 # Inline markdown links: [text](target). Reference-style links are
 # not used in this repo.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -66,6 +75,22 @@ def check():
     for target in REQUIRED_README_LINKS:
         if target not in readme_text:
             problems.append(f"README.md does not link {target}")
+
+    formats = REPO / "docs/FORMATS.md"
+    formats_text = formats.read_text() if formats.is_file() else ""
+    if MATRIX_HEADING not in formats_text:
+        problems.append(
+            f"docs/FORMATS.md lacks the '{MATRIX_HEADING}' section")
+    else:
+        # Check codec coverage within the section (up to the next
+        # same-level heading) so a row cannot quietly migrate out.
+        section = formats_text.split(MATRIX_HEADING, 1)[1]
+        section = section.split("\n## ", 1)[0]
+        for codec in PACKED_CODECS:
+            if f"`{codec}`" not in section:
+                problems.append(
+                    "docs/FORMATS.md runtime support matrix does "
+                    f"not cover codec {codec}")
 
     n_links = 0
     for path in md_files():
